@@ -1,0 +1,44 @@
+// Figure 9: RP-growth runtime on the Twitter data as minPS sweeps 2%..10%,
+// one series per per in {360, 720, 1440}, one panel per minRec in {1,2,3}.
+//
+// Expected shape: runtime falls with minPS and minRec, rises with per.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpm/core/rp_growth.h"
+
+int main() {
+  using namespace rpmbench;
+  const double scale = ScaleFromEnv();
+  PrintHeader("Figure 9 — Twitter: RP-growth runtime (s) vs minPS",
+              "Kiran et al., EDBT 2015, Figure 9 (a)-(c)");
+  std::printf("scale=%.2f\n\n", scale);
+
+  rpm::gen::GeneratedHashtagStream twitter = rpm::gen::MakeTwitter(scale);
+  PrintDataset("Twitter", twitter.db);
+
+  for (uint64_t min_rec : PaperMinRecs()) {
+    std::printf("\npanel (%c): minRec=%llu\n",
+                static_cast<char>('a' + min_rec - 1),
+                static_cast<unsigned long long>(min_rec));
+    std::printf("%-8s", "minPS");
+    for (rpm::Timestamp per : PaperPeriods()) {
+      std::printf("  per=%-6lld", static_cast<long long>(per));
+    }
+    std::printf("\n");
+    for (int pct = 2; pct <= 10; ++pct) {
+      std::printf("%-7d%%", pct);
+      for (rpm::Timestamp per : PaperPeriods()) {
+        rpm::Result<rpm::RpParams> params = rpm::MakeParamsWithMinPsFraction(
+            per, pct / 100.0, min_rec, twitter.db.size());
+        rpm::RpGrowthResult result =
+            rpm::MineRecurringPatterns(twitter.db, *params);
+        std::printf("  %-10.3f", result.stats.total_seconds);
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,230 @@
+// Micro-benchmarks (google-benchmark): per-component costs backing the
+// end-to-end numbers — measure computation, RP-list scan, tree build,
+// full mining, generators, and baseline miners on mid-size inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "rpm/baselines/pf_growth.h"
+#include "rpm/baselines/ppattern.h"
+#include "rpm/common/random.h"
+#include "rpm/common/zipf.h"
+#include "rpm/core/brute_force.h"
+#include "rpm/core/measures.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/core/rp_list.h"
+#include "rpm/core/rp_tree.h"
+#include "rpm/gen/hashtag_generator.h"
+#include "rpm/gen/quest_generator.h"
+
+namespace {
+
+using namespace rpm;
+
+TimestampList MakeTimestamps(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TimestampList ts(n);
+  Timestamp cur = 0;
+  for (auto& slot : ts) {
+    cur += 1 + static_cast<Timestamp>(rng.NextUint64(5));
+    slot = cur;
+  }
+  return ts;
+}
+
+const TransactionDatabase& MidQuestDb() {
+  static const TransactionDatabase db = [] {
+    gen::QuestParams params;
+    params.num_transactions = 20000;
+    params.num_items = 400;
+    params.num_patterns = 400;
+    return gen::GenerateQuest(params);
+  }();
+  return db;
+}
+
+const TransactionDatabase& MidTwitterDb() {
+  static const TransactionDatabase db = [] {
+    gen::HashtagParams params;
+    params.num_minutes = 20000;
+    params.num_hashtags = 300;
+    params.num_random_events = 8;
+    return gen::GenerateHashtagStream(params).db;
+  }();
+  return db;
+}
+
+void BM_ComputeErec(benchmark::State& state) {
+  TimestampList ts = MakeTimestamps(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeErec(ts, 4, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeErec)->Range(1 << 10, 1 << 18);
+
+void BM_FindInterestingIntervals(benchmark::State& state) {
+  TimestampList ts = MakeTimestamps(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindInterestingIntervals(ts, 4, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FindInterestingIntervals)->Range(1 << 10, 1 << 18);
+
+void BM_IntervalDecomposition(benchmark::State& state) {
+  TimestampList ts = MakeTimestamps(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposePeriodicIntervals(ts, 4));
+  }
+}
+BENCHMARK(BM_IntervalDecomposition)->Range(1 << 10, 1 << 16);
+
+void BM_RpListScan(benchmark::State& state) {
+  const TransactionDatabase& db = MidQuestDb();
+  RpParams params;
+  params.period = 100;
+  params.min_ps = 20;
+  params.min_rec = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildRpList(db, params));
+  }
+  state.SetItemsProcessed(state.iterations() * db.TotalItemOccurrences());
+}
+BENCHMARK(BM_RpListScan);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const TransactionDatabase& db = MidQuestDb();
+  RpParams params;
+  params.period = 100;
+  params.min_ps = 20;
+  params.min_rec = 2;
+  RpList list = BuildRpList(db, params);
+  std::vector<ItemId> order;
+  for (const RpListEntry& e : list.candidates()) order.push_back(e.item);
+  for (auto _ : state) {
+    TsPrefixTree tree{std::vector<ItemId>(order)};
+    std::vector<uint32_t> ranks;
+    for (const Transaction& tr : db.transactions()) {
+      ranks.clear();
+      for (ItemId item : tr.items) {
+        uint32_t rank = list.RankOf(item);
+        if (rank != kNotCandidate) ranks.push_back(rank);
+      }
+      std::sort(ranks.begin(), ranks.end());
+      tree.InsertTransaction(ranks, tr.ts);
+    }
+    benchmark::DoNotOptimize(tree.NodeCount());
+  }
+}
+BENCHMARK(BM_TreeBuild);
+
+void BM_RpGrowthEndToEnd_Quest(benchmark::State& state) {
+  const TransactionDatabase& db = MidQuestDb();
+  RpParams params;
+  params.period = 100;
+  params.min_ps = 20;
+  params.min_rec = static_cast<uint64_t>(state.range(0));
+  size_t patterns = 0;
+  for (auto _ : state) {
+    auto result = MineRecurringPatterns(db, params);
+    patterns = result.patterns.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["patterns"] = static_cast<double>(patterns);
+}
+BENCHMARK(BM_RpGrowthEndToEnd_Quest)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_RpGrowthEndToEnd_Twitter(benchmark::State& state) {
+  const TransactionDatabase& db = MidTwitterDb();
+  RpParams params;
+  params.period = 360;
+  params.min_ps = static_cast<uint64_t>(state.range(0));
+  params.min_rec = 1;
+  size_t patterns = 0;
+  for (auto _ : state) {
+    auto result = MineRecurringPatterns(db, params);
+    patterns = result.patterns.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["patterns"] = static_cast<double>(patterns);
+}
+BENCHMARK(BM_RpGrowthEndToEnd_Twitter)->Arg(400)->Arg(800)->Arg(1600);
+
+void BM_VerticalMiner(benchmark::State& state) {
+  const TransactionDatabase& db = MidTwitterDb();
+  RpParams params;
+  params.period = 360;
+  params.min_ps = 800;
+  params.min_rec = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineVertical(db, params));
+  }
+}
+BENCHMARK(BM_VerticalMiner);
+
+void BM_PfGrowth(benchmark::State& state) {
+  const TransactionDatabase& db = MidTwitterDb();
+  baselines::PfParams params;
+  params.min_sup = 200;
+  params.max_per = 360;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinePeriodicFrequentPatterns(db, params));
+  }
+}
+BENCHMARK(BM_PfGrowth);
+
+void BM_PPatternMiner(benchmark::State& state) {
+  const TransactionDatabase& db = MidTwitterDb();
+  baselines::PPatternParams params;
+  params.period = 360;
+  params.min_sup = 800;
+  baselines::PPatternOptions options;
+  options.max_stored_patterns = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinePPatterns(db, params, options));
+  }
+}
+BENCHMARK(BM_PPatternMiner);
+
+void BM_QuestGeneration(benchmark::State& state) {
+  gen::QuestParams params;
+  params.num_transactions = static_cast<size_t>(state.range(0));
+  params.num_items = 400;
+  params.num_patterns = 400;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::GenerateQuest(params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuestGeneration)->Arg(5000)->Arg(20000);
+
+void BM_HashtagGeneration(benchmark::State& state) {
+  gen::HashtagParams params;
+  params.num_minutes = static_cast<size_t>(state.range(0));
+  params.num_hashtags = 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::GenerateHashtagStream(params));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashtagGeneration)->Arg(5000)->Arg(20000);
+
+void BM_ZipfSampling(benchmark::State& state) {
+  ZipfSampler sampler(1000, 1.05);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSampling);
+
+void BM_TimestampsOfScan(benchmark::State& state) {
+  const TransactionDatabase& db = MidTwitterDb();
+  Itemset pattern = {0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.TimestampsOf(pattern));
+  }
+}
+BENCHMARK(BM_TimestampsOfScan);
+
+}  // namespace

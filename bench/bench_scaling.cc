@@ -1,0 +1,72 @@
+// Scalability: RP-growth runtime versus database size and item-universe
+// size (not in the paper's tables, but standard for this literature and a
+// direct check that the implementation scales linearly enough to support
+// the full-size Tables 5/7).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/gen/hashtag_generator.h"
+
+int main() {
+  using namespace rpmbench;
+  PrintHeader("Scaling — runtime vs |TDB| and |I|",
+              "supplementary scalability study");
+
+  // Absolute thresholds across the sweep: with a |TDB|-relative minPS the
+  // small configurations would dominate the runtime (low absolute bars on
+  // dense co-occurrence explode the output), inverting the curve.
+  rpm::RpParams mine;
+  mine.period = 360;
+  mine.min_ps = 300;
+  mine.min_rec = 1;
+  rpm::RpGrowthOptions count_only;
+  count_only.store_patterns = false;  // Runtime, not materialisation.
+  // Dense top-of-Zipf co-occurrence makes unrestricted output exponential
+  // on short streams (a clique of k always-on tags has 2^k qualifying
+  // subsets); the length cap keeps the sweep about data volume.
+  count_only.max_pattern_length = 3;
+
+  // The phase breakdown separates the data-volume-linear costs (RP-list
+  // scan, tree construction) from mining, whose cost tracks the output.
+  std::printf("\nruntime vs transactions (Twitter-like stream, 400 tags, "
+              "per=360, minPS=300 abs, len<=3, minRec=1):\n");
+  std::printf("%-14s %-14s %-12s %-8s %-8s %-8s %-8s\n", "minutes",
+              "transactions", "patterns", "total_s", "list_s", "tree_s",
+              "mine_s");
+  for (size_t days : {4, 8, 16, 32, 64, 123}) {
+    rpm::gen::HashtagParams params;
+    params.num_minutes = days * 1440;
+    params.num_hashtags = 400;
+    params.num_random_events = 12;
+    params.seed = 99;
+    rpm::gen::GeneratedHashtagStream stream =
+        rpm::gen::GenerateHashtagStream(params);
+    auto result = rpm::MineRecurringPatterns(stream.db, mine, count_only);
+    std::printf("%-14zu %-14zu %-12zu %-8.3f %-8.3f %-8.3f %-8.3f\n",
+                params.num_minutes, stream.db.size(),
+                result.stats.patterns_emitted, result.stats.total_seconds,
+                result.stats.list_seconds, result.stats.tree_seconds,
+                result.stats.mine_seconds);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nruntime vs item universe (16 days, per=360, minPS=300 "
+              "abs, len<=3, minRec=1):\n");
+  std::printf("%-10s %-12s %-10s\n", "hashtags", "patterns", "seconds");
+  for (size_t tags : {100, 200, 400, 800, 1600}) {
+    rpm::gen::HashtagParams params;
+    params.num_minutes = 16 * 1440;
+    params.num_hashtags = tags;
+    params.num_random_events = 12;
+    params.seed = 99;
+    rpm::gen::GeneratedHashtagStream stream =
+        rpm::gen::GenerateHashtagStream(params);
+    auto result = rpm::MineRecurringPatterns(stream.db, mine, count_only);
+    std::printf("%-10zu %-12zu %-10.3f\n", tags,
+                result.stats.patterns_emitted, result.stats.total_seconds);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table 5: number of recurring patterns generated at different per, minPS
+// and minRec threshold values, on T10I4D100K, Shop-14 and Twitter.
+//
+// Expected shape (paper Sec. 5.2): counts fall as minPS rises, fall as
+// minRec rises, and rise with per at minRec=1 (with mixed direction at
+// minRec>1 because larger per merges adjacent interesting intervals).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "grid_runner.h"
+
+int main() {
+  using namespace rpmbench;
+  const double scale = ScaleFromEnv();
+  PrintHeader("Table 5 — number of recurring patterns",
+              "Kiran et al., EDBT 2015, Table 5");
+  std::printf("scale=%.2f (set RPM_BENCH_SCALE to change)\n\n", scale);
+
+  rpm::TransactionDatabase quest = rpm::gen::MakeT10I4D100K(scale);
+  PrintDataset("T10I4D100K", quest);
+  rpm::gen::GeneratedClickstream shop = rpm::gen::MakeShop14(scale);
+  PrintDataset("Shop-14", shop.db);
+  rpm::gen::GeneratedHashtagStream twitter = rpm::gen::MakeTwitter(scale);
+  PrintDataset("Twitter", twitter.db);
+  std::printf("\n");
+
+  std::vector<DatasetGrid> grids;
+  grids.push_back(RunGrid("T10I4D100K", quest, QuestShopMinPsFractions()));
+  grids.push_back(RunGrid("Shop-14", shop.db, QuestShopMinPsFractions()));
+  grids.push_back(RunGrid("Twitter", twitter.db, TwitterMinPsFractions()));
+
+  PrintGrid(grids,
+            [](const GridCell& cell) {
+              return std::to_string(cell.pattern_count);
+            },
+            &std::cout);
+
+  // Shape assertions mirrored in EXPERIMENTS.md: counts monotone in minPS
+  // and minRec (per fixed everything else).
+  size_t violations = 0;
+  for (const DatasetGrid& grid : grids) {
+    for (const GridCell& a : grid.cells) {
+      for (const GridCell& b : grid.cells) {
+        if (a.per == b.per && a.min_rec == b.min_rec &&
+            a.min_ps_frac < b.min_ps_frac &&
+            a.pattern_count < b.pattern_count) {
+          ++violations;
+        }
+        if (a.per == b.per && a.min_ps_frac == b.min_ps_frac &&
+            a.min_rec < b.min_rec && a.pattern_count < b.pattern_count) {
+          ++violations;
+        }
+      }
+    }
+  }
+  std::printf("\nmonotonicity violations (minPS up or minRec up but count "
+              "up): %zu (expected 0)\n",
+              violations);
+
+  // Sec. 5.2 observation 3: at minRec = 1, increasing per only merges
+  // aperiodic gaps into runs, so counts must not decrease.
+  size_t per_violations = 0;
+  for (const DatasetGrid& grid : grids) {
+    for (const GridCell& a : grid.cells) {
+      for (const GridCell& b : grid.cells) {
+        if (a.min_rec == 1 && b.min_rec == 1 &&
+            a.min_ps_frac == b.min_ps_frac && a.per < b.per &&
+            a.pattern_count > b.pattern_count) {
+          ++per_violations;
+        }
+      }
+    }
+  }
+  std::printf("per-monotonicity violations at minRec=1 (per up but count "
+              "down): %zu (expected 0)\n",
+              per_violations);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table 6: qualitative recurring patterns discovered in the Twitter data at
+// per=360, minPS=2%, minRec=1, with their periodic durations rendered as
+// calendar dates — including the planted headline events ({yyc,
+// uttarakhand}, {nuclear, hibaku} with two durations, {pakvotes,
+// nayapakistan}, {oklahoma, tornado, prayforoklahoma}).
+//
+// Since this reproduction plants the events, the bench also verifies each
+// one is recovered, with an interesting interval overlapping the planted
+// window — something the paper could only argue anecdotally.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "rpm/analysis/interval_metrics.h"
+#include "rpm/analysis/pattern_report.h"
+#include "rpm/common/civil_time.h"
+#include "rpm/analysis/pattern_set.h"
+#include "rpm/core/rp_growth.h"
+
+int main() {
+  using namespace rpmbench;
+  const double scale = ScaleFromEnv();
+  PrintHeader("Table 6 — interesting recurring patterns with periodic "
+              "durations",
+              "Kiran et al., EDBT 2015, Table 6");
+  std::printf("scale=%.2f\n\n", scale);
+
+  rpm::gen::GeneratedHashtagStream twitter = rpm::gen::MakeTwitter(scale);
+  PrintDataset("Twitter", twitter.db);
+
+  rpm::Result<rpm::RpParams> params = rpm::MakeParamsWithMinPsFraction(
+      360, 0.02, 1, twitter.db.size());
+  rpm::RpGrowthResult result =
+      rpm::MineRecurringPatterns(twitter.db, *params);
+  std::printf("mined %zu recurring patterns (%s) in %.2f s\n\n",
+              result.patterns.size(), params->ToString().c_str(),
+              result.stats.total_seconds);
+
+  std::printf("planted events (ground truth) and their recovery:\n");
+  size_t shown = 0;
+  for (const rpm::gen::ResolvedBurstEvent& event : twitter.events) {
+    if (++shown > 4) break;  // The paper's four Table 6 rows.
+    std::printf("%zu. %s  tags=%s\n", shown, event.label.c_str(),
+                rpm::analysis::FormatItemset(event.tags,
+                                             twitter.db.dictionary())
+                    .c_str());
+    // The pattern as mined, dates rendered like the paper.
+    bool found = false;
+    for (const rpm::RecurringPattern& p : result.patterns) {
+      if (p.items != event.tags) continue;
+      found = true;
+      std::printf("   mined: sup=%llu rec=%llu\n",
+                  static_cast<unsigned long long>(p.support),
+                  static_cast<unsigned long long>(p.recurrence()));
+      for (const rpm::PeriodicInterval& pi : p.intervals) {
+        std::printf("   periodic duration [%s .. %s]  ps=%llu\n",
+                    rpm::FormatMinuteOffset(pi.begin,
+                                            rpm::gen::TwitterEpochMinutes())
+                        .c_str(),
+                    rpm::FormatMinuteOffset(pi.end,
+                                            rpm::gen::TwitterEpochMinutes())
+                        .c_str(),
+                    static_cast<unsigned long long>(pi.periodic_support));
+      }
+    }
+    bool overlaps = false;
+    for (const auto& [begin, end] : event.windows) {
+      overlaps = overlaps || rpm::analysis::RecoversPlantedEvent(
+                                 result.patterns, event.tags, begin, end);
+    }
+    // Quantified recovery (beyond the paper's anecdotal reading): how well
+    // do the mined intervals align with the planted windows?
+    for (const rpm::RecurringPattern& p : result.patterns) {
+      if (p.items != event.tags) continue;
+      std::printf("   window recall=%.2f precision=%.2f jaccard=%.2f\n",
+                  rpm::analysis::WindowRecall(p.intervals, event.windows),
+                  rpm::analysis::IntervalPrecision(p.intervals,
+                                                   event.windows),
+                  rpm::analysis::SpanJaccard(p.intervals, event.windows));
+    }
+    std::printf("   -> %s\n\n",
+                found && overlaps
+                    ? "RECOVERED (interval overlaps planted window)"
+                    : found ? "found but window mismatch" : "NOT FOUND");
+  }
+
+  // Burst report: multi-item patterns whose periodic durations are short
+  // relative to the stream (background cliques span the whole series and
+  // are excluded) — this is where the planted, partly-rare events surface.
+  std::printf("top bursty multi-tag patterns (interesting duration < 25%% "
+              "of the stream):\n");
+  const rpm::Timestamp span =
+      twitter.db.end_ts() - twitter.db.start_ts() + 1;
+  std::vector<rpm::RecurringPattern> bursty;
+  for (const rpm::RecurringPattern& p : result.patterns) {
+    if (p.items.size() < 2) continue;
+    rpm::Timestamp total = 0;
+    for (const rpm::PeriodicInterval& pi : p.intervals) {
+      total += pi.Duration();
+    }
+    if (total * 4 < span) bursty.push_back(p);
+  }
+  rpm::analysis::ReportOptions options;
+  options.epoch_minutes = rpm::gen::TwitterEpochMinutes();
+  options.top_k = 8;
+  for (const std::string& line : rpm::analysis::FormatPatternReport(
+           bursty, twitter.db.dictionary(), options)) {
+    std::printf("  %s\n", line.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 7: runtime of RP-growth at different per, minPS and minRec
+// threshold values (seconds; includes RP-list, tree construction and
+// mining — the paper's figure likewise covers transformation + mining).
+//
+// Expected shape: runtime falls as minPS/minRec rise (fewer candidates,
+// smaller trees) and rises with per (longer runs -> more candidates).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "grid_runner.h"
+#include "rpm/common/string_util.h"
+
+int main() {
+  using namespace rpmbench;
+  const double scale = ScaleFromEnv();
+  PrintHeader("Table 7 — RP-growth runtime (seconds)",
+              "Kiran et al., EDBT 2015, Table 7");
+  std::printf("scale=%.2f (set RPM_BENCH_SCALE to change)\n\n", scale);
+
+  rpm::TransactionDatabase quest = rpm::gen::MakeT10I4D100K(scale);
+  PrintDataset("T10I4D100K", quest);
+  rpm::gen::GeneratedClickstream shop = rpm::gen::MakeShop14(scale);
+  PrintDataset("Shop-14", shop.db);
+  rpm::gen::GeneratedHashtagStream twitter = rpm::gen::MakeTwitter(scale);
+  PrintDataset("Twitter", twitter.db);
+  std::printf("\n");
+
+  std::vector<DatasetGrid> grids;
+  grids.push_back(RunGrid("T10I4D100K", quest, QuestShopMinPsFractions()));
+  grids.push_back(RunGrid("Shop-14", shop.db, QuestShopMinPsFractions()));
+  grids.push_back(RunGrid("Twitter", twitter.db, TwitterMinPsFractions()));
+
+  PrintGrid(grids,
+            [](const GridCell& cell) {
+              return rpm::FormatDouble(cell.seconds, 3);
+            },
+            &std::cout);
+
+  // Shape check: for each dataset, the cheapest cell should be at the
+  // strictest thresholds and the most expensive at the loosest.
+  for (const DatasetGrid& grid : grids) {
+    const GridCell* loosest = nullptr;
+    const GridCell* strictest = nullptr;
+    for (const GridCell& cell : grid.cells) {
+      if (cell.per == 1440 && cell.min_rec == 1 &&
+          (loosest == nullptr || cell.min_ps_frac < loosest->min_ps_frac)) {
+        loosest = &cell;
+      }
+      if (cell.per == 360 && cell.min_rec == 3 &&
+          (strictest == nullptr ||
+           cell.min_ps_frac > strictest->min_ps_frac)) {
+        strictest = &cell;
+      }
+    }
+    if (loosest != nullptr && strictest != nullptr) {
+      std::printf("%s: loosest cell %.3fs vs strictest %.3fs (paper shape: "
+                  "loosest >= strictest)\n",
+                  grid.dataset.c_str(), loosest->seconds,
+                  strictest->seconds);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared plumbing for the benchmark harnesses: the Table 4 parameter grid,
+// dataset construction at a configurable scale, and header boilerplate.
+//
+// Every bench accepts the RPM_BENCH_SCALE environment variable (a fraction
+// of the paper's dataset sizes; default 1.0). Scaled-down runs keep the
+// shape of every result while cutting wall-clock time — useful on laptops
+// and in CI. EXPERIMENTS.md records the scale its numbers were taken at.
+
+#ifndef RPM_BENCH_BENCH_UTIL_H_
+#define RPM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "rpm/gen/paper_datasets.h"
+#include "rpm/timeseries/database_stats.h"
+
+namespace rpmbench {
+
+inline double ScaleFromEnv(double fallback = 1.0) {
+  const char* env = std::getenv("RPM_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  double scale = std::atof(env);
+  if (scale <= 0.0 || scale > 1.0) return fallback;
+  return scale;
+}
+
+/// The per values of Table 4 (minutes for Shop-14/Twitter; transaction
+/// indices for T10I4D100K).
+inline const std::vector<rpm::Timestamp>& PaperPeriods() {
+  static const std::vector<rpm::Timestamp> kPeriods = {360, 720, 1440};
+  return kPeriods;
+}
+
+inline const std::vector<uint64_t>& PaperMinRecs() {
+  static const std::vector<uint64_t> kMinRecs = {1, 2, 3};
+  return kMinRecs;
+}
+
+/// Table 4's minPS grids (fractions of |TDB|).
+inline const std::vector<double>& QuestShopMinPsFractions() {
+  static const std::vector<double> kFracs = {0.001, 0.002, 0.003};
+  return kFracs;
+}
+inline const std::vector<double>& TwitterMinPsFractions() {
+  static const std::vector<double> kFracs = {0.02, 0.05, 0.10};
+  return kFracs;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+inline void PrintDataset(const char* name,
+                         const rpm::TransactionDatabase& db) {
+  std::printf("dataset %-12s %s\n", name,
+              rpm::ComputeStats(db).ToString().c_str());
+}
+
+/// "0.1%" / "2%" labels for minPS fractions.
+inline std::string FracLabel(double frac) {
+  char buf[32];
+  if (frac < 0.01) {
+    std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f%%", frac * 100.0);
+  }
+  return buf;
+}
+
+}  // namespace rpmbench
+
+#endif  // RPM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Runs the full Table 4 parameter grid (per x minPS x minRec) of RP-growth
+// over the three evaluation datasets and renders the paper's Table 5/7
+// layout: one row per (dataset, minPS), one column per (minRec, per).
+
+#ifndef RPM_BENCH_GRID_RUNNER_H_
+#define RPM_BENCH_GRID_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "rpm/analysis/table_printer.h"
+#include "rpm/common/string_util.h"
+#include "rpm/core/rp_growth.h"
+
+namespace rpmbench {
+
+struct GridCell {
+  double min_ps_frac = 0.0;
+  rpm::Timestamp per = 0;
+  uint64_t min_rec = 0;
+  size_t pattern_count = 0;
+  double seconds = 0.0;
+};
+
+struct DatasetGrid {
+  std::string dataset;
+  std::vector<GridCell> cells;
+};
+
+inline DatasetGrid RunGrid(const std::string& name,
+                           const rpm::TransactionDatabase& db,
+                           const std::vector<double>& min_ps_fracs) {
+  DatasetGrid grid;
+  grid.dataset = name;
+  for (double frac : min_ps_fracs) {
+    for (uint64_t min_rec : PaperMinRecs()) {
+      for (rpm::Timestamp per : PaperPeriods()) {
+        rpm::Result<rpm::RpParams> params =
+            rpm::MakeParamsWithMinPsFraction(per, frac, min_rec, db.size());
+        rpm::RpGrowthResult result =
+            rpm::MineRecurringPatterns(db, *params);
+        grid.cells.push_back({frac, per, min_rec, result.patterns.size(),
+                              result.stats.total_seconds});
+        std::fflush(stdout);
+      }
+    }
+  }
+  return grid;
+}
+
+/// Renders the grid with `value(cell)` in each body cell.
+inline void PrintGrid(const std::vector<DatasetGrid>& grids,
+                      const std::function<std::string(const GridCell&)>& value,
+                      std::ostream* out) {
+  std::vector<std::string> header = {"Dataset", "minPS"};
+  for (uint64_t min_rec : PaperMinRecs()) {
+    for (rpm::Timestamp per : PaperPeriods()) {
+      header.push_back("rec" + std::to_string(min_rec) + "/per" +
+                       std::to_string(per));
+    }
+  }
+  rpm::analysis::TablePrinter table(std::move(header));
+  for (const DatasetGrid& grid : grids) {
+    bool first_row = true;
+    double current_frac = -1.0;
+    std::vector<std::string> row;
+    for (const GridCell& cell : grid.cells) {
+      if (cell.min_ps_frac != current_frac) {
+        if (!row.empty()) table.AddRow(row);
+        row.clear();
+        current_frac = cell.min_ps_frac;
+        row.push_back(first_row ? grid.dataset : "");
+        row.push_back(FracLabel(cell.min_ps_frac));
+        first_row = false;
+      }
+      row.push_back(value(cell));
+    }
+    if (!row.empty()) table.AddRow(row);
+    table.AddRule();
+  }
+  table.Print(out);
+}
+
+}  // namespace rpmbench
+
+#endif  // RPM_BENCH_GRID_RUNNER_H_

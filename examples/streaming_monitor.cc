@@ -1,0 +1,104 @@
+// Streaming monitor: incremental recurrence tracking without re-scans.
+//
+// Simulates a live event feed (the paper's network-administrator use case)
+// consumed by StreamingRpList. As events arrive, the monitor watches each
+// item's Erec bound; when an item first becomes a recurrence candidate it
+// raises an alert and, on demand, a full RP-growth run over the retained
+// history explains *which combinations* recur and when.
+
+#include <cstdio>
+
+#include "rpm/core/rp_growth.h"
+#include "rpm/core/streaming_rp_list.h"
+#include "rpm/common/random.h"
+#include "rpm/timeseries/tdb_builder.h"
+
+int main() {
+  using namespace rpm;
+
+  ItemDictionary dict;
+  const ItemId cpu_spike = dict.GetOrAdd("cpu-spike");
+  const ItemId oom_kill = dict.GetOrAdd("oom-kill");
+  const ItemId gc_pause = dict.GetOrAdd("gc-pause");
+  const ItemId deploy = dict.GetOrAdd("deploy");
+
+  // The live feed: gc pauses hum along; twice a day a deploy happens; in
+  // two windows a leaky build makes cpu-spike + oom-kill storm together.
+  const Timestamp kMinutes = 7 * 1440;
+  Rng rng(2025);
+  std::vector<Transaction> feed;
+  for (Timestamp ts = 0; ts < kMinutes; ++ts) {
+    Itemset events;
+    if (rng.NextBernoulli(0.30)) events.push_back(gc_pause);
+    if (ts % 720 == 300) events.push_back(deploy);
+    const bool leaky = (ts >= 2 * 1440 && ts < 2 * 1440 + 360) ||
+                       (ts >= 5 * 1440 && ts < 5 * 1440 + 420);
+    if (leaky && rng.NextBernoulli(0.5)) {
+      events.push_back(cpu_spike);
+      events.push_back(oom_kill);
+    }
+    if (!events.empty()) feed.push_back({ts, events});
+  }
+
+  // Monitor parameters: storms re-fire within 10 minutes, an interesting
+  // storm sustains >= 60 periodic appearances.
+  StreamingRpList monitor(/*period=*/10, /*min_ps=*/60);
+  TdbBuilder history;
+
+  std::vector<bool> alerted(dict.size(), false);
+  for (const Transaction& tr : feed) {
+    Status s = monitor.ObserveTransaction(tr.ts, tr.items);
+    if (!s.ok()) {
+      std::fprintf(stderr, "feed error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    history.AddTransaction(tr.ts, tr.items);
+    for (ItemId item : tr.items) {
+      if (!alerted[item] && monitor.RecurrenceOf(item) >= 1) {
+        alerted[item] = true;
+        PeriodicInterval run = monitor.OpenRunOf(item);
+        std::printf("[t=%5lld] ALERT %-10s sustained periodic activity "
+                    "(run since t=%lld, %llu appearances)\n",
+                    static_cast<long long>(tr.ts),
+                    dict.NameOf(item).c_str(),
+                    static_cast<long long>(run.begin),
+                    static_cast<unsigned long long>(run.periodic_support));
+      }
+    }
+  }
+
+  std::printf("\nfeed done: %llu events over %lld minutes\n",
+              static_cast<unsigned long long>(monitor.events_observed()),
+              static_cast<long long>(monitor.last_timestamp()));
+  std::printf("candidate items at minRec=2: ");
+  for (ItemId item : monitor.CandidateItems(2)) {
+    std::printf("%s ", dict.NameOf(item).c_str());
+  }
+  std::printf("\n\n");
+
+  // Drill-down: full RP-growth over retained history explains the combos.
+  RpParams params;
+  params.period = 10;
+  params.min_ps = 60;
+  params.min_rec = 2;
+  TransactionDatabase db = history.Build(std::move(dict));
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  std::printf("recurring patterns over history (%s):\n",
+              params.ToString().c_str());
+  for (const RecurringPattern& p : result.patterns) {
+    std::printf("  %s\n", p.ToString(&db.dictionary()).c_str());
+  }
+
+  // The punchline: the storm pair recurs across both leaky windows.
+  for (const RecurringPattern& p : result.patterns) {
+    if (p.items == Itemset{cpu_spike, oom_kill}) {
+      std::printf("\n{cpu-spike, oom-kill} recovered with recurrence %llu "
+                  "— incident windows identified without any rescan "
+                  "during ingest.\n",
+                  static_cast<unsigned long long>(p.recurrence()));
+      return 0;
+    }
+  }
+  std::printf("\nstorm pair not recovered (unexpected)\n");
+  return 1;
+}

@@ -1,0 +1,130 @@
+#include "rpm/analysis/export.h"
+
+#include <ostream>
+
+#include "rpm/common/civil_time.h"
+#include "rpm/common/csv.h"
+
+namespace rpm::analysis {
+
+namespace {
+
+std::string ItemNames(const RecurringPattern& p, const ItemDictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < p.items.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += dict.empty() ? std::to_string(p.items[i])
+                        : dict.NameOf(p.items[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WritePatternsCsv(const std::vector<RecurringPattern>& patterns,
+                        const ItemDictionary& dict, std::ostream* out,
+                        const ExportOptions& options) {
+  CsvWriter writer(out);
+  std::vector<std::string> header = {"pattern",        "support",
+                                     "recurrence",     "interval_index",
+                                     "begin",          "end",
+                                     "periodic_support"};
+  if (options.epoch_minutes.has_value()) {
+    header.push_back("begin_date");
+    header.push_back("end_date");
+  }
+  writer.WriteRow(header);
+  for (const RecurringPattern& p : patterns) {
+    const std::string names = ItemNames(p, dict);
+    for (size_t i = 0; i < p.intervals.size(); ++i) {
+      const PeriodicInterval& pi = p.intervals[i];
+      std::vector<std::string> row = {
+          names,
+          std::to_string(p.support),
+          std::to_string(p.recurrence()),
+          std::to_string(i),
+          std::to_string(pi.begin),
+          std::to_string(pi.end),
+          std::to_string(pi.periodic_support)};
+      if (options.epoch_minutes.has_value()) {
+        row.push_back(FormatMinuteOffset(pi.begin, *options.epoch_minutes));
+        row.push_back(FormatMinuteOffset(pi.end, *options.epoch_minutes));
+      }
+      writer.WriteRow(row);
+    }
+  }
+  if (!*out) return Status::IOError("stream error while writing CSV");
+  return Status::OK();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Status WritePatternsJson(const std::vector<RecurringPattern>& patterns,
+                         const ItemDictionary& dict, std::ostream* out,
+                         const ExportOptions& options) {
+  *out << "[\n";
+  for (size_t p_idx = 0; p_idx < patterns.size(); ++p_idx) {
+    const RecurringPattern& p = patterns[p_idx];
+    *out << "  {\"items\": [";
+    for (size_t i = 0; i < p.items.size(); ++i) {
+      if (i > 0) *out << ", ";
+      if (dict.empty()) {
+        *out << p.items[i];
+      } else {
+        *out << '"' << JsonEscape(dict.NameOf(p.items[i])) << '"';
+      }
+    }
+    *out << "], \"support\": " << p.support
+         << ", \"recurrence\": " << p.recurrence() << ", \"intervals\": [";
+    for (size_t i = 0; i < p.intervals.size(); ++i) {
+      const PeriodicInterval& pi = p.intervals[i];
+      if (i > 0) *out << ", ";
+      *out << "{\"begin\": " << pi.begin << ", \"end\": " << pi.end
+           << ", \"ps\": " << pi.periodic_support;
+      if (options.epoch_minutes.has_value()) {
+        *out << ", \"begin_date\": \""
+             << FormatMinuteOffset(pi.begin, *options.epoch_minutes)
+             << "\", \"end_date\": \""
+             << FormatMinuteOffset(pi.end, *options.epoch_minutes) << '"';
+      }
+      *out << "}";
+    }
+    *out << "]}" << (p_idx + 1 < patterns.size() ? "," : "") << "\n";
+  }
+  *out << "]\n";
+  if (!*out) return Status::IOError("stream error while writing JSON");
+  return Status::OK();
+}
+
+}  // namespace rpm::analysis

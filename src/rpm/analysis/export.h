@@ -1,0 +1,45 @@
+// Machine-readable export of mining results (CSV and JSON), so downstream
+// pipelines (plotting, dashboards) can consume discoveries without parsing
+// console reports.
+
+#ifndef RPM_ANALYSIS_EXPORT_H_
+#define RPM_ANALYSIS_EXPORT_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/item_dictionary.h"
+
+namespace rpm::analysis {
+
+struct ExportOptions {
+  /// When set, interval endpoints additionally render as calendar dates
+  /// relative to this epoch (minutes since 1970).
+  std::optional<int64_t> epoch_minutes;
+};
+
+/// One row per (pattern, interval):
+///   pattern,support,recurrence,interval_index,begin,end,periodic_support
+///   [,begin_date,end_date]
+/// Items inside `pattern` are space-separated names (ids if no dictionary).
+Status WritePatternsCsv(const std::vector<RecurringPattern>& patterns,
+                        const ItemDictionary& dict, std::ostream* out,
+                        const ExportOptions& options = {});
+
+/// A JSON array of objects:
+///   {"items": [...], "support": N, "recurrence": N,
+///    "intervals": [{"begin": N, "end": N, "ps": N}, ...]}
+Status WritePatternsJson(const std::vector<RecurringPattern>& patterns,
+                         const ItemDictionary& dict, std::ostream* out,
+                         const ExportOptions& options = {});
+
+/// JSON string escaping (exposed for tests).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_EXPORT_H_

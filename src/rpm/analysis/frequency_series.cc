@@ -1,0 +1,72 @@
+#include "rpm/analysis/frequency_series.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+
+namespace rpm::analysis {
+
+namespace {
+
+template <typename Pred>
+std::vector<size_t> Bucketed(const TransactionDatabase& db,
+                             Timestamp bucket_minutes, Pred&& contains) {
+  RPM_CHECK(bucket_minutes > 0);
+  std::vector<size_t> series;
+  if (db.empty()) return series;
+  const Timestamp base = db.start_ts() / bucket_minutes;
+  const size_t buckets = static_cast<size_t>(
+      db.end_ts() / bucket_minutes - base + 1);
+  series.assign(buckets, 0);
+  for (const Transaction& tr : db.transactions()) {
+    if (contains(tr)) {
+      series[static_cast<size_t>(tr.ts / bucket_minutes - base)] += 1;
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+std::vector<size_t> BucketedFrequency(const TransactionDatabase& db,
+                                      ItemId item,
+                                      Timestamp bucket_minutes) {
+  return Bucketed(db, bucket_minutes, [item](const Transaction& tr) {
+    return std::binary_search(tr.items.begin(), tr.items.end(), item);
+  });
+}
+
+std::vector<size_t> BucketedPatternFrequency(const TransactionDatabase& db,
+                                             const Itemset& pattern,
+                                             Timestamp bucket_minutes) {
+  return Bucketed(db, bucket_minutes, [&pattern](const Transaction& tr) {
+    return ContainsAll(tr.items, pattern);
+  });
+}
+
+std::string RenderAsciiSeries(const std::vector<size_t>& series,
+                              size_t max_width) {
+  if (series.empty() || max_width == 0) return "";
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  static constexpr size_t kNumLevels = sizeof(kLevels) - 1;  // 10 fills.
+
+  // Downsample to max_width buckets by taking bucket maxima.
+  const size_t width = std::min(series.size(), max_width);
+  std::vector<size_t> sampled(width, 0);
+  for (size_t i = 0; i < series.size(); ++i) {
+    size_t slot = i * width / series.size();
+    sampled[slot] = std::max(sampled[slot], series[i]);
+  }
+  const size_t peak = *std::max_element(sampled.begin(), sampled.end());
+  std::string out;
+  out.reserve(width);
+  for (size_t v : sampled) {
+    size_t level =
+        peak == 0 ? 0 : (v * (kNumLevels - 1) + peak - 1) / peak;
+    if (v > 0 && level == 0) level = 1;
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace rpm::analysis

@@ -1,0 +1,36 @@
+// Item frequency time series (the paper's Figure 8: daily hashtag
+// frequencies around the discovered periodic durations).
+
+#ifndef RPM_ANALYSIS_FREQUENCY_SERIES_H_
+#define RPM_ANALYSIS_FREQUENCY_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::analysis {
+
+/// Counts of transactions containing `item`, bucketed by
+/// floor(ts / bucket_minutes). Index 0 is the bucket of the database's
+/// first timestamp; trailing empty buckets up to the last timestamp are
+/// included (zeroes).
+std::vector<size_t> BucketedFrequency(const TransactionDatabase& db,
+                                      ItemId item,
+                                      Timestamp bucket_minutes = 1440);
+
+/// Same, for the co-occurrence of a whole itemset.
+std::vector<size_t> BucketedPatternFrequency(
+    const TransactionDatabase& db, const Itemset& pattern,
+    Timestamp bucket_minutes = 1440);
+
+/// Renders a frequency series as a fixed-height ASCII sparkline block for
+/// console output (one row of buckets, scaled to `height` levels using
+/// " .:-=+*#%@" style fill). Empty series renders as an empty string.
+std::string RenderAsciiSeries(const std::vector<size_t>& series,
+                              size_t max_width = 100);
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_FREQUENCY_SERIES_H_

@@ -1,0 +1,86 @@
+#include "rpm/analysis/interval_metrics.h"
+
+#include <algorithm>
+
+namespace rpm::analysis {
+
+std::vector<TimeSpan> NormalizeSpans(std::vector<TimeSpan> spans) {
+  std::erase_if(spans,
+                [](const TimeSpan& s) { return s.second <= s.first; });
+  std::sort(spans.begin(), spans.end());
+  std::vector<TimeSpan> merged;
+  for (const TimeSpan& s : spans) {
+    if (!merged.empty() && s.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, s.second);
+    } else {
+      merged.push_back(s);
+    }
+  }
+  return merged;
+}
+
+Timestamp TotalSpanLength(const std::vector<TimeSpan>& spans) {
+  Timestamp total = 0;
+  for (const TimeSpan& s : spans) total += s.second - s.first;
+  return total;
+}
+
+Timestamp IntersectionLength(std::vector<TimeSpan> a,
+                             std::vector<TimeSpan> b) {
+  a = NormalizeSpans(std::move(a));
+  b = NormalizeSpans(std::move(b));
+  Timestamp total = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Timestamp lo = std::max(a[i].first, b[j].first);
+    const Timestamp hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) total += hi - lo;
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+std::vector<TimeSpan> SpansOfIntervals(
+    const std::vector<PeriodicInterval>& intervals) {
+  std::vector<TimeSpan> spans;
+  spans.reserve(intervals.size());
+  for (const PeriodicInterval& pi : intervals) {
+    spans.emplace_back(pi.begin, pi.end + 1);
+  }
+  return spans;
+}
+
+double WindowRecall(const std::vector<PeriodicInterval>& intervals,
+                    const std::vector<TimeSpan>& windows) {
+  std::vector<TimeSpan> w = NormalizeSpans(windows);
+  const Timestamp denom = TotalSpanLength(w);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(
+             IntersectionLength(SpansOfIntervals(intervals), w)) /
+         static_cast<double>(denom);
+}
+
+double IntervalPrecision(const std::vector<PeriodicInterval>& intervals,
+                         const std::vector<TimeSpan>& windows) {
+  std::vector<TimeSpan> spans = NormalizeSpans(SpansOfIntervals(intervals));
+  const Timestamp denom = TotalSpanLength(spans);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(IntersectionLength(spans, windows)) /
+         static_cast<double>(denom);
+}
+
+double SpanJaccard(const std::vector<PeriodicInterval>& intervals,
+                   const std::vector<TimeSpan>& windows) {
+  std::vector<TimeSpan> a = NormalizeSpans(SpansOfIntervals(intervals));
+  std::vector<TimeSpan> b = NormalizeSpans(windows);
+  const Timestamp inter = IntersectionLength(a, b);
+  const Timestamp uni = TotalSpanLength(a) + TotalSpanLength(b) - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace rpm::analysis

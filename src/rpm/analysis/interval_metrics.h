@@ -1,0 +1,55 @@
+// Quantitative agreement between discovered periodic-intervals and
+// reference time windows (planted generator events, labelled incidents).
+//
+// Where the paper argues recovery anecdotally (Table 6), a synthetic
+// reproduction can score it: recall = how much of the reference windows the
+// discovered intervals cover; precision = how much of the discovered
+// intervals lies inside reference windows.
+//
+// Conventions: reference windows are half-open [begin, end) in time units;
+// a PeriodicInterval [b, e] covers the half-open span [b, e+1).
+
+#ifndef RPM_ANALYSIS_INTERVAL_METRICS_H_
+#define RPM_ANALYSIS_INTERVAL_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm::analysis {
+
+/// Half-open [begin, end) span.
+using TimeSpan = std::pair<Timestamp, Timestamp>;
+
+/// Sorts, drops empty spans, and merges overlapping/adjacent spans.
+std::vector<TimeSpan> NormalizeSpans(std::vector<TimeSpan> spans);
+
+/// Total length of (normalised) spans.
+Timestamp TotalSpanLength(const std::vector<TimeSpan>& spans);
+
+/// Length of the intersection of two span sets (each normalised
+/// internally).
+Timestamp IntersectionLength(std::vector<TimeSpan> a,
+                             std::vector<TimeSpan> b);
+
+/// Converts intervals to half-open spans [begin, end+1).
+std::vector<TimeSpan> SpansOfIntervals(
+    const std::vector<PeriodicInterval>& intervals);
+
+/// |intervals ∩ windows| / |windows|; 1.0 when windows are empty.
+double WindowRecall(const std::vector<PeriodicInterval>& intervals,
+                    const std::vector<TimeSpan>& windows);
+
+/// |intervals ∩ windows| / |intervals|; 1.0 when intervals are empty.
+double IntervalPrecision(const std::vector<PeriodicInterval>& intervals,
+                         const std::vector<TimeSpan>& windows);
+
+/// Jaccard similarity |∩| / |∪|; 1.0 when both sides are empty.
+double SpanJaccard(const std::vector<PeriodicInterval>& intervals,
+                   const std::vector<TimeSpan>& windows);
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_INTERVAL_METRICS_H_

@@ -1,0 +1,74 @@
+#include "rpm/analysis/pattern_report.h"
+
+#include <algorithm>
+
+#include "rpm/common/civil_time.h"
+
+namespace rpm::analysis {
+
+std::string FormatItemset(const Itemset& items, const ItemDictionary& dict) {
+  std::string out = "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dict.empty() ? std::to_string(items[i]) : dict.NameOf(items[i]);
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+Timestamp TotalInterestingDuration(const RecurringPattern& p) {
+  Timestamp total = 0;
+  for (const PeriodicInterval& pi : p.intervals) total += pi.Duration();
+  return total;
+}
+
+std::string FormatEndpoint(Timestamp ts,
+                           const std::optional<int64_t>& epoch) {
+  if (epoch.has_value()) return FormatMinuteOffset(ts, *epoch);
+  return std::to_string(ts);
+}
+
+}  // namespace
+
+std::vector<std::string> FormatPatternReport(
+    const std::vector<RecurringPattern>& patterns,
+    const ItemDictionary& dict, const ReportOptions& options) {
+  std::vector<RecurringPattern> selected;
+  for (const RecurringPattern& p : patterns) {
+    if (p.items.size() >= options.min_pattern_length) selected.push_back(p);
+  }
+  if (options.sort_by_support) {
+    std::stable_sort(selected.begin(), selected.end(),
+                     [](const RecurringPattern& a, const RecurringPattern& b) {
+                       return a.support > b.support;
+                     });
+  } else {
+    std::stable_sort(selected.begin(), selected.end(),
+                     [](const RecurringPattern& a, const RecurringPattern& b) {
+                       return TotalInterestingDuration(a) >
+                              TotalInterestingDuration(b);
+                     });
+  }
+  if (options.top_k > 0 && selected.size() > options.top_k) {
+    selected.resize(options.top_k);
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(selected.size());
+  for (const RecurringPattern& p : selected) {
+    std::string line = FormatItemset(p.items, dict);
+    line += "  sup=" + std::to_string(p.support) +
+            " rec=" + std::to_string(p.recurrence()) + " ";
+    for (const PeriodicInterval& pi : p.intervals) {
+      line += " [" + FormatEndpoint(pi.begin, options.epoch_minutes) +
+              " .. " + FormatEndpoint(pi.end, options.epoch_minutes) +
+              "]:ps=" + std::to_string(pi.periodic_support);
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace rpm::analysis

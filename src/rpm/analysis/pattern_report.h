@@ -1,0 +1,42 @@
+// Human-readable rendering of mining results: Eq. 1 pattern lines, and the
+// Table 6 style report where periodic durations print as calendar dates.
+
+#ifndef RPM_ANALYSIS_PATTERN_REPORT_H_
+#define RPM_ANALYSIS_PATTERN_REPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/item_dictionary.h"
+
+namespace rpm::analysis {
+
+struct ReportOptions {
+  /// When set, interval endpoints render as "YYYY-MM-DD HH:MM" relative to
+  /// this epoch (minutes since 1970); otherwise as raw numbers.
+  std::optional<int64_t> epoch_minutes;
+  /// Keep only the top-k patterns (by the sort key below); 0 = all.
+  size_t top_k = 0;
+  /// Sort key: true = by support descending, false = by total interesting
+  /// interval duration descending.
+  bool sort_by_support = true;
+  /// Drop patterns shorter than this many items.
+  size_t min_pattern_length = 0;
+};
+
+/// One formatted line per pattern:
+///   "{nuclear, hibaku}  sup=1234 rec=2  [2013-05-06 22:33 .. 2013-05-24
+///    22:13]:ps=801  [...]".
+std::vector<std::string> FormatPatternReport(
+    const std::vector<RecurringPattern>& patterns,
+    const ItemDictionary& dict, const ReportOptions& options = {});
+
+/// "{a, b}" or "{12, 40}" when the dictionary is empty.
+std::string FormatItemset(const Itemset& items, const ItemDictionary& dict);
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_PATTERN_REPORT_H_

@@ -1,0 +1,69 @@
+#include "rpm/analysis/pattern_set.h"
+
+#include <algorithm>
+
+namespace rpm::analysis {
+
+namespace {
+
+std::vector<Itemset> Canonicalize(std::vector<Itemset> sets) {
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  return sets;
+}
+
+}  // namespace
+
+std::vector<Itemset> ItemsetsOf(const std::vector<RecurringPattern>& ps) {
+  std::vector<Itemset> out;
+  out.reserve(ps.size());
+  for (const auto& p : ps) out.push_back(p.items);
+  return Canonicalize(std::move(out));
+}
+
+std::vector<Itemset> ItemsetsOf(
+    const std::vector<rpm::baselines::PeriodicFrequentPattern>& ps) {
+  std::vector<Itemset> out;
+  out.reserve(ps.size());
+  for (const auto& p : ps) out.push_back(p.items);
+  return Canonicalize(std::move(out));
+}
+
+std::vector<Itemset> ItemsetsOf(
+    const std::vector<rpm::baselines::PPattern>& ps) {
+  std::vector<Itemset> out;
+  out.reserve(ps.size());
+  for (const auto& p : ps) out.push_back(p.items);
+  return Canonicalize(std::move(out));
+}
+
+bool IsSubsetOf(const std::vector<Itemset>& subset,
+                const std::vector<Itemset>& superset) {
+  std::vector<Itemset> a = subset;
+  std::vector<Itemset> b = superset;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::vector<size_t> LengthHistogram(const std::vector<Itemset>& sets) {
+  size_t max_len = 0;
+  for (const Itemset& s : sets) max_len = std::max(max_len, s.size());
+  std::vector<size_t> hist(max_len + 1, 0);
+  for (const Itemset& s : sets) ++hist[s.size()];
+  return hist;
+}
+
+bool RecoversPlantedEvent(const std::vector<RecurringPattern>& mined,
+                          const Itemset& target, Timestamp window_begin,
+                          Timestamp window_end) {
+  for (const RecurringPattern& p : mined) {
+    if (p.items != target) continue;
+    for (const PeriodicInterval& pi : p.intervals) {
+      if (pi.begin < window_end && pi.end >= window_begin) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rpm::analysis

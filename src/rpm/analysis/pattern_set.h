@@ -1,0 +1,41 @@
+// Set-level operations over mining results: containment between models,
+// length histograms, ground-truth recovery checks. Used by the Table 8
+// bench and the cross-model property tests.
+
+#ifndef RPM_ANALYSIS_PATTERN_SET_H_
+#define RPM_ANALYSIS_PATTERN_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/baselines/pf_growth.h"
+#include "rpm/baselines/ppattern.h"
+#include "rpm/core/pattern.h"
+
+namespace rpm::analysis {
+
+/// Itemsets only, canonical order, duplicates removed.
+std::vector<Itemset> ItemsetsOf(const std::vector<RecurringPattern>& ps);
+std::vector<Itemset> ItemsetsOf(
+    const std::vector<rpm::baselines::PeriodicFrequentPattern>& ps);
+std::vector<Itemset> ItemsetsOf(
+    const std::vector<rpm::baselines::PPattern>& ps);
+
+/// True iff every itemset of `subset` occurs in `superset` (both may be
+/// unsorted; duplicates ignored).
+bool IsSubsetOf(const std::vector<Itemset>& subset,
+                const std::vector<Itemset>& superset);
+
+/// histogram[k] = number of itemsets with exactly k items (index 0 unused).
+std::vector<size_t> LengthHistogram(const std::vector<Itemset>& sets);
+
+/// Whether some mined recurring pattern equals `target` AND has an
+/// interesting interval overlapping [window_begin, window_end). Used to
+/// verify planted generator events are recovered.
+bool RecoversPlantedEvent(const std::vector<RecurringPattern>& mined,
+                          const Itemset& target, Timestamp window_begin,
+                          Timestamp window_end);
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_PATTERN_SET_H_

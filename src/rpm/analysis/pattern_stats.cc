@@ -1,0 +1,55 @@
+#include "rpm/analysis/pattern_stats.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/string_util.h"
+
+namespace rpm::analysis {
+
+PatternStats ComputePatternStats(const RecurringPattern& pattern,
+                                 Timestamp series_begin,
+                                 Timestamp series_end) {
+  RPM_DCHECK(series_begin <= series_end);
+  PatternStats stats;
+  uint64_t periodic_appearances = 0;
+  for (const PeriodicInterval& pi : pattern.intervals) {
+    stats.total_interesting_duration += pi.Duration();
+    stats.max_interval_duration =
+        std::max(stats.max_interval_duration, pi.Duration());
+    stats.max_periodic_support =
+        std::max(stats.max_periodic_support, pi.periodic_support);
+    periodic_appearances += pi.periodic_support;
+  }
+  if (!pattern.intervals.empty()) {
+    stats.mean_periodic_support =
+        static_cast<double>(periodic_appearances) /
+        static_cast<double>(pattern.intervals.size());
+  }
+  const Timestamp span = series_end - series_begin;
+  if (span > 0) {
+    stats.series_coverage =
+        static_cast<double>(stats.total_interesting_duration) /
+        static_cast<double>(span);
+  }
+  if (pattern.support > 0) {
+    stats.periodic_concentration =
+        static_cast<double>(periodic_appearances) /
+        static_cast<double>(pattern.support);
+  }
+  return stats;
+}
+
+std::string FormatPatternStats(const PatternStats& stats) {
+  std::string out = "coverage=" +
+                    FormatDouble(stats.series_coverage * 100.0, 1) + "%";
+  out += " total_dur=" + std::to_string(stats.total_interesting_duration);
+  out += " max_dur=" + std::to_string(stats.max_interval_duration);
+  out += " mean_ps=" + FormatDouble(stats.mean_periodic_support, 1);
+  out += " max_ps=" + std::to_string(stats.max_periodic_support);
+  out += " concentration=" +
+         FormatDouble(stats.periodic_concentration * 100.0, 1) + "%";
+  return out;
+}
+
+}  // namespace rpm::analysis

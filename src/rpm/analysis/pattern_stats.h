@@ -1,0 +1,45 @@
+// Derived per-pattern statistics for ranking and reporting.
+//
+// Raw support over-ranks always-on background patterns; these measures
+// separate sustained seasonal structure (high coverage inside few long
+// intervals) from whole-series regulars and from flickers.
+
+#ifndef RPM_ANALYSIS_PATTERN_STATS_H_
+#define RPM_ANALYSIS_PATTERN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rpm/core/pattern.h"
+
+namespace rpm::analysis {
+
+struct PatternStats {
+  /// Sum of interesting-interval durations (time units).
+  Timestamp total_interesting_duration = 0;
+  /// Longest single interesting interval.
+  Timestamp max_interval_duration = 0;
+  /// Fraction of [series_begin, series_end] covered by interesting
+  /// intervals (0 when the span is empty).
+  double series_coverage = 0.0;
+  /// Mean periodic-support across interesting intervals.
+  double mean_periodic_support = 0.0;
+  /// Largest periodic-support.
+  uint64_t max_periodic_support = 0;
+  /// Appearances inside interesting intervals / total support: how much of
+  /// the pattern's activity is concentrated in its periodic phases.
+  double periodic_concentration = 0.0;
+};
+
+/// Computes stats for one mined pattern against the series span
+/// [series_begin, series_end]. Precondition: series_begin <= series_end.
+PatternStats ComputePatternStats(const RecurringPattern& pattern,
+                                 Timestamp series_begin,
+                                 Timestamp series_end);
+
+/// One-line rendering ("coverage=12.3% intervals=2 maxps=801 ...").
+std::string FormatPatternStats(const PatternStats& stats);
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_PATTERN_STATS_H_

@@ -1,0 +1,74 @@
+#include "rpm/analysis/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+namespace rpm::analysis {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRule() { rows_.emplace_back(); }
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != ',' && c != '%' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TablePrinter::Print(std::ostream* out) const {
+  const size_t cols = header_.size();
+  std::vector<size_t> widths(cols, 0);
+  std::vector<bool> numeric(cols, true);
+  for (size_t c = 0; c < cols; ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < cols && c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+      if (!row[c].empty() && !LooksNumeric(row[c])) numeric[c] = false;
+    }
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells,
+                         bool align_numeric) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      const size_t pad = widths[c] - cell.size();
+      if (align_numeric && numeric[c]) {
+        *out << std::string(pad, ' ') << cell;
+      } else {
+        *out << cell << std::string(pad, ' ');
+      }
+      *out << (c + 1 == cols ? "" : "  ");
+    }
+    *out << "\n";
+  };
+
+  print_cells(header_, /*align_numeric=*/false);
+  size_t total = cols > 0 ? 2 * (cols - 1) : 0;
+  for (size_t w : widths) total += w;
+  *out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      *out << std::string(total, '-') << "\n";
+    } else {
+      print_cells(row, /*align_numeric=*/true);
+    }
+  }
+}
+
+}  // namespace rpm::analysis

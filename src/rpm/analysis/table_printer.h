@@ -1,0 +1,37 @@
+// Fixed-width console tables for the benchmark harnesses (so every bench
+// prints rows shaped like the paper's Tables 5/7/8).
+
+#ifndef RPM_ANALYSIS_TABLE_PRINTER_H_
+#define RPM_ANALYSIS_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rpm::analysis {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  /// Renders with 2-space column gaps; numbers are right-aligned when the
+  /// entire column (header aside) parses as numeric.
+  void Print(std::ostream* out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // Empty vector == rule.
+};
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_TABLE_PRINTER_H_

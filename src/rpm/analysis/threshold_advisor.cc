@@ -1,0 +1,102 @@
+#include "rpm/analysis/threshold_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rpm/common/logging.h"
+#include "rpm/core/measures.h"
+
+namespace rpm::analysis {
+
+namespace {
+
+/// Nearest-rank quantile of a sorted vector (q in [0, 1]).
+Timestamp QuantileOfSorted(const std::vector<Timestamp>& sorted, double q) {
+  RPM_DCHECK(!sorted.empty());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(std::llround(pos))];
+}
+
+}  // namespace
+
+IatStats ComputeIatStats(const TimestampList& timestamps) {
+  IatStats stats;
+  std::vector<Timestamp> iats = InterArrivalTimes(timestamps);
+  if (iats.empty()) return stats;
+  std::sort(iats.begin(), iats.end());
+  stats.count = iats.size();
+  stats.min = iats.front();
+  stats.p25 = QuantileOfSorted(iats, 0.25);
+  stats.median = QuantileOfSorted(iats, 0.50);
+  stats.p75 = QuantileOfSorted(iats, 0.75);
+  stats.p90 = QuantileOfSorted(iats, 0.90);
+  stats.max = iats.back();
+  return stats;
+}
+
+ThresholdAdvice AdviseThresholds(const TransactionDatabase& db,
+                                 const AdvisorOptions& options) {
+  ThresholdAdvice advice;
+  if (db.empty()) {
+    advice.rationale = "empty database; defaults";
+    return advice;
+  }
+
+  // Per-item timestamp lists in one scan.
+  std::vector<TimestampList> lists(db.ItemUniverseSize());
+  for (const Transaction& tr : db.transactions()) {
+    for (ItemId item : tr.items) lists[item].push_back(tr.ts);
+  }
+
+  std::vector<Timestamp> item_p90s;
+  std::vector<uint64_t> supports;
+  for (const TimestampList& ts : lists) {
+    if (ts.size() < options.min_item_support) continue;
+    std::vector<Timestamp> iats = InterArrivalTimes(ts);
+    std::sort(iats.begin(), iats.end());
+    item_p90s.push_back(QuantileOfSorted(iats, options.period_quantile));
+    supports.push_back(ts.size());
+  }
+  advice.items_considered = item_p90s.size();
+
+  if (item_p90s.empty()) {
+    // Fallback: median gap between consecutive transactions.
+    std::vector<Timestamp> gaps;
+    for (size_t i = 1; i < db.size(); ++i) {
+      gaps.push_back(db.transaction(i).ts - db.transaction(i - 1).ts);
+    }
+    std::sort(gaps.begin(), gaps.end());
+    advice.suggested_period =
+        gaps.empty() ? 1 : std::max<Timestamp>(1, QuantileOfSorted(gaps, 0.5));
+    advice.suggested_min_ps = 2;
+    advice.rationale =
+        "no item reached the support floor of " +
+        std::to_string(options.min_item_support) +
+        "; per = median transaction gap, minPS = 2 (conservative defaults)";
+    return advice;
+  }
+
+  std::sort(item_p90s.begin(), item_p90s.end());
+  std::sort(supports.begin(), supports.end());
+  advice.suggested_period =
+      std::max<Timestamp>(1, QuantileOfSorted(item_p90s, 0.5));
+  const uint64_t median_support = supports[(supports.size() - 1) / 2];
+  advice.suggested_min_ps = std::max<uint64_t>(
+      2, static_cast<uint64_t>(std::llround(
+             options.min_ps_support_fraction *
+             static_cast<double>(median_support))));
+  advice.suggested_min_rec = 1;
+  advice.rationale =
+      "per = median of per-item p" +
+      std::to_string(static_cast<int>(options.period_quantile * 100)) +
+      " inter-arrival times over " + std::to_string(item_p90s.size()) +
+      " items with support >= " + std::to_string(options.min_item_support) +
+      "; minPS = " +
+      std::to_string(
+          static_cast<int>(options.min_ps_support_fraction * 100)) +
+      "% of the median informative-item support (" +
+      std::to_string(median_support) + ")";
+  return advice;
+}
+
+}  // namespace rpm::analysis

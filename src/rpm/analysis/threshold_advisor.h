@@ -1,0 +1,64 @@
+// Data-driven starting points for the three mining thresholds.
+//
+// Choosing per / minPS / minRec on unfamiliar data is the practical hurdle
+// of the model (the paper itself tunes them per dataset in Table 4). The
+// advisor summarises the observed inter-arrival behaviour — per-item IAT
+// quantiles over sufficiently-supported items — and derives defensible
+// defaults: a `per` that most items' typical gaps satisfy, and a `minPS`
+// sized relative to typical item support. These are starting points for
+// exploration, not oracles; the rationale string says how each number was
+// derived.
+
+#ifndef RPM_ANALYSIS_THRESHOLD_ADVISOR_H_
+#define RPM_ANALYSIS_THRESHOLD_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::analysis {
+
+/// Order statistics of one inter-arrival time list.
+struct IatStats {
+  size_t count = 0;  ///< Number of inter-arrival times (support - 1).
+  Timestamp min = 0;
+  Timestamp p25 = 0;
+  Timestamp median = 0;
+  Timestamp p75 = 0;
+  Timestamp p90 = 0;
+  Timestamp max = 0;
+};
+
+/// Stats of a sorted timestamp list's IATs. Zero-initialised result for
+/// lists with fewer than two timestamps.
+IatStats ComputeIatStats(const TimestampList& timestamps);
+
+struct ThresholdAdvice {
+  Timestamp suggested_period = 1;
+  uint64_t suggested_min_ps = 1;
+  uint64_t suggested_min_rec = 1;
+  /// Items that met the support floor and informed the advice.
+  size_t items_considered = 0;
+  std::string rationale;
+};
+
+struct AdvisorOptions {
+  /// Items below this support are ignored (too little signal).
+  uint64_t min_item_support = 10;
+  /// The per-item IAT quantile that `per` should cover (0, 1].
+  double period_quantile = 0.9;
+  /// minPS = median informative-item support * this fraction.
+  double min_ps_support_fraction = 0.05;
+};
+
+/// Computes advice from the database. On a database where no item meets
+/// the support floor, falls back to conservative defaults (per = median
+/// transaction gap, minPS = 2) and says so in the rationale.
+ThresholdAdvice AdviseThresholds(const TransactionDatabase& db,
+                                 const AdvisorOptions& options = {});
+
+}  // namespace rpm::analysis
+
+#endif  // RPM_ANALYSIS_THRESHOLD_ADVISOR_H_

@@ -1,0 +1,105 @@
+#include "rpm/baselines/async_periodic.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+
+namespace rpm::baselines {
+
+Status AsyncPeriodicParams::Validate() const {
+  if (min_rep < 2) return Status::InvalidArgument("min_rep must be >= 2");
+  if (max_period < 1) {
+    return Status::InvalidArgument("max_period must be >= 1");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Maximal runs of positions exactly `period` apart with >= min_rep
+/// occurrences.
+std::vector<ValidSegment> FindValidSegments(
+    const std::vector<size_t>& positions, size_t period, size_t min_rep) {
+  std::vector<ValidSegment> segments;
+  if (positions.empty()) return segments;
+  size_t run_start = positions[0];
+  size_t reps = 1;
+  for (size_t i = 1; i <= positions.size(); ++i) {
+    if (i < positions.size() && positions[i] - positions[i - 1] == period) {
+      ++reps;
+      continue;
+    }
+    if (reps >= min_rep) segments.push_back({run_start, reps});
+    if (i < positions.size()) {
+      run_start = positions[i];
+      reps = 1;
+    }
+  }
+  return segments;
+}
+
+/// Longest chain (max total repetitions) of consecutive segments whose
+/// inter-segment gap is <= max_dis. Segments are ordered and disjoint, so
+/// skipping a segment never shrinks a gap: maximal chains are contiguous
+/// groups, found by one scan.
+std::vector<ValidSegment> BestChain(const std::vector<ValidSegment>& segments,
+                                    size_t period, size_t max_dis,
+                                    size_t* best_total) {
+  *best_total = 0;
+  std::vector<ValidSegment> best;
+  size_t chain_begin = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (i > chain_begin) {
+      const ValidSegment& prev = segments[i - 1];
+      const size_t prev_end =
+          prev.start_pos + (prev.repetitions - 1) * period;
+      if (segments[i].start_pos - prev_end > max_dis) {
+        chain_begin = i;
+        total = 0;
+      }
+    }
+    total += segments[i].repetitions;
+    if (total > *best_total) {
+      *best_total = total;
+      best.assign(segments.begin() +
+                      static_cast<ptrdiff_t>(chain_begin),
+                  segments.begin() + static_cast<ptrdiff_t>(i + 1));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<AsyncPeriodicPattern> MineAsyncPeriodicPatterns(
+    const TransactionDatabase& db, const AsyncPeriodicParams& params) {
+  RPM_CHECK(params.Validate().ok());
+
+  // Per-item POSITION lists (symbolic sequence: index, not timestamp).
+  std::vector<std::vector<size_t>> positions(db.ItemUniverseSize());
+  for (size_t idx = 0; idx < db.size(); ++idx) {
+    for (ItemId item : db.transaction(idx).items) {
+      positions[item].push_back(idx);
+    }
+  }
+
+  std::vector<AsyncPeriodicPattern> out;
+  for (ItemId item = 0; item < positions.size(); ++item) {
+    if (positions[item].empty()) continue;
+    for (size_t period = 1; period <= params.max_period; ++period) {
+      std::vector<ValidSegment> segments =
+          FindValidSegments(positions[item], period, params.min_rep);
+      if (segments.empty()) continue;
+      AsyncPeriodicPattern pattern;
+      pattern.item = item;
+      pattern.period = period;
+      pattern.segments = BestChain(segments, period, params.max_dis,
+                                   &pattern.total_repetitions);
+      out.push_back(std::move(pattern));
+    }
+  }
+  return out;
+}
+
+}  // namespace rpm::baselines

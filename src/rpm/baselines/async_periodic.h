@@ -1,0 +1,86 @@
+// Asynchronous periodic pattern mining (Yang, Wang & Yu, TKDE 2003 — the
+// paper's ref [17]), single-event form.
+//
+// The fourth related-work model of the paper's Sec. 2: a symbolic-sequence
+// model that tolerates noise and *phase shifts*. An item's occurrences (at
+// sequence POSITIONS — like the Han model it deliberately ignores real
+// timestamps, which is precisely why the paper says it "cannot be extended
+// for finding recurring patterns") form
+//
+//   * valid segments: maximal runs of occurrences exactly `period`
+//     positions apart, with at least `min_rep` repetitions;
+//   * valid subsequences: chains of valid segments where consecutive
+//     segments start within `max_dis` positions of the previous segment's
+//     end (the "disturbance" allowance, which is what lets the phase
+//     drift between segments).
+//
+// For each (item, period) the miner reports the longest valid subsequence
+// (most total repetitions), the classic optimisation target of the paper's
+// 1-pattern case.
+
+#ifndef RPM_BASELINES_ASYNC_PERIODIC_H_
+#define RPM_BASELINES_ASYNC_PERIODIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::baselines {
+
+struct AsyncPeriodicParams {
+  /// Segment must repeat at least this many times (>= 2).
+  size_t min_rep = 3;
+  /// Max positions between one segment's last occurrence and the next
+  /// segment's first occurrence within a subsequence.
+  size_t max_dis = 5;
+  /// Periods 1..max_period are tried (>= 1).
+  size_t max_period = 10;
+
+  Status Validate() const;
+};
+
+/// One perfectly-periodic run: `repetitions` occurrences starting at
+/// sequence position `start_pos`, spaced exactly `period` apart.
+struct ValidSegment {
+  size_t start_pos = 0;
+  size_t repetitions = 0;
+
+  friend bool operator==(const ValidSegment&, const ValidSegment&) = default;
+};
+
+/// The longest valid subsequence of one item at one period.
+struct AsyncPeriodicPattern {
+  ItemId item = 0;
+  size_t period = 0;
+  /// Sum of repetitions over the chained segments.
+  size_t total_repetitions = 0;
+  std::vector<ValidSegment> segments;
+
+  /// First and one-past-last sequence position covered.
+  size_t start_pos() const {
+    return segments.empty() ? 0 : segments.front().start_pos;
+  }
+  size_t end_pos() const {
+    return segments.empty()
+               ? 0
+               : segments.back().start_pos +
+                     (segments.back().repetitions - 1) * period + 1;
+  }
+
+  friend bool operator==(const AsyncPeriodicPattern&,
+                         const AsyncPeriodicPattern&) = default;
+};
+
+/// Mines, for every item and every period in [1, max_period], the longest
+/// valid subsequence; patterns with fewer than `min_rep` total repetitions
+/// (i.e. no valid segment at all) are omitted. The database is read as a
+/// symbolic sequence: position = transaction index, timestamps ignored.
+/// Results ordered by (item, period).
+std::vector<AsyncPeriodicPattern> MineAsyncPeriodicPatterns(
+    const TransactionDatabase& db, const AsyncPeriodicParams& params);
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_ASYNC_PERIODIC_H_

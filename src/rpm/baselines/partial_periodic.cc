@@ -1,0 +1,140 @@
+#include "rpm/baselines/partial_periodic.h"
+
+#include <algorithm>
+#include <map>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/stopwatch.h"
+
+namespace rpm::baselines {
+
+Status PartialPeriodicParams::Validate() const {
+  if (period_length < 1) {
+    return Status::InvalidArgument("period_length must be >= 1");
+  }
+  if (min_sup < 1) return Status::InvalidArgument("min_sup must be >= 1");
+  return Status::OK();
+}
+
+namespace {
+
+/// Vertical column: one extended item plus the sorted ids of segments that
+/// contain it.
+struct Column {
+  PositionedItem key;
+  std::vector<uint32_t> segments;
+};
+
+class SegmentMiner {
+ public:
+  SegmentMiner(const PartialPeriodicParams& params,
+               const PartialPeriodicOptions& options,
+               PartialPeriodicResult* result)
+      : params_(params), options_(options), result_(result) {}
+
+  void Run(const std::vector<Column>& columns) {
+    std::vector<PositionedItem> elements;
+    for (size_t i = 0; i < columns.size() && !result_->truncated; ++i) {
+      Extend(columns, i, columns[i].segments, &elements);
+    }
+  }
+
+ private:
+  void Extend(const std::vector<Column>& columns, size_t index,
+              const std::vector<uint32_t>& segments,
+              std::vector<PositionedItem>* elements) {
+    if (segments.size() < params_.min_sup) return;
+    elements->push_back(columns[index].key);
+    result_->patterns.push_back({*elements, segments.size()});
+    if (options_.max_total_patterns != 0 &&
+        result_->patterns.size() >= options_.max_total_patterns) {
+      result_->truncated = true;
+    }
+    const bool depth_ok =
+        options_.max_pattern_elements == 0 ||
+        elements->size() < options_.max_pattern_elements;
+    if (depth_ok) {
+      for (size_t j = index + 1;
+           j < columns.size() && !result_->truncated; ++j) {
+        std::vector<uint32_t> joint;
+        joint.reserve(std::min(segments.size(), columns[j].segments.size()));
+        std::set_intersection(segments.begin(), segments.end(),
+                              columns[j].segments.begin(),
+                              columns[j].segments.end(),
+                              std::back_inserter(joint));
+        if (joint.size() >= params_.min_sup) Extend(columns, j, joint, elements);
+      }
+    }
+    elements->pop_back();
+  }
+
+  const PartialPeriodicParams& params_;
+  const PartialPeriodicOptions& options_;
+  PartialPeriodicResult* result_;
+};
+
+}  // namespace
+
+PartialPeriodicResult MinePartialPeriodicPatterns(
+    const TransactionDatabase& db, const PartialPeriodicParams& params,
+    const PartialPeriodicOptions& options) {
+  RPM_CHECK(params.Validate().ok());
+  PartialPeriodicResult result;
+  Stopwatch sw;
+
+  const size_t p = params.period_length;
+  result.num_segments = db.size() / p;  // Trailing partial segment dropped.
+
+  // Build vertical columns over extended items (offset, item) -> segments.
+  std::map<PositionedItem, std::vector<uint32_t>> vertical;
+  for (size_t idx = 0; idx < result.num_segments * p; ++idx) {
+    const uint32_t segment = static_cast<uint32_t>(idx / p);
+    const uint32_t offset = static_cast<uint32_t>(idx % p);
+    for (ItemId item : db.transaction(idx).items) {
+      std::vector<uint32_t>& segs = vertical[{offset, item}];
+      if (segs.empty() || segs.back() != segment) segs.push_back(segment);
+    }
+  }
+  std::vector<Column> columns;
+  columns.reserve(vertical.size());
+  for (auto& [key, segs] : vertical) {
+    if (segs.size() >= params.min_sup) {
+      columns.push_back({key, std::move(segs)});
+    }
+  }
+
+  SegmentMiner miner(params, options, &result);
+  miner.Run(columns);
+
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const PartialPeriodicPattern& a,
+               const PartialPeriodicPattern& b) {
+              return a.elements < b.elements;
+            });
+  result.seconds = sw.ElapsedSeconds();
+  return result;
+}
+
+std::string FormatPartialPeriodicPattern(const PartialPeriodicPattern& p,
+                                         size_t period_length,
+                                         const ItemDictionary& dict) {
+  std::string out;
+  size_t cursor = 0;
+  for (uint32_t offset = 0; offset < period_length; ++offset) {
+    bool any = false;
+    std::string slot = "{";
+    while (cursor < p.elements.size() &&
+           p.elements[cursor].offset == offset) {
+      if (any) slot += ",";
+      any = true;
+      slot += dict.empty() ? std::to_string(p.elements[cursor].item)
+                           : dict.NameOf(p.elements[cursor].item);
+      ++cursor;
+    }
+    slot += "}";
+    out += any ? slot : "*";
+  }
+  return out;
+}
+
+}  // namespace rpm::baselines

@@ -1,0 +1,93 @@
+// Segment-wise partial periodic pattern mining (Han, Gong & Yin, KDD'98 /
+// Han, Dong & Yin, ICDE'99 — the paper's refs [5, 6]).
+//
+// This is the symbolic-sequence school the paper positions itself against
+// (Sec. 2): the series is cut into consecutive *period segments* of a fixed
+// length p — by POSITION, not by timestamp; real inter-arrival times are
+// deliberately ignored — and a pattern fixes an itemset at one or more
+// offsets within the period (classically rendered "a*b" for p = 3: 'a' at
+// offset 0, anything at 1, 'b' at 2). A pattern is partial periodic when
+// the number of segments matching it reaches minSup.
+//
+// Implementation: each (offset, item) pair becomes an extended item; each
+// segment becomes a transaction over extended items; mining is a vertical
+// (segment-id list) DFS — the standard reduction to frequent itemsets.
+//
+// Included as the third related-work baseline: together with p-patterns
+// (timestamp-aware, whole-series) and PF patterns (complete cycles), it
+// lets tests demonstrate exactly the failure mode the paper motivates:
+// position-based periodicity misses behaviour that is periodic in *time*
+// whenever transactions are missing or unevenly spaced.
+
+#ifndef RPM_BASELINES_PARTIAL_PERIODIC_H_
+#define RPM_BASELINES_PARTIAL_PERIODIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::baselines {
+
+struct PartialPeriodicParams {
+  /// Period length p, in positions (transactions per segment).
+  size_t period_length = 1;
+  /// Minimum number of matching segments (absolute).
+  uint64_t min_sup = 1;
+
+  Status Validate() const;
+};
+
+/// One fixed element of a pattern: `item` must appear at segment offset
+/// `offset` (0 <= offset < period_length).
+struct PositionedItem {
+  uint32_t offset = 0;
+  ItemId item = 0;
+
+  friend bool operator==(const PositionedItem&,
+                         const PositionedItem&) = default;
+  friend auto operator<=>(const PositionedItem&,
+                          const PositionedItem&) = default;
+};
+
+struct PartialPeriodicPattern {
+  /// Sorted by (offset, item); at least one element.
+  std::vector<PositionedItem> elements;
+  /// Number of segments matching every element.
+  uint64_t support = 0;
+
+  friend bool operator==(const PartialPeriodicPattern&,
+                         const PartialPeriodicPattern&) = default;
+};
+
+struct PartialPeriodicOptions {
+  size_t max_pattern_elements = 0;  ///< 0 = unlimited.
+  size_t max_total_patterns = 0;    ///< Explosion guard; 0 = unlimited.
+};
+
+struct PartialPeriodicResult {
+  std::vector<PartialPeriodicPattern> patterns;  ///< Canonical order.
+  size_t num_segments = 0;
+  bool truncated = false;
+  double seconds = 0.0;
+};
+
+/// Mines all partial periodic patterns of `db` read as a *symbolic
+/// sequence* (transactions in order; timestamps ignored — that is the
+/// model's defining property). Trailing transactions that do not fill a
+/// whole segment are dropped, as in the original formulation.
+PartialPeriodicResult MinePartialPeriodicPatterns(
+    const TransactionDatabase& db, const PartialPeriodicParams& params,
+    const PartialPeriodicOptions& options = {});
+
+/// Classic rendering, e.g. "{a}*{b}" for p=3 with 'a'@0 and 'b'@2 ('*' for
+/// unconstrained offsets). Items print via `dict` when non-empty.
+std::string FormatPartialPeriodicPattern(const PartialPeriodicPattern& p,
+                                         size_t period_length,
+                                         const ItemDictionary& dict);
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_PARTIAL_PERIODIC_H_

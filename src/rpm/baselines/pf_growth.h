@@ -1,0 +1,63 @@
+// Periodic-frequent pattern mining (PF-growth++; Tanbeer et al. PAKDD'09
+// [9], Kiran & Kitsuregawa DASFAA'14 [15]) — the "regular pattern" baseline
+// of the paper's Sec. 5.4 / Table 8.
+//
+// A pattern X is periodic-frequent iff
+//   Sup(X) >= minSup   and   Per(X) <= maxPer,
+// where Per(X) is the largest inter-arrival time of X *including the
+// boundary gaps* to the first and last timestamps of the database (so a
+// pattern must cycle through the entire series — the "complete cyclic
+// repetitions" the paper contrasts recurring patterns against).
+//
+// Both constraints are anti-monotone, so mining is a plain pattern-growth
+// over the same ts-list prefix tree RP-growth uses; only the measures and
+// the gate differ.
+
+#ifndef RPM_BASELINES_PF_GROWTH_H_
+#define RPM_BASELINES_PF_GROWTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::baselines {
+
+struct PfParams {
+  uint64_t min_sup = 1;    ///< Minimum support (absolute).
+  Timestamp max_per = 1;   ///< Maximum allowed periodicity.
+
+  Status Validate() const;
+};
+
+struct PeriodicFrequentPattern {
+  Itemset items;
+  uint64_t support = 0;
+  /// max(first gap, inter-arrival times, last gap).
+  Timestamp periodicity = 0;
+
+  friend bool operator==(const PeriodicFrequentPattern&,
+                         const PeriodicFrequentPattern&) = default;
+};
+
+struct PfGrowthResult {
+  std::vector<PeriodicFrequentPattern> patterns;
+  size_t candidate_items = 0;
+  double seconds = 0.0;
+};
+
+/// Per(X) for a sorted timestamp list against the database span
+/// [db_start, db_end]. Returns max_per+1-style large value semantics are
+/// avoided: an empty list yields db_end - db_start (the whole span gap).
+Timestamp ComputePeriodicity(const TimestampList& ts, Timestamp db_start,
+                             Timestamp db_end);
+
+/// Mines the complete set of periodic-frequent patterns. Deterministic;
+/// canonical itemset order.
+PfGrowthResult MinePeriodicFrequentPatterns(const TransactionDatabase& db,
+                                            const PfParams& params);
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_PF_GROWTH_H_

@@ -1,0 +1,128 @@
+#include "rpm/baselines/ppattern.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/stopwatch.h"
+
+namespace rpm::baselines {
+
+Status PPatternParams::Validate() const {
+  if (period <= 0) return Status::InvalidArgument("period must be > 0");
+  if (window < 1) return Status::InvalidArgument("window must be >= 1");
+  if (min_sup < 1) return Status::InvalidArgument("min_sup must be >= 1");
+  return Status::OK();
+}
+
+uint64_t CountOnPeriodGaps(const TimestampList& ts, Timestamp period,
+                           Timestamp window) {
+  const Timestamp bound = period + (window - 1);
+  uint64_t count = 0;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i] - ts[i - 1] <= bound) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+class PPatternMiner {
+ public:
+  PPatternMiner(const PPatternParams& params, const PPatternOptions& options,
+                PPatternResult* result)
+      : params_(params), options_(options), result_(result) {}
+
+  void Run(const std::vector<std::pair<ItemId, TimestampList>>& columns) {
+    Itemset pattern;
+    for (size_t i = 0; i < columns.size() && !result_->truncated; ++i) {
+      Extend(columns, i, columns[i].second, &pattern);
+    }
+  }
+
+ private:
+  void Emit(const Itemset& pattern, const TimestampList& ts,
+            uint64_t on_period) {
+    ++result_->total_found;
+    result_->max_length = std::max(result_->max_length, pattern.size());
+    if (options_.max_stored_patterns == 0 ||
+        result_->patterns.size() < options_.max_stored_patterns) {
+      result_->patterns.push_back({pattern, ts.size(), on_period});
+    }
+    if (options_.max_total_patterns != 0 &&
+        result_->total_found >= options_.max_total_patterns) {
+      result_->truncated = true;
+    }
+  }
+
+  void Extend(const std::vector<std::pair<ItemId, TimestampList>>& columns,
+              size_t index, const TimestampList& ts, Itemset* pattern) {
+    // Support gate (anti-monotone): minSup on-period gaps require at least
+    // minSup + 1 occurrences.
+    if (ts.size() < params_.min_sup + 1) return;
+
+    pattern->push_back(columns[index].first);
+    const uint64_t on_period =
+        CountOnPeriodGaps(ts, params_.period, params_.window);
+    if (on_period >= params_.min_sup) Emit(*pattern, ts, on_period);
+
+    const bool depth_ok = options_.max_pattern_length == 0 ||
+                          pattern->size() < options_.max_pattern_length;
+    if (depth_ok) {
+      for (size_t j = index + 1;
+           j < columns.size() && !result_->truncated; ++j) {
+        TimestampList joint;
+        joint.reserve(std::min(ts.size(), columns[j].second.size()));
+        std::set_intersection(ts.begin(), ts.end(),
+                              columns[j].second.begin(),
+                              columns[j].second.end(),
+                              std::back_inserter(joint));
+        if (joint.size() >= params_.min_sup + 1) {
+          Extend(columns, j, joint, pattern);
+        }
+      }
+    }
+    pattern->pop_back();
+  }
+
+  const PPatternParams& params_;
+  const PPatternOptions& options_;
+  PPatternResult* result_;
+};
+
+}  // namespace
+
+PPatternResult MinePPatterns(const TransactionDatabase& db,
+                             const PPatternParams& params,
+                             const PPatternOptions& options) {
+  RPM_CHECK(params.Validate().ok());
+  PPatternResult result;
+  Stopwatch sw;
+
+  // Phase 1: periodic items.
+  std::vector<TimestampList> lists(db.ItemUniverseSize());
+  for (const Transaction& tr : db.transactions()) {
+    for (ItemId item : tr.items) lists[item].push_back(tr.ts);
+  }
+  std::vector<std::pair<ItemId, TimestampList>> columns;
+  for (ItemId i = 0; i < lists.size(); ++i) {
+    if (lists[i].empty()) continue;
+    if (CountOnPeriodGaps(lists[i], params.period, params.window) >=
+        params.min_sup) {
+      columns.emplace_back(i, std::move(lists[i]));
+    }
+  }
+  result.candidate_items = columns.size();
+
+  // Phases 2+3: enumerate + verify.
+  PPatternMiner miner(params, options, &result);
+  miner.Run(columns);
+
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const PPattern& a, const PPattern& b) {
+              return a.items < b.items;
+            });
+  result.seconds = sw.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpm::baselines

@@ -1,0 +1,78 @@
+// p-pattern mining (Ma & Hellerstein, ICDE'01 [7]) via the periodic-first
+// strategy — the second baseline of the paper's Sec. 5.4 / Table 8.
+//
+// With a known period `per` and window `w`, an inter-arrival time is
+// on-period when iat <= per + (w - 1); a pattern X is a p-pattern when its
+// number of on-period inter-arrival times over the WHOLE series reaches
+// minSup. (With w = 1, the setting of the paper's experiment, the condition
+// coincides with the recurring-pattern model's Definition 4: iat <= per.)
+//
+// Periodic-first mining (the faster of Ma & Hellerstein's two algorithms):
+//   1. keep the items whose on-period count reaches minSup;
+//   2. enumerate itemsets over those items whose *support* reaches
+//      minSup + 1 (necessary, anti-monotone: minSup on-period gaps need
+//      minSup+1 occurrences) using vertical timestamp-list intersection;
+//   3. verify the on-period count of each enumerated itemset.
+//
+// This model has no notion of where the periodic behaviour happens, which
+// is why low minSup floods it with patterns (Table 8) — the result caps
+// below keep the bench harness bounded while still reporting totals.
+
+#ifndef RPM_BASELINES_PPATTERN_H_
+#define RPM_BASELINES_PPATTERN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::baselines {
+
+struct PPatternParams {
+  Timestamp period = 1;   ///< The known period p.
+  Timestamp window = 1;   ///< Ma-Hellerstein window w (>= 1).
+  uint64_t min_sup = 1;   ///< Min number of on-period inter-arrival times.
+
+  Status Validate() const;
+};
+
+struct PPattern {
+  Itemset items;
+  uint64_t support = 0;           ///< |TS^X|.
+  uint64_t periodic_count = 0;    ///< On-period inter-arrival times.
+
+  friend bool operator==(const PPattern&, const PPattern&) = default;
+};
+
+struct PPatternOptions {
+  /// Stop materialising patterns beyond this many (0 = keep all). Counting
+  /// (total_found) continues regardless.
+  size_t max_stored_patterns = 0;
+  /// Abandon enumeration entirely after this many found (0 = unlimited);
+  /// sets `truncated`. Guards Table 8 runs against the model's known
+  /// combinatorial explosion at low minSup.
+  size_t max_total_patterns = 0;
+  size_t max_pattern_length = 0;  ///< 0 = unlimited.
+};
+
+struct PPatternResult {
+  std::vector<PPattern> patterns;  ///< Possibly capped; canonical order.
+  size_t total_found = 0;          ///< All p-patterns counted.
+  size_t max_length = 0;           ///< Longest p-pattern (Table 8 col. II).
+  bool truncated = false;          ///< Enumeration hit max_total_patterns.
+  size_t candidate_items = 0;
+  double seconds = 0.0;
+};
+
+/// On-period inter-arrival count of a sorted timestamp list.
+uint64_t CountOnPeriodGaps(const TimestampList& ts, Timestamp period,
+                           Timestamp window);
+
+PPatternResult MinePPatterns(const TransactionDatabase& db,
+                             const PPatternParams& params,
+                             const PPatternOptions& options = {});
+
+}  // namespace rpm::baselines
+
+#endif  // RPM_BASELINES_PPATTERN_H_

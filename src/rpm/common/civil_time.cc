@@ -1,0 +1,97 @@
+#include "rpm/common/civil_time.h"
+
+#include <cstdio>
+
+namespace rpm {
+
+int64_t DaysFromCivil(int32_t year, uint32_t month, uint32_t day) {
+  // Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  int64_t y = year;
+  y -= month <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);          // [0,399]
+  const uint32_t doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;        // [0,365]
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0,146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+int64_t MinutesFromCivil(const CivilMinute& cm) {
+  return DaysFromCivil(cm.year, cm.month, cm.day) * 1440 +
+         static_cast<int64_t>(cm.hour) * 60 + cm.minute;
+}
+
+CivilMinute CivilFromMinutes(int64_t minutes_since_epoch) {
+  int64_t days = minutes_since_epoch / 1440;
+  int64_t rem = minutes_since_epoch % 1440;
+  if (rem < 0) {
+    rem += 1440;
+    --days;
+  }
+  // Hinnant's civil_from_days.
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(days - era * 146097);
+  const uint32_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint32_t mp = (5 * doy + 2) / 153;
+  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;
+  const uint32_t m = mp + (mp < 10 ? 3 : static_cast<uint32_t>(-9));
+
+  CivilMinute cm;
+  cm.year = static_cast<int32_t>(y + (m <= 2));
+  cm.month = m;
+  cm.day = d;
+  cm.hour = static_cast<uint32_t>(rem / 60);
+  cm.minute = static_cast<uint32_t>(rem % 60);
+  return cm;
+}
+
+std::string FormatCivilMinute(const CivilMinute& cm) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u %02u:%02u", cm.year,
+                cm.month, cm.day, cm.hour, cm.minute);
+  return buf;
+}
+
+std::string FormatMinuteOffset(int64_t offset_minutes,
+                               int64_t epoch_minutes) {
+  return FormatCivilMinute(CivilFromMinutes(epoch_minutes + offset_minutes));
+}
+
+Result<CivilMinute> ParseCivilMinute(std::string_view text) {
+  CivilMinute cm;
+  int year = 0;
+  unsigned month = 0, day = 0, hour = 0, minute = 0;
+  int date_chars = 0;
+  std::string owned(text);
+  int fields = std::sscanf(owned.c_str(), "%d-%u-%u%n", &year, &month, &day,
+                           &date_chars);
+  if (fields != 3) {
+    return Status::InvalidArgument("expected YYYY-MM-DD[ HH:MM], got '" +
+                                   owned + "'");
+  }
+  const char* rest = owned.c_str() + date_chars;
+  if (*rest != '\0') {
+    int time_chars = 0;
+    if (std::sscanf(rest, " %u:%u%n", &hour, &minute, &time_chars) != 2 ||
+        rest[time_chars] != '\0') {
+      return Status::InvalidArgument("malformed time in '" + owned + "'");
+    }
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59) {
+    return Status::InvalidArgument("date/time field out of range in '" +
+                                   owned + "'");
+  }
+  cm.year = year;
+  cm.month = month;
+  cm.day = day;
+  cm.hour = hour;
+  cm.minute = minute;
+  return cm;
+}
+
+}  // namespace rpm

@@ -1,0 +1,52 @@
+// Minimal proleptic-Gregorian calendar arithmetic (Howard Hinnant's
+// civil-days algorithms). Used to render minute-granularity timestamps as
+// dates in reports, the way the paper's Table 6 prints periodic durations
+// ("2013-06-21 01:08").
+
+#ifndef RPM_COMMON_CIVIL_TIME_H_
+#define RPM_COMMON_CIVIL_TIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rpm/common/status.h"
+
+namespace rpm {
+
+/// A wall-clock minute in the proleptic Gregorian calendar (UTC-agnostic).
+struct CivilMinute {
+  int32_t year = 1970;
+  uint32_t month = 1;  ///< 1-12
+  uint32_t day = 1;    ///< 1-31
+  uint32_t hour = 0;   ///< 0-23
+  uint32_t minute = 0; ///< 0-59
+
+  friend bool operator==(const CivilMinute&, const CivilMinute&) = default;
+};
+
+/// Days since 1970-01-01 for the given civil date (valid for all
+/// Gregorian dates; negative before the epoch).
+int64_t DaysFromCivil(int32_t year, uint32_t month, uint32_t day);
+
+/// Minutes since 1970-01-01 00:00.
+int64_t MinutesFromCivil(const CivilMinute& cm);
+
+/// Inverse of MinutesFromCivil.
+CivilMinute CivilFromMinutes(int64_t minutes_since_epoch);
+
+/// "YYYY-MM-DD HH:MM".
+std::string FormatCivilMinute(const CivilMinute& cm);
+
+/// Convenience: formats `offset_minutes` past `epoch_minutes` (both in
+/// minutes since 1970).
+std::string FormatMinuteOffset(int64_t offset_minutes,
+                               int64_t epoch_minutes);
+
+/// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM" (time defaults to 00:00).
+/// Validates field ranges (month 1-12, day 1-31, hour 0-23, minute 0-59).
+Result<CivilMinute> ParseCivilMinute(std::string_view text);
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_CIVIL_TIME_H_

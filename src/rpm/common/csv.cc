@@ -1,0 +1,94 @@
+#include "rpm/common/csv.h"
+
+namespace rpm {
+
+Status CsvReader::Next(CsvRow* row, bool* done) {
+  row->clear();
+  *done = false;
+
+  int first = in_->peek();
+  if (first == std::char_traits<char>::eof()) {
+    *done = true;
+    return Status::OK();
+  }
+  ++line_;
+
+  std::string field;
+  bool in_quotes = false;
+  bool any_char = false;
+  for (;;) {
+    int ci = in_->get();
+    if (ci == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        return Status::Corruption("unterminated quoted field at line " +
+                                  std::to_string(line_));
+      }
+      row->push_back(std::move(field));
+      return Status::OK();
+    }
+    char c = static_cast<char>(ci);
+    any_char = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_->peek() == '"') {
+          in_->get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (c == delim_) {
+      row->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      if (!field.empty() && field.back() == '\r') field.pop_back();
+      row->push_back(std::move(field));
+      return Status::OK();
+    } else {
+      field += c;
+    }
+  }
+  (void)any_char;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const std::string& f : fields) {
+    if (!first) *out_ << delim_;
+    first = false;
+    bool needs_quote = f.find_first_of("\"\n\r") != std::string::npos ||
+                       f.find(delim_) != std::string::npos;
+    if (!needs_quote) {
+      *out_ << f;
+      continue;
+    }
+    *out_ << '"';
+    for (char c : f) {
+      if (c == '"') *out_ << '"';
+      *out_ << c;
+    }
+    *out_ << '"';
+  }
+  *out_ << '\n';
+}
+
+Result<std::vector<CsvRow>> ReadAllCsv(std::istream* in, char delim) {
+  CsvReader reader(in, delim);
+  std::vector<CsvRow> rows;
+  for (;;) {
+    CsvRow row;
+    bool done = false;
+    RPM_RETURN_NOT_OK(reader.Next(&row, &done));
+    if (done) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace rpm

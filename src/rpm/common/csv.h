@@ -1,0 +1,62 @@
+// Minimal CSV reading/writing (RFC-4180 subset: quoted fields with embedded
+// commas/quotes/newlines are supported; no multi-character delimiters).
+//
+// Used by the timestamped-transaction reader and by benches that dump series
+// for external plotting.
+
+#ifndef RPM_COMMON_CSV_H_
+#define RPM_COMMON_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rpm/common/status.h"
+
+namespace rpm {
+
+/// One parsed CSV record (row) as owned strings.
+using CsvRow = std::vector<std::string>;
+
+/// Incremental CSV parser over an input stream.
+class CsvReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit CsvReader(std::istream* in, char delim = ',')
+      : in_(in), delim_(delim) {}
+
+  /// Reads the next record into *row. Returns:
+  ///  - OK with *done == false when a record was produced,
+  ///  - OK with *done == true at clean end-of-input,
+  ///  - Corruption for malformed quoting.
+  Status Next(CsvRow* row, bool* done);
+
+  /// Line number of the most recently returned record (1-based).
+  size_t line_number() const { return line_; }
+
+ private:
+  std::istream* in_;
+  char delim_;
+  size_t line_ = 0;
+};
+
+/// Streaming CSV writer; quotes fields only when necessary.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out, char delim = ',')
+      : out_(out), delim_(delim) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+  char delim_;
+};
+
+/// Convenience: parse an entire stream.
+Result<std::vector<CsvRow>> ReadAllCsv(std::istream* in, char delim = ',');
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_CSV_H_

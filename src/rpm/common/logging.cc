@@ -1,0 +1,58 @@
+#include "rpm/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpm {
+
+namespace {
+LogLevel g_min_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level = level; }
+LogLevel GetLogLevel() { return g_min_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(static_cast<int>(level) >= static_cast<int>(g_min_level)) {
+  if (enabled_) {
+    // Strip directories for brevity.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace rpm

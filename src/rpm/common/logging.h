@@ -1,0 +1,85 @@
+// Minimal leveled logging and check macros.
+//
+// RPM_LOG(INFO) << "built tree with " << n << " nodes";
+// RPM_CHECK(x > 0) << "x must be positive, got " << x;   // aborts on failure
+// RPM_DCHECK(...) is compiled out in NDEBUG builds.
+
+#ifndef RPM_COMMON_LOGGING_H_
+#define RPM_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace rpm {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level actually emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (to stderr) on destruction.
+/// kFatal messages abort the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a check passes / logging disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define RPM_LOG(level)                                              \
+  ::rpm::internal::LogMessage(::rpm::LogLevel::k##level, __FILE__,  \
+                              __LINE__)
+
+// The while-loop form lets callers chain extra context:
+//   RPM_CHECK(x > 0) << "got " << x;
+// LogMessage at kFatal aborts, so the loop body runs at most once.
+#define RPM_CHECK(cond)                                           \
+  while (!(cond))                                                 \
+  ::rpm::internal::LogMessage(::rpm::LogLevel::kFatal, __FILE__,  \
+                              __LINE__)                           \
+      << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define RPM_DCHECK(cond) \
+  while (false) RPM_CHECK(cond)
+#else
+#define RPM_DCHECK(cond) RPM_CHECK(cond)
+#endif
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_LOGGING_H_

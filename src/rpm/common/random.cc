@@ -1,0 +1,200 @@
+#include "rpm/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace rpm {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : state_) lane = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  RPM_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt64(int64_t lo, int64_t hi) {
+  RPM_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // Full-range request wrapped to zero.
+    return static_cast<int64_t>(NextUint64());
+  }
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint32_t Rng::NextPoisson(double mean) {
+  RPM_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    double g = NextGaussian(mean, std::sqrt(mean));
+    if (g < 0.0) return 0;
+    return static_cast<uint32_t>(std::llround(g));
+  }
+  // Knuth's multiplication method.
+  const double limit = std::exp(-mean);
+  double prod = NextDouble();
+  uint32_t n = 0;
+  while (prod > limit) {
+    ++n;
+    prod *= NextDouble();
+  }
+  return n;
+}
+
+double Rng::NextExponential(double lambda) {
+  RPM_DCHECK(lambda > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Rng::NextGaussian() {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  RPM_DCHECK(stddev >= 0.0);
+  return mean + stddev * NextGaussian();
+}
+
+uint64_t Rng::NextGeometric(double p) {
+  RPM_DCHECK(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  RPM_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RPM_DCHECK(w >= 0.0);
+    total += w;
+  }
+  RPM_DCHECK(total > 0.0);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // Numerical slack: land on the last bucket.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  RPM_DCHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<size_t> chosen;
+  chosen.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(NextUint64(j + 1));
+    bool seen = false;
+    for (size_t c : chosen) {
+      if (c == t) {
+        seen = true;
+        break;
+      }
+    }
+    chosen.push_back(seen ? j : t);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  RPM_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    RPM_CHECK(w >= 0.0);
+    total += w;
+  }
+  RPM_CHECK(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t rest : large) prob_[rest] = 1.0;
+  for (uint32_t rest : small) prob_[rest] = 1.0;
+}
+
+size_t DiscreteSampler::Sample(Rng* rng) const {
+  RPM_DCHECK(rng != nullptr);
+  size_t i = static_cast<size_t>(rng->NextUint64(prob_.size()));
+  return rng->NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace rpm

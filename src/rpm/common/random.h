@@ -1,0 +1,104 @@
+// Deterministic, seedable random number generation.
+//
+// All synthetic data generators in this project take an explicit seed and
+// route every draw through Rng so that datasets (and therefore every table
+// and figure in EXPERIMENTS.md) are reproducible bit-for-bit across runs.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+
+#ifndef RPM_COMMON_RANDOM_H_
+#define RPM_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** pseudo-random generator with convenience samplers.
+///
+/// Not thread-safe; use one Rng per thread / generator instance.
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via splitmix64. Any seed is valid.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform on [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform on [0, bound). Precondition: bound > 0. Unbiased (rejection).
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform on [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform on [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (mean >= 0).
+  /// Uses Knuth's method for small means and a normal approximation
+  /// (rounded, clamped at 0) for mean > 64.
+  uint32_t NextPoisson(double mean);
+
+  /// Exponential with the given rate lambda > 0.
+  double NextExponential(double lambda);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double NextGaussian(double mean, double stddev);
+
+  /// Geometric: number of failures before the first success, p in (0, 1].
+  uint64_t NextGeometric(double p);
+
+  /// Samples an index according to non-negative `weights` (at least one
+  /// strictly positive). O(n) per draw; for repeated draws from the same
+  /// distribution use DiscreteSampler below.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `values` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    RPM_DCHECK(values != nullptr);
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), ascending order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// O(1)-per-draw sampling from a fixed discrete distribution
+/// (Walker/Vose alias method). Build once, draw many times.
+class DiscreteSampler {
+ public:
+  /// Precondition: weights non-empty, all >= 0, sum > 0.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Returns an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_RANDOM_H_

@@ -1,0 +1,165 @@
+// Status / Result error-handling primitives (RocksDB / Arrow idiom).
+//
+// Library code that can fail for data-dependent reasons (I/O, parsing,
+// invalid user parameters) returns a Status or a Result<T> instead of
+// throwing. Logic errors (violated preconditions on in-memory structures)
+// are guarded with RPM_DCHECK and are bugs, not Statuses.
+
+#ifndef RPM_COMMON_STATUS_H_
+#define RPM_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rpm {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kNotFound = 3,
+  kCorruption = 4,
+  kOutOfRange = 5,
+  kAlreadyExists = 6,
+  kResourceExhausted = 7,
+  kUnknown = 255,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "IOError"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation); the message is only
+/// populated on failure. All factory functions are static:
+///
+///   Status s = Status::InvalidArgument("per must be > 0");
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+///   Result<TransactionDatabase> r = ReadSpmf(path);
+///   if (!r.ok()) return r.status();
+///   TransactionDatabase db = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return my_db;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: `return Status::IOError(...);`.
+  /// Constructing from an OK status is a bug (there would be no value).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Unknown("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status::OK() when a value is held; the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define RPM_RETURN_NOT_OK(expr)        \
+  do {                                 \
+    ::rpm::Status _s = (expr);         \
+    if (!_s.ok()) return _s;           \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define RPM_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  RPM_ASSIGN_OR_RETURN_IMPL(                               \
+      RPM_STATUS_CONCAT_(_rpm_result_, __LINE__), lhs, rexpr)
+
+#define RPM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define RPM_STATUS_CONCAT_(a, b) RPM_STATUS_CONCAT_IMPL_(a, b)
+#define RPM_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_STATUS_H_

@@ -1,0 +1,4 @@
+#include "rpm/common/stopwatch.h"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive member and the header gets compiled standalone at least once.

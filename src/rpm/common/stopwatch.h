@@ -1,0 +1,37 @@
+// Wall-clock timing for benchmark harnesses (Tables 7, Fig. 9, ablations).
+
+#ifndef RPM_COMMON_STOPWATCH_H_
+#define RPM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rpm {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_STOPWATCH_H_

@@ -1,0 +1,119 @@
+#include "rpm/common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace rpm {
+
+std::vector<std::string_view> Split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view text) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t b = 0;
+  while (b < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[b]))) {
+    ++b;
+  }
+  size_t e = text.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) {
+    --e;
+  }
+  return text.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    return Status::InvalidArgument("not an int64: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<uint32_t> ParseUint32(std::string_view text) {
+  uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    return Status::InvalidArgument("not a uint32: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || text.empty()) {
+    return Status::InvalidArgument("not a double: '" + std::string(text) +
+                                   "'");
+  }
+  return value;
+}
+
+std::string FormatWithThousands(int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  if (value < 0) out += '-';
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  out += digits.substr(0, lead);
+  for (size_t i = lead; i < digits.size(); i += 3) {
+    out += ',';
+    out += digits.substr(i, 3);
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace rpm

@@ -1,0 +1,62 @@
+// Small string helpers shared by I/O, report formatting and benches.
+
+#ifndef RPM_COMMON_STRING_UTIL_H_
+#define RPM_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpm/common/status.h"
+
+namespace rpm {
+
+/// Splits on a single character; adjacent delimiters yield empty fields.
+std::vector<std::string_view> Split(std::string_view text, char delim);
+
+/// Splits on any run of ASCII whitespace; never yields empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict integer parse of the whole field (no trailing junk, no overflow).
+Result<int64_t> ParseInt64(std::string_view text);
+Result<uint32_t> ParseUint32(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Joins elements with `sep` using operator<< formatting.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view sep);
+
+/// "1234567" -> "1,234,567" (for table output).
+std::string FormatWithThousands(int64_t value);
+
+/// Fixed-precision double ("12.34").
+std::string FormatDouble(double value, int precision);
+
+// --- implementation details below ---
+
+template <typename Container>
+std::string Join(const Container& parts, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out += sep;
+    first = false;
+    if constexpr (std::is_convertible_v<decltype(p), std::string_view>) {
+      out += std::string_view(p);
+    } else {
+      out += std::to_string(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,37 @@
+#include "rpm/common/zipf.h"
+
+#include <cmath>
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+
+std::vector<double> ZipfWeights(size_t n, double exponent) {
+  RPM_CHECK(n > 0);
+  RPM_CHECK(exponent >= 0.0);
+  std::vector<double> w(n);
+  for (size_t k = 0; k < n; ++k) {
+    w[k] = 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+  }
+  return w;
+}
+
+namespace {
+std::vector<double> NormalisedZipf(size_t n, double exponent) {
+  std::vector<double> w = ZipfWeights(n, exponent);
+  double total = 0.0;
+  for (double x : w) total += x;
+  for (double& x : w) x /= total;
+  return w;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(size_t n, double exponent)
+    : pmf_(NormalisedZipf(n, exponent)), sampler_(pmf_) {}
+
+double ZipfSampler::ProbabilityOf(size_t rank) const {
+  RPM_DCHECK(rank < pmf_.size());
+  return pmf_[rank];
+}
+
+}  // namespace rpm

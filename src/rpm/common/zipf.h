@@ -1,0 +1,42 @@
+// Zipf-distributed sampling over ranks 0..n-1.
+//
+// Item popularity in real transaction streams (retail categories, hashtags)
+// is heavy-tailed; the Shop-14-like and Twitter-like dataset generators use
+// this sampler for the background traffic so that frequent and rare items
+// coexist — the setting in which the paper's "rare item problem" discussion
+// (Sec. 2 and 5.2) is meaningful.
+
+#ifndef RPM_COMMON_ZIPF_H_
+#define RPM_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "rpm/common/random.h"
+
+namespace rpm {
+
+/// Samples ranks with P(rank = k) proportional to 1 / (k + 1)^exponent.
+/// Built once (O(n)), then O(1) per draw via the alias method.
+class ZipfSampler {
+ public:
+  /// Precondition: n > 0, exponent >= 0 (0 degenerates to uniform).
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng* rng) const { return sampler_.Sample(rng); }
+  size_t size() const { return sampler_.size(); }
+
+  /// Probability mass of a single rank (for tests and analytics).
+  double ProbabilityOf(size_t rank) const;
+
+ private:
+  std::vector<double> pmf_;
+  DiscreteSampler sampler_;
+};
+
+/// Raw Zipf weights 1/(k+1)^exponent for ranks 0..n-1 (unnormalised).
+std::vector<double> ZipfWeights(size_t n, double exponent);
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_ZIPF_H_

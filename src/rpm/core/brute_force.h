@@ -1,0 +1,62 @@
+// Reference miners used as correctness oracles and ablation comparators.
+//
+// MineByDefinition enumerates *every* non-empty itemset over the items
+// present in the database and applies Definitions 3-9 verbatim via
+// TransactionDatabase::TimestampsOf — no shared code with RP-growth, which
+// is what makes it a trustworthy oracle. Exponential: test-sized inputs
+// only (item universe <= kMaxDefinitionalItems).
+//
+// MineVertical is a straightforward depth-first miner over per-item
+// timestamp lists with set intersection, optionally using the paper's
+// candidate (Erec) prune. It scales to mid-sized data and serves as the
+// "no tree, no push-up" comparison point in the pruning ablation bench.
+
+#ifndef RPM_CORE_BRUTE_FORCE_H_
+#define RPM_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/core/mining_params.h"
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm {
+
+/// Largest item universe MineByDefinition accepts (2^n subsets!).
+inline constexpr uint32_t kMaxDefinitionalItems = 20;
+
+/// Exhaustive definitional mining. Precondition: the number of distinct
+/// items in `db` is <= kMaxDefinitionalItems (checked). Results are in
+/// canonical itemset order.
+std::vector<RecurringPattern> MineByDefinition(const TransactionDatabase& db,
+                                               const RpParams& params);
+
+struct VerticalMinerOptions {
+  /// Apply the Erec candidate prune (true) or only the trivial
+  /// Sup >= minPS*minRec gate (false).
+  bool use_candidate_pruning = true;
+  size_t max_pattern_length = 0;  ///< 0 = unlimited.
+  /// Worker threads. Top-level suffix branches are independent in a
+  /// vertical DFS, so they parallelise embarrassingly: branches are dealt
+  /// round-robin to workers, results merged and canonicalised. 0 or 1 =
+  /// sequential. Results are identical to the sequential run.
+  size_t num_threads = 1;
+};
+
+struct VerticalMinerResult {
+  std::vector<RecurringPattern> patterns;
+  /// Itemsets whose timestamp list was materialised — the search-space
+  /// size the pruning ablation reports.
+  size_t nodes_explored = 0;
+};
+
+/// DFS miner over vertical timestamp lists. Results are in canonical
+/// itemset order.
+VerticalMinerResult MineVertical(const TransactionDatabase& db,
+                                 const RpParams& params,
+                                 const VerticalMinerOptions& options = {});
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,151 @@
+#include "rpm/core/measures.h"
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+
+std::vector<Timestamp> InterArrivalTimes(const TimestampList& ts) {
+  std::vector<Timestamp> iats;
+  if (ts.size() < 2) return iats;
+  iats.reserve(ts.size() - 1);
+  for (size_t i = 1; i < ts.size(); ++i) {
+    RPM_DCHECK(ts[i - 1] < ts[i]);
+    iats.push_back(ts[i] - ts[i - 1]);
+  }
+  return iats;
+}
+
+std::vector<PeriodicInterval> DecomposePeriodicIntervals(
+    const TimestampList& ts, Timestamp period) {
+  RPM_DCHECK(period > 0);
+  std::vector<PeriodicInterval> out;
+  if (ts.empty()) return out;
+  Timestamp run_start = ts[0];
+  uint64_t run_count = 1;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i] - ts[i - 1] <= period) {
+      ++run_count;
+    } else {
+      out.push_back({run_start, ts[i - 1], run_count});
+      run_start = ts[i];
+      run_count = 1;
+    }
+  }
+  out.push_back({run_start, ts.back(), run_count});
+  return out;
+}
+
+std::vector<PeriodicInterval> SelectInterestingIntervals(
+    const std::vector<PeriodicInterval>& intervals, uint64_t min_ps) {
+  std::vector<PeriodicInterval> out;
+  for (const PeriodicInterval& pi : intervals) {
+    if (pi.periodic_support >= min_ps) out.push_back(pi);
+  }
+  return out;
+}
+
+std::vector<PeriodicInterval> FindInterestingIntervals(
+    const TimestampList& ts, Timestamp period, uint64_t min_ps) {
+  // Algorithm 5 (getRecurrence), kept as one pass: track the current run's
+  // start and size; flush it as interesting when a gap > period (or the
+  // end of the list) closes a run of size >= min_ps.
+  RPM_DCHECK(period > 0);
+  RPM_DCHECK(min_ps >= 1);
+  std::vector<PeriodicInterval> out;
+  if (ts.empty()) return out;
+  Timestamp start_ts = ts[0];
+  Timestamp idl = ts[0];
+  uint64_t current_ps = 1;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    const Timestamp cur = ts[i];
+    if (cur - idl <= period) {
+      ++current_ps;
+    } else {
+      if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+      current_ps = 1;
+      start_ts = cur;
+    }
+    idl = cur;
+  }
+  if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+  return out;
+}
+
+uint64_t ComputeRecurrence(const TimestampList& ts, Timestamp period,
+                           uint64_t min_ps) {
+  return FindInterestingIntervals(ts, period, min_ps).size();
+}
+
+uint64_t ComputeErec(const TimestampList& ts, Timestamp period,
+                     uint64_t min_ps) {
+  RPM_DCHECK(period > 0);
+  RPM_DCHECK(min_ps >= 1);
+  if (ts.empty()) return 0;
+  uint64_t erec = 0;
+  uint64_t current_ps = 1;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i] - ts[i - 1] <= period) {
+      ++current_ps;
+    } else {
+      erec += current_ps / min_ps;
+      current_ps = 1;
+    }
+  }
+  erec += current_ps / min_ps;
+  return erec;
+}
+
+std::vector<PeriodicInterval> FindInterestingIntervalsTolerant(
+    const TimestampList& ts, Timestamp period, uint64_t min_ps,
+    uint32_t max_violations) {
+  if (max_violations == 0) {
+    return FindInterestingIntervals(ts, period, min_ps);
+  }
+  RPM_DCHECK(period > 0);
+  std::vector<PeriodicInterval> out;
+  if (ts.empty()) return out;
+  Timestamp start_ts = ts[0];
+  Timestamp idl = ts[0];
+  uint64_t current_ps = 1;
+  uint32_t violations = 0;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    const Timestamp cur = ts[i];
+    if (cur - idl <= period) {
+      ++current_ps;
+    } else if (violations < max_violations) {
+      // Absorb the over-period gap: the run continues, the bridged
+      // timestamp still counts.
+      ++violations;
+      ++current_ps;
+    } else {
+      if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+      current_ps = 1;
+      violations = 0;
+      start_ts = cur;
+    }
+    idl = cur;
+  }
+  if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+  return out;
+}
+
+uint64_t ComputeTolerantRecurrenceBound(size_t support, uint64_t min_ps) {
+  RPM_DCHECK(min_ps >= 1);
+  return static_cast<uint64_t>(support) / min_ps;
+}
+
+std::vector<PeriodicInterval> FindInterestingIntervals(
+    const TimestampList& ts, const RpParams& params) {
+  return FindInterestingIntervalsTolerant(ts, params.period, params.min_ps,
+                                          params.max_gap_violations);
+}
+
+uint64_t ComputeRecurrenceUpperBound(const TimestampList& ts,
+                                     const RpParams& params) {
+  if (params.max_gap_violations > 0) {
+    return ComputeTolerantRecurrenceBound(ts.size(), params.min_ps);
+  }
+  return ComputeErec(ts, params.period, params.min_ps);
+}
+
+}  // namespace rpm

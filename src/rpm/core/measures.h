@@ -1,0 +1,83 @@
+// The paper's interestingness measures over point sequences:
+// inter-arrival times (Definition 4), periodic-interval decomposition
+// (Definitions 5-6), interesting intervals (Definition 7, Algorithm 5),
+// recurrence (Definition 8) and the Erec pruning bound (Sec. 4.1).
+//
+// Everything here operates on a sorted, duplicate-free TimestampList TS^X;
+// miners obtain those lists from their tree structures, tests and the
+// brute-force miner from TransactionDatabase::TimestampsOf().
+
+#ifndef RPM_CORE_MEASURES_H_
+#define RPM_CORE_MEASURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/core/mining_params.h"
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// IAT^X = {ts_{k+1} - ts_k}: one element per consecutive pair
+/// (Definition 4, Example 4). Empty when |ts| < 2.
+std::vector<Timestamp> InterArrivalTimes(const TimestampList& ts);
+
+/// Decomposes TS^X into all maximal periodic-intervals: maximal runs of
+/// consecutive timestamps whose gaps are <= period, each annotated with its
+/// periodic-support (Definitions 5-6, Example 5). A single isolated
+/// timestamp forms an interval [t, t] with ps = 1.
+std::vector<PeriodicInterval> DecomposePeriodicIntervals(
+    const TimestampList& ts, Timestamp period);
+
+/// Keeps the interesting intervals: ps >= min_ps (Definition 7).
+std::vector<PeriodicInterval> SelectInterestingIntervals(
+    const std::vector<PeriodicInterval>& intervals, uint64_t min_ps);
+
+/// Single pass producing IPI^X directly (the paper's Algorithm 5,
+/// getRecurrence, returning the intervals rather than only the boolean).
+std::vector<PeriodicInterval> FindInterestingIntervals(
+    const TimestampList& ts, Timestamp period, uint64_t min_ps);
+
+/// Rec(X) = |IPI^X| (Definition 8).
+uint64_t ComputeRecurrence(const TimestampList& ts, Timestamp period,
+                           uint64_t min_ps);
+
+/// Estimated maximum recurrence Erec(X) = sum_i floor(ps_i / min_ps) over
+/// *all* periodic-intervals (Sec. 4.1). Upper-bounds Rec(Y) for every
+/// Y >= X (Properties 1-2); computed in one pass without materialising the
+/// decomposition.
+uint64_t ComputeErec(const TimestampList& ts, Timestamp period,
+                     uint64_t min_ps);
+
+// --- Noise-tolerant extension (paper Sec. 6 future work) -------------------
+
+/// Like FindInterestingIntervals, but an interval may absorb up to
+/// `max_violations` inter-arrival times exceeding `period` before being
+/// split. Timestamps bridged by a violated gap still count toward the
+/// interval's periodic-support. With max_violations == 0 this is exactly
+/// the paper's model.
+std::vector<PeriodicInterval> FindInterestingIntervalsTolerant(
+    const TimestampList& ts, Timestamp period, uint64_t min_ps,
+    uint32_t max_violations);
+
+/// Anti-monotone recurrence upper bound valid under gap tolerance:
+/// floor(|TS^X| / min_ps). (The paper's Erec is *not* a valid bound once
+/// intervals may merge across violated gaps, because splitting a merged
+/// run loses floor mass; each interesting interval still consumes at least
+/// min_ps distinct timestamps, so the support quotient is safe.)
+uint64_t ComputeTolerantRecurrenceBound(size_t support, uint64_t min_ps);
+
+// --- Parameter-dispatched entry points used by the miners ------------------
+
+/// FindInterestingIntervals / ...Tolerant according to params.
+std::vector<PeriodicInterval> FindInterestingIntervals(
+    const TimestampList& ts, const RpParams& params);
+
+/// Erec (exact model) or the tolerant support bound, per params.
+uint64_t ComputeRecurrenceUpperBound(const TimestampList& ts,
+                                     const RpParams& params);
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_MEASURES_H_

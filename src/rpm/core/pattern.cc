@@ -1,0 +1,49 @@
+#include "rpm/core/pattern.h"
+
+#include <algorithm>
+
+namespace rpm {
+
+std::string RecurringPattern::ToString(const ItemDictionary* dict) const {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += dict != nullptr ? dict->NameOf(items[i])
+                           : std::to_string(items[i]);
+  }
+  out += " [support=" + std::to_string(support) +
+         ", recurrence=" + std::to_string(recurrence()) + ", {";
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    if (i > 0) out += ", ";
+    const PeriodicInterval& pi = intervals[i];
+    out += "{[" + std::to_string(pi.begin) + "," + std::to_string(pi.end) +
+           "]:" + std::to_string(pi.periodic_support) + "}";
+  }
+  out += "}]";
+  return out;
+}
+
+void SortPatternsCanonically(std::vector<RecurringPattern>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const RecurringPattern& a, const RecurringPattern& b) {
+              return a.items < b.items;
+            });
+}
+
+bool SamePatternSets(std::vector<RecurringPattern> a,
+                     std::vector<RecurringPattern> b) {
+  if (a.size() != b.size()) return false;
+  SortPatternsCanonically(&a);
+  SortPatternsCanonically(&b);
+  return a == b;
+}
+
+size_t MaxPatternLength(const std::vector<RecurringPattern>& patterns) {
+  size_t max_len = 0;
+  for (const RecurringPattern& p : patterns) {
+    max_len = std::max(max_len, p.items.size());
+  }
+  return max_len;
+}
+
+}  // namespace rpm

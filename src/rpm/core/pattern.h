@@ -1,0 +1,64 @@
+// Recurring patterns and their periodic intervals (Definitions 5-9, Eq. 1).
+
+#ifndef RPM_CORE_PATTERN_H_
+#define RPM_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "rpm/timeseries/item_dictionary.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// One periodic-interval pi = [begin, end] together with its
+/// periodic-support ps (Definitions 5-6; one-to-one relationship).
+struct PeriodicInterval {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  uint64_t periodic_support = 0;
+
+  /// Length of the window in time units.
+  Timestamp Duration() const { return end - begin; }
+
+  friend bool operator==(const PeriodicInterval&,
+                         const PeriodicInterval&) = default;
+};
+
+/// A discovered recurring pattern in the paper's output form (Eq. 1):
+///   X [Sup(X), Rec(X), {{pi_k : ps_k} | pi_k in IPI^X}]
+struct RecurringPattern {
+  /// Items sorted ascending.
+  Itemset items;
+  /// Sup(X) = |TS^X| over the whole database (Definition 3).
+  uint64_t support = 0;
+  /// The *interesting* periodic-intervals IPI^X, ordered by begin time.
+  std::vector<PeriodicInterval> intervals;
+
+  /// Rec(X) = |IPI^X| (Definition 8).
+  uint64_t recurrence() const { return intervals.size(); }
+
+  /// Eq. 1 rendering, e.g.
+  ///   "ab [support=7, recurrence=2, {{[1,4]:3}, {[11,14]:3}}]".
+  /// Items print as names when `dict` is given, else as ids.
+  std::string ToString(const ItemDictionary* dict = nullptr) const;
+
+  friend bool operator==(const RecurringPattern&,
+                         const RecurringPattern&) = default;
+};
+
+/// Canonical order for result comparison: by itemset, lexicographically
+/// (shorter prefix first).
+void SortPatternsCanonically(std::vector<RecurringPattern>* patterns);
+
+/// True iff both sets contain the same patterns with identical supports
+/// and interval lists (order-insensitive). Used by equivalence tests.
+bool SamePatternSets(std::vector<RecurringPattern> a,
+                     std::vector<RecurringPattern> b);
+
+/// Length of the longest pattern; 0 for an empty set (Table 8 column II).
+size_t MaxPatternLength(const std::vector<RecurringPattern>& patterns);
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_PATTERN_H_

@@ -1,0 +1,58 @@
+#include "rpm/core/pattern_filters.h"
+
+#include <algorithm>
+
+namespace rpm {
+
+Itemset ClosureOf(const TransactionDatabase& db, const Itemset& pattern) {
+  Itemset closure;
+  bool first = true;
+  for (const Transaction& tr : db.transactions()) {
+    if (!ContainsAll(tr.items, pattern)) continue;
+    if (first) {
+      closure = tr.items;
+      first = false;
+    } else {
+      Itemset next;
+      next.reserve(closure.size());
+      std::set_intersection(closure.begin(), closure.end(),
+                            tr.items.begin(), tr.items.end(),
+                            std::back_inserter(next));
+      closure = std::move(next);
+    }
+    if (closure.size() == pattern.size()) break;  // Cannot shrink further.
+  }
+  return first ? pattern : closure;
+}
+
+std::vector<RecurringPattern> FilterClosed(
+    const TransactionDatabase& db, std::vector<RecurringPattern> patterns) {
+  std::erase_if(patterns, [&db](const RecurringPattern& p) {
+    return ClosureOf(db, p.items) != p.items;
+  });
+  return patterns;
+}
+
+std::vector<RecurringPattern> FilterMaximal(
+    std::vector<RecurringPattern> patterns) {
+  // Snapshot the itemsets sorted by length descending so only longer
+  // patterns are tested as supersets (erase_if relocates elements, so the
+  // snapshot must own its data).
+  std::vector<Itemset> by_length_desc;
+  by_length_desc.reserve(patterns.size());
+  for (const RecurringPattern& p : patterns) by_length_desc.push_back(p.items);
+  std::sort(by_length_desc.begin(), by_length_desc.end(),
+            [](const Itemset& a, const Itemset& b) {
+              return a.size() > b.size();
+            });
+  std::erase_if(patterns, [&](const RecurringPattern& p) {
+    for (const Itemset& candidate : by_length_desc) {
+      if (candidate.size() <= p.items.size()) break;  // Sorted by length.
+      if (ContainsAll(candidate, p.items)) return true;
+    }
+    return false;
+  });
+  return patterns;
+}
+
+}  // namespace rpm

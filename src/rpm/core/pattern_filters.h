@@ -1,0 +1,41 @@
+// Condensed representations of recurring-pattern result sets.
+//
+// Low thresholds can yield tens of thousands of patterns (Table 5), most
+// of which are redundant sub-patterns of each other. Two standard
+// reductions from the frequent-pattern literature apply directly:
+//
+//  * closed    — keep X only if no proper superset occurs in exactly the
+//                same transactions (computed against the database, so the
+//                result is exact regardless of what was mined);
+//  * maximal   — keep X only if no proper superset is itself in the result
+//                set (relative to the mined set; the stronger reduction).
+
+#ifndef RPM_CORE_PATTERN_FILTERS_H_
+#define RPM_CORE_PATTERN_FILTERS_H_
+
+#include <vector>
+
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm {
+
+/// The closure of `pattern`: the intersection of all transactions
+/// containing it (= the unique largest superset with identical TS^X).
+/// Precondition: pattern occurs at least once. An absent pattern returns
+/// itself.
+Itemset ClosureOf(const TransactionDatabase& db, const Itemset& pattern);
+
+/// Keeps exactly the closed patterns: X with ClosureOf(X) == X.
+/// Order-preserving.
+std::vector<RecurringPattern> FilterClosed(
+    const TransactionDatabase& db, std::vector<RecurringPattern> patterns);
+
+/// Keeps the maximal patterns: those with no proper superset in
+/// `patterns`. Order-preserving.
+std::vector<RecurringPattern> FilterMaximal(
+    std::vector<RecurringPattern> patterns);
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_PATTERN_FILTERS_H_

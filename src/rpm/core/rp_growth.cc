@@ -1,0 +1,216 @@
+#include "rpm/core/rp_growth.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/stopwatch.h"
+#include "rpm/core/measures.h"
+#include "rpm/core/rp_tree.h"
+
+namespace rpm {
+namespace {
+
+/// One (prefix path, ts-list) element of a conditional pattern base.
+struct PathRef {
+  std::vector<uint32_t> ranks;  // Ancestor ranks, ascending.
+  const TimestampList* ts;      // Owned by the tree; valid until push-up.
+};
+
+class Miner {
+ public:
+  Miner(const RpParams& params, const RpGrowthOptions& options,
+        RpGrowthResult* result)
+      : params_(params), options_(options), result_(result) {}
+
+  /// Algorithm 4 over one (possibly conditional) tree. `suffix` holds the
+  /// items of alpha; the tree is consumed (ts-lists pushed up, nodes
+  /// detached) in the process.
+  void MineTree(TsPrefixTree* tree, Itemset* suffix) {
+    for (size_t rank = tree->num_ranks(); rank-- > 0;) {
+      if (tree->HeadOfRank(rank) != nullptr) {
+        ProcessRank(tree, rank, suffix);
+        tree->PushUpAndRemove(rank);
+      }
+    }
+  }
+
+ private:
+  /// True when beta (with the given full TS^beta) may still lead to
+  /// recurring patterns — the paper's candidate test, or the weaker
+  /// support-only gate in the ablation mode.
+  bool PassesGate(const TimestampList& sorted_ts) const {
+    if (options_.pruning == PruningMode::kSupportOnly) {
+      return sorted_ts.size() >= params_.min_ps * params_.min_rec;
+    }
+    return ComputeRecurrenceUpperBound(sorted_ts, params_) >=
+           params_.min_rec;
+  }
+
+  void ProcessRank(TsPrefixTree* tree, size_t rank, Itemset* suffix) {
+    // Collect the conditional pattern base of ai and TS^beta in one walk.
+    std::vector<PathRef> paths;
+    TimestampList ts_beta;
+    tree->ForEachNodeOfRank(
+        rank, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
+          if (ts.empty() && path.empty()) return;
+          paths.push_back({path, &ts});
+          ts_beta.insert(ts_beta.end(), ts.begin(), ts.end());
+        });
+    if (ts_beta.empty()) return;
+    std::sort(ts_beta.begin(), ts_beta.end());
+
+    ++result_->stats.patterns_examined;
+    if (!PassesGate(ts_beta)) return;
+
+    suffix->push_back(tree->ItemAtRank(rank));
+
+    // getRecurrence (Algorithm 5): is beta itself recurring?
+    std::vector<PeriodicInterval> intervals =
+        FindInterestingIntervals(ts_beta, params_);
+    if (intervals.size() >= params_.min_rec) {
+      RecurringPattern pattern;
+      pattern.items = *suffix;
+      std::sort(pattern.items.begin(), pattern.items.end());
+      pattern.support = ts_beta.size();
+      pattern.intervals = std::move(intervals);
+      ++result_->stats.patterns_emitted;
+      if (options_.sink) options_.sink(pattern);
+      if (options_.store_patterns) {
+        result_->patterns.push_back(std::move(pattern));
+      }
+    }
+
+    const bool depth_ok = options_.max_pattern_length == 0 ||
+                          suffix->size() < options_.max_pattern_length;
+    if (depth_ok) BuildConditionalAndRecurse(tree, paths, suffix);
+    suffix->pop_back();
+  }
+
+  void BuildConditionalAndRecurse(TsPrefixTree* tree,
+                                  const std::vector<PathRef>& paths,
+                                  Itemset* suffix) {
+    const size_t nranks = tree->num_ranks();
+
+    // Map every node's ts-list onto all items of its path ("temporary
+    // array, one for each item" in Sec. 4.2.3): acc[r] becomes
+    // TS^{beta + item_at_rank_r}.
+    std::vector<TimestampList> acc(nranks);
+    std::vector<uint32_t> touched;
+    for (const PathRef& pr : paths) {
+      for (uint32_t r : pr.ranks) {
+        if (acc[r].empty()) touched.push_back(r);
+        acc[r].insert(acc[r].end(), pr.ts->begin(), pr.ts->end());
+      }
+    }
+    if (touched.empty()) return;
+
+    // Keep items that can still extend beta (conditional Erec gate).
+    std::vector<uint32_t> kept;
+    for (uint32_t r : touched) {
+      std::sort(acc[r].begin(), acc[r].end());
+      if (PassesGate(acc[r])) kept.push_back(r);
+    }
+    if (kept.empty()) return;
+
+    // Conditional item order: support-descending, ties by parent order.
+    std::sort(kept.begin(), kept.end(), [&](uint32_t a, uint32_t b) {
+      return acc[a].size() != acc[b].size() ? acc[a].size() > acc[b].size()
+                                            : a < b;
+    });
+    std::vector<uint32_t> new_rank_of(nranks, kNotCandidate);
+    std::vector<ItemId> items_by_rank(kept.size());
+    for (uint32_t nr = 0; nr < kept.size(); ++nr) {
+      new_rank_of[kept[nr]] = nr;
+      items_by_rank[nr] = tree->ItemAtRank(kept[nr]);
+    }
+
+    TsPrefixTree cond(std::move(items_by_rank));
+    std::vector<uint32_t> mapped;
+    for (const PathRef& pr : paths) {
+      mapped.clear();
+      for (uint32_t r : pr.ranks) {
+        if (new_rank_of[r] != kNotCandidate) mapped.push_back(new_rank_of[r]);
+      }
+      if (mapped.empty()) continue;
+      std::sort(mapped.begin(), mapped.end());
+      cond.InsertPath(mapped, *pr.ts);
+    }
+    ++result_->stats.conditional_trees;
+    if (!cond.empty()) MineTree(&cond, suffix);
+  }
+
+  const RpParams& params_;
+  const RpGrowthOptions& options_;
+  RpGrowthResult* result_;
+};
+
+}  // namespace
+
+RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
+                                     const RpParams& params,
+                                     const RpGrowthOptions& options) {
+  RPM_CHECK(params.Validate().ok()) << params.ToString();
+  RpGrowthResult result;
+  Stopwatch total;
+
+  // Pass 1: RP-list (Algorithm 1).
+  Stopwatch phase;
+  RpList list = BuildRpList(db, params);
+  result.stats.num_items = list.entries().size();
+  result.stats.list_seconds = phase.ElapsedSeconds();
+
+  // Candidate item order per pruning mode.
+  std::vector<ItemId> items_by_rank;
+  std::vector<uint32_t> rank_of(db.ItemUniverseSize(), kNotCandidate);
+  if (options.pruning == PruningMode::kErec) {
+    items_by_rank.reserve(list.candidates().size());
+    for (const RpListEntry& e : list.candidates()) {
+      items_by_rank.push_back(e.item);
+    }
+  } else {
+    std::vector<RpListEntry> entries = list.entries();
+    const uint64_t min_support = params.min_ps * params.min_rec;
+    std::erase_if(entries, [&](const RpListEntry& e) {
+      return e.support < min_support;
+    });
+    std::sort(entries.begin(), entries.end(),
+              [](const RpListEntry& a, const RpListEntry& b) {
+                return a.support != b.support ? a.support > b.support
+                                              : a.item < b.item;
+              });
+    items_by_rank.reserve(entries.size());
+    for (const RpListEntry& e : entries) items_by_rank.push_back(e.item);
+  }
+  for (uint32_t rank = 0; rank < items_by_rank.size(); ++rank) {
+    rank_of[items_by_rank[rank]] = rank;
+  }
+  result.stats.num_candidate_items = items_by_rank.size();
+
+  // Pass 2: RP-tree (Algorithms 2-3).
+  phase.Restart();
+  TsPrefixTree tree(std::move(items_by_rank));
+  std::vector<uint32_t> ranks;
+  for (const Transaction& tr : db.transactions()) {
+    ranks.clear();
+    for (ItemId item : tr.items) {
+      if (rank_of[item] != kNotCandidate) ranks.push_back(rank_of[item]);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    tree.InsertTransaction(ranks, tr.ts);
+  }
+  result.stats.initial_tree_nodes = tree.NodeCount();
+  result.stats.tree_seconds = phase.ElapsedSeconds();
+
+  // Bottom-up mining (Algorithm 4).
+  phase.Restart();
+  Itemset suffix;
+  Miner miner(params, options, &result);
+  miner.MineTree(&tree, &suffix);
+  result.stats.mine_seconds = phase.ElapsedSeconds();
+
+  SortPatternsCanonically(&result.patterns);
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpm

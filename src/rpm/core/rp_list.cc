@@ -1,0 +1,83 @@
+#include "rpm/core/rp_list.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+
+RpList BuildRpList(const TransactionDatabase& db, const RpParams& params) {
+  RPM_CHECK(params.Validate().ok()) << params.ToString();
+
+  // Dense per-item scan state (Algorithm 1's idl / ps arrays).
+  struct ScanState {
+    uint64_t support = 0;
+    uint64_t erec = 0;
+    Timestamp idl = 0;
+    uint64_t ps = 0;  // 0 means "not seen yet".
+  };
+  std::vector<ScanState> state(db.ItemUniverseSize());
+
+  for (const Transaction& tr : db.transactions()) {
+    for (ItemId item : tr.items) {
+      ScanState& s = state[item];
+      if (s.ps == 0) {
+        // First occurrence (lines 3-5).
+        s.support = 1;
+        s.erec = 0;
+        s.idl = tr.ts;
+        s.ps = 1;
+      } else if (tr.ts - s.idl <= params.period) {
+        // Periodic reappearance (lines 7-8).
+        ++s.support;
+        ++s.ps;
+        s.idl = tr.ts;
+      } else {
+        // Run closed; start a new subset of the database (lines 10-11).
+        s.erec += s.ps / params.min_ps;
+        ++s.support;
+        s.ps = 1;
+        s.idl = tr.ts;
+      }
+    }
+  }
+
+  RpList list;
+  list.rank_of_.assign(db.ItemUniverseSize(), kNotCandidate);
+  for (ItemId item = 0; item < state.size(); ++item) {
+    ScanState& s = state[item];
+    if (s.ps == 0) continue;  // Item absent from the database.
+    s.erec += s.ps / params.min_ps;  // Final flush (line 15).
+    uint64_t bound =
+        params.max_gap_violations > 0 ? s.support / params.min_ps : s.erec;
+    list.entries_.push_back({item, s.support, bound});
+  }
+
+  list.candidates_ = list.entries_;
+  std::erase_if(list.candidates_, [&](const RpListEntry& e) {
+    return e.erec < params.min_rec;
+  });
+  std::sort(list.candidates_.begin(), list.candidates_.end(),
+            [](const RpListEntry& a, const RpListEntry& b) {
+              return a.support != b.support ? a.support > b.support
+                                            : a.item < b.item;
+            });
+  for (uint32_t rank = 0; rank < list.candidates_.size(); ++rank) {
+    list.rank_of_[list.candidates_[rank].item] = rank;
+  }
+  return list;
+}
+
+std::string RpList::ToString() const {
+  std::string out = "RP-list[";
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(candidates_[i].item) + "(s=" +
+           std::to_string(candidates_[i].support) +
+           ",erec=" + std::to_string(candidates_[i].erec) + ")";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace rpm

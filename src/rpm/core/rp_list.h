@@ -1,0 +1,80 @@
+// RP-list: candidate-item discovery in one database scan (Algorithm 1,
+// Figure 4).
+//
+// For every distinct item the scan maintains support `s`, the timestamp of
+// the last appearance `idl`, the length of the current periodic run `ps`,
+// and the accumulated estimated-maximum-recurrence `erec`
+// (+= floor(ps / minPS) each time a run closes, with a final flush).
+// Items with erec < minRec cannot participate in any recurring pattern
+// (Sec. 4.1) and are pruned; survivors are the candidate items CI, sorted
+// by descending support — the item order of the RP-tree.
+
+#ifndef RPM_CORE_RP_LIST_H_
+#define RPM_CORE_RP_LIST_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "rpm/core/mining_params.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm {
+
+/// Per-item aggregate after the scan (one row of Figure 4(e)).
+struct RpListEntry {
+  ItemId item = kInvalidItem;
+  uint64_t support = 0;
+  uint64_t erec = 0;
+};
+
+/// Rank sentinel for non-candidate items.
+inline constexpr uint32_t kNotCandidate =
+    std::numeric_limits<uint32_t>::max();
+
+/// The populated RP-list: all item aggregates plus the pruned, sorted
+/// candidate order.
+class RpList {
+ public:
+  /// All items that occur in the database, in ItemId order.
+  const std::vector<RpListEntry>& entries() const { return entries_; }
+
+  /// Candidate items (erec >= minRec), sorted by support descending,
+  /// ties broken by ascending ItemId (Figure 4(f)).
+  const std::vector<RpListEntry>& candidates() const { return candidates_; }
+
+  /// Rank of `item` in the candidate order (0 = most frequent), or
+  /// kNotCandidate.
+  uint32_t RankOf(ItemId item) const {
+    return item < rank_of_.size() ? rank_of_[item] : kNotCandidate;
+  }
+
+  bool IsCandidate(ItemId item) const {
+    return RankOf(item) != kNotCandidate;
+  }
+
+  size_t num_candidates() const { return candidates_.size(); }
+
+  /// Debug rendering of the candidate list.
+  std::string ToString() const;
+
+ private:
+  friend RpList BuildRpList(const TransactionDatabase& db,
+                            const RpParams& params);
+
+  std::vector<RpListEntry> entries_;
+  std::vector<RpListEntry> candidates_;
+  std::vector<uint32_t> rank_of_;
+};
+
+/// Runs Algorithm 1 over the database. `params` must validate.
+///
+/// In the noise-tolerant mode (params.max_gap_violations > 0) the per-item
+/// bound is floor(support / minPS) instead of the paper's Erec — see
+/// measures.h for why Erec is unsound under gap tolerance.
+RpList BuildRpList(const TransactionDatabase& db, const RpParams& params);
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_RP_LIST_H_

@@ -1,0 +1,85 @@
+#include "rpm/core/rp_tree.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+
+TsPrefixTree::TsPrefixTree(std::vector<ItemId> items_by_rank)
+    : items_by_rank_(std::move(items_by_rank)),
+      heads_(items_by_rank_.size(), nullptr),
+      chain_tails_(items_by_rank_.size(), nullptr) {
+  arena_.emplace_back();  // Root ("null" label in Algorithm 2).
+  root_ = &arena_.front();
+}
+
+TsPrefixTree::Node* TsPrefixTree::GetOrCreateChild(Node* parent,
+                                                   uint32_t rank) {
+  for (Node* c : parent->children) {
+    if (c->rank == rank) return c;
+  }
+  arena_.emplace_back();
+  Node* node = &arena_.back();
+  node->rank = rank;
+  node->parent = parent;
+  parent->children.push_back(node);
+  // Append to the node-link chain for this rank.
+  if (chain_tails_[rank] == nullptr) {
+    heads_[rank] = node;
+  } else {
+    chain_tails_[rank]->next_link = node;
+  }
+  chain_tails_[rank] = node;
+  ++live_nodes_;
+  return node;
+}
+
+void TsPrefixTree::InsertTransaction(const std::vector<uint32_t>& ranks,
+                                     Timestamp ts) {
+  if (ranks.empty()) return;
+  Node* node = root_;
+  for (uint32_t rank : ranks) {
+    RPM_DCHECK(rank < num_ranks());
+    node = GetOrCreateChild(node, rank);
+  }
+  node->ts_list.push_back(ts);
+}
+
+void TsPrefixTree::InsertPath(const std::vector<uint32_t>& ranks,
+                              const TimestampList& ts_list) {
+  if (ranks.empty()) return;
+  Node* node = root_;
+  for (uint32_t rank : ranks) {
+    RPM_DCHECK(rank < num_ranks());
+    node = GetOrCreateChild(node, rank);
+  }
+  node->ts_list.insert(node->ts_list.end(), ts_list.begin(), ts_list.end());
+}
+
+void TsPrefixTree::PushUpAndRemove(size_t rank) {
+  for (Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
+    RPM_DCHECK(n->children.empty())
+        << "rank " << rank << " removed before deeper ranks";
+    Node* parent = n->parent;
+    if (parent != root_) {
+      if (parent->ts_list.empty()) {
+        parent->ts_list = std::move(n->ts_list);
+      } else {
+        parent->ts_list.insert(parent->ts_list.end(), n->ts_list.begin(),
+                               n->ts_list.end());
+      }
+    }
+    n->ts_list.clear();
+    n->ts_list.shrink_to_fit();
+    auto it = std::find(parent->children.begin(), parent->children.end(), n);
+    RPM_DCHECK(it != parent->children.end());
+    *it = parent->children.back();
+    parent->children.pop_back();
+    --live_nodes_;
+  }
+  heads_[rank] = nullptr;
+  chain_tails_[rank] = nullptr;
+}
+
+}  // namespace rpm

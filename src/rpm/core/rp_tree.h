@@ -1,0 +1,105 @@
+// RP-tree: a prefix tree over rank-ordered items whose nodes carry
+// timestamp lists (ts-lists) at the deepest node of each inserted
+// transaction (Sec. 4.2.1, Figures 3 and 5).
+//
+// Unlike an FP-tree there is no per-node support count; all frequency *and*
+// periodicity information lives in the ts-lists (the paper's tail nodes).
+// Mining proceeds bottom-up: after the lowest-ranked item is processed its
+// ts-lists are pushed up to the parents (Lemma 3), which makes the next
+// item's nodes complete in turn.
+//
+// The structure is shared by RP-growth and the PF-growth++ baseline; the
+// two differ only in the measures/pruning applied to collected ts-lists.
+
+#ifndef RPM_CORE_RP_TREE_H_
+#define RPM_CORE_RP_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// Prefix tree keyed by item *rank* (0 = first item of the tree's order).
+/// Owns its nodes; not copyable (mining mutates it in place).
+class TsPrefixTree {
+ public:
+  struct Node {
+    uint32_t rank = 0;
+    Node* parent = nullptr;
+    Node* next_link = nullptr;  // Chain of nodes with the same rank.
+    std::vector<Node*> children;
+    /// Timestamps of transactions whose deepest item is this node
+    /// (plus any lists pushed up from removed descendants). May be
+    /// unsorted after push-up; consumers sort on collection.
+    TimestampList ts_list;
+  };
+
+  /// `items_by_rank[r]` is the ItemId occupying rank r.
+  explicit TsPrefixTree(std::vector<ItemId> items_by_rank);
+
+  TsPrefixTree(const TsPrefixTree&) = delete;
+  TsPrefixTree& operator=(const TsPrefixTree&) = delete;
+  TsPrefixTree(TsPrefixTree&&) = default;
+  TsPrefixTree& operator=(TsPrefixTree&&) = default;
+
+  size_t num_ranks() const { return items_by_rank_.size(); }
+  ItemId ItemAtRank(size_t rank) const { return items_by_rank_[rank]; }
+  const std::vector<ItemId>& items_by_rank() const { return items_by_rank_; }
+
+  /// Inserts one transaction: `ranks` sorted ascending, duplicate-free.
+  /// Appends `ts` to the ts-list of the deepest node (Algorithm 3).
+  /// No-op for an empty rank set.
+  void InsertTransaction(const std::vector<uint32_t>& ranks, Timestamp ts);
+
+  /// Inserts a whole prefix path carrying an accumulated ts-list
+  /// (conditional-tree construction). Lists of coinciding paths merge.
+  void InsertPath(const std::vector<uint32_t>& ranks,
+                  const TimestampList& ts_list);
+
+  /// Head of the node-link chain for `rank` (nullptr when absent).
+  const Node* HeadOfRank(size_t rank) const { return heads_[rank]; }
+
+  /// Visits every node of `rank`: fn(path, ts_list) where `path` holds the
+  /// ancestor ranks in ascending order (root side first), excluding `rank`
+  /// itself. The ts_list reference stays valid until the next mutation.
+  template <typename Fn>
+  void ForEachNodeOfRank(size_t rank, Fn&& fn) const {
+    std::vector<uint32_t> path;
+    for (const Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
+      path.clear();
+      for (const Node* a = n->parent; a != root_; a = a->parent) {
+        path.push_back(a->rank);
+      }
+      std::reverse(path.begin(), path.end());
+      fn(path, n->ts_list);
+    }
+  }
+
+  /// Pushes every ts-list of `rank` to the respective parent and detaches
+  /// the nodes (Algorithm 4 line 9 / Lemma 3). After this, HeadOfRank(rank)
+  /// is nullptr. Precondition: all deeper ranks were already removed.
+  void PushUpAndRemove(size_t rank);
+
+  /// Number of live nodes, excluding the root (Lemma 2's size measure).
+  size_t NodeCount() const { return live_nodes_; }
+
+  bool empty() const { return live_nodes_ == 0; }
+
+ private:
+  Node* GetOrCreateChild(Node* parent, uint32_t rank);
+
+  std::vector<ItemId> items_by_rank_;
+  std::deque<Node> arena_;  // Stable addresses; root_ is arena_[0].
+  Node* root_ = nullptr;
+  std::vector<Node*> heads_;
+  std::vector<Node*> chain_tails_;  // O(1) chain append.
+  size_t live_nodes_ = 0;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_RP_TREE_H_

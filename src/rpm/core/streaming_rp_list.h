@@ -1,0 +1,96 @@
+// Online (streaming) maintenance of the RP-list over an append-only event
+// stream — Algorithm 1 as an incremental structure.
+//
+// A monitoring deployment (the paper's network-administration use case)
+// cannot re-scan history on every event. StreamingRpList ingests events in
+// timestamp order and maintains, per item: support, the current periodic
+// run, accumulated Erec, and the closed interesting intervals so far —
+// enough to (a) answer "which items could currently be recurring" without
+// a scan, and (b) seed a full RP-growth run over stored history when an
+// item becomes interesting.
+
+#ifndef RPM_CORE_STREAMING_RP_LIST_H_
+#define RPM_CORE_STREAMING_RP_LIST_H_
+
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/core/mining_params.h"
+#include "rpm/core/pattern.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// Incremental per-item recurrence summary. Events must arrive in
+/// non-decreasing timestamp order.
+class StreamingRpList {
+ public:
+  /// `period` > 0, `min_ps` >= 1 (checked).
+  StreamingRpList(Timestamp period, uint64_t min_ps);
+
+  /// Ingests one event. InvalidArgument if `ts` precedes the newest
+  /// timestamp already observed (the stream contract).
+  Status Observe(ItemId item, Timestamp ts);
+
+  /// Ingests all items of one transaction at `ts`.
+  Status ObserveTransaction(Timestamp ts, const Itemset& items);
+
+  /// Items observed so far (upper bound on ids + 1).
+  size_t ItemUniverseSize() const { return states_.size(); }
+
+  /// Support of `item` so far (0 if unseen).
+  uint64_t SupportOf(ItemId item) const;
+
+  /// Erec including the still-open run — identical to what Algorithm 1
+  /// would report after its final flush if the stream ended now.
+  uint64_t ErecOf(ItemId item) const;
+
+  /// Interesting intervals already *closed* by an over-period gap. The
+  /// currently-open run is reported by OpenRunOf.
+  const std::vector<PeriodicInterval>& ClosedIntervalsOf(ItemId item) const;
+
+  /// The open run of `item` as an interval (ps counts its appearances);
+  /// periodic_support == 0 when the item is unseen.
+  PeriodicInterval OpenRunOf(ItemId item) const;
+
+  /// Recurrence so far: closed interesting intervals, plus the open run if
+  /// it already qualifies.
+  uint64_t RecurrenceOf(ItemId item) const;
+
+  /// Items whose current Erec reaches `min_rec` — the candidate set an
+  /// RP-growth run over stored history would use.
+  std::vector<ItemId> CandidateItems(uint64_t min_rec) const;
+
+  Timestamp period() const { return period_; }
+  uint64_t min_ps() const { return min_ps_; }
+  Timestamp last_timestamp() const { return last_ts_; }
+  uint64_t events_observed() const { return events_; }
+
+ private:
+  struct ItemState {
+    uint64_t support = 0;
+    uint64_t erec_closed = 0;     // Runs already terminated.
+    uint64_t open_ps = 0;         // 0 == unseen.
+    Timestamp open_start = 0;
+    Timestamp idl = 0;            // Last appearance.
+    std::vector<PeriodicInterval> closed_interesting;
+  };
+
+  const ItemState* Find(ItemId item) const {
+    return item < states_.size() && states_[item].open_ps > 0
+               ? &states_[item]
+               : nullptr;
+  }
+
+  Timestamp period_;
+  uint64_t min_ps_;
+  Timestamp last_ts_;
+  bool any_event_ = false;
+  uint64_t events_ = 0;
+  std::vector<ItemState> states_;
+  std::vector<PeriodicInterval> empty_;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_STREAMING_RP_LIST_H_

@@ -1,0 +1,78 @@
+#include "rpm/core/top_k.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+#include "rpm/core/rp_list.h"
+
+namespace rpm {
+
+namespace {
+
+/// Optimistic starting threshold: the k-th largest per-item Erec. No
+/// pattern can out-recur every one of its items (Property 1-2), so a
+/// database with fewer than k items at Erec >= r cannot have k patterns
+/// with Rec >= r... for single items; supersets only shrink Erec. It is
+/// still a heuristic for multi-item results, hence the descent loop.
+uint64_t InitialMinRec(const TransactionDatabase& db, Timestamp period,
+                       uint64_t min_ps, size_t k, uint64_t floor_min_rec) {
+  RpParams params;
+  params.period = period;
+  params.min_ps = min_ps;
+  params.min_rec = 1;
+  RpList list = BuildRpList(db, params);
+  std::vector<uint64_t> erecs;
+  erecs.reserve(list.entries().size());
+  for (const RpListEntry& e : list.entries()) erecs.push_back(e.erec);
+  if (erecs.size() < k) return floor_min_rec;
+  std::nth_element(erecs.begin(), erecs.begin() + (k - 1), erecs.end(),
+                   std::greater<uint64_t>());
+  return std::max(floor_min_rec, erecs[k - 1]);
+}
+
+}  // namespace
+
+TopKResult MineTopKByRecurrence(const TransactionDatabase& db,
+                                Timestamp period, uint64_t min_ps, size_t k,
+                                const TopKOptions& options) {
+  RPM_CHECK(k >= 1);
+  RPM_CHECK(options.floor_min_rec >= 1);
+
+  TopKResult result;
+  if (db.empty()) return result;
+
+  RpGrowthOptions growth_options;
+  growth_options.max_pattern_length = options.max_pattern_length;
+
+  uint64_t min_rec = InitialMinRec(db, period, min_ps, k,
+                                   options.floor_min_rec);
+  for (;;) {
+    RpParams params;
+    params.period = period;
+    params.min_ps = min_ps;
+    params.min_rec = min_rec;
+    params.max_gap_violations = options.max_gap_violations;
+    RpGrowthResult mined =
+        MineRecurringPatterns(db, params, growth_options);
+    ++result.rounds;
+    result.final_min_rec = min_rec;
+    result.patterns = std::move(mined.patterns);
+    if (result.patterns.size() >= k || min_rec <= options.floor_min_rec) {
+      break;
+    }
+    min_rec = std::max<uint64_t>(options.floor_min_rec, min_rec / 2);
+  }
+
+  std::sort(result.patterns.begin(), result.patterns.end(),
+            [](const RecurringPattern& a, const RecurringPattern& b) {
+              if (a.recurrence() != b.recurrence()) {
+                return a.recurrence() > b.recurrence();
+              }
+              if (a.support != b.support) return a.support > b.support;
+              return a.items < b.items;
+            });
+  if (result.patterns.size() > k) result.patterns.resize(k);
+  return result;
+}
+
+}  // namespace rpm

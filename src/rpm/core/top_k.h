@@ -1,0 +1,48 @@
+// Top-k recurring pattern mining by threshold descent.
+//
+// Picking minRec a priori is hard on unfamiliar data (the paper itself
+// reports that almost nothing survives minRec > 3 on its datasets). The
+// top-k interface asks instead for "the k most recurring patterns at this
+// per / minPS": mining starts from an optimistic minRec derived from the
+// per-item Erec distribution and halves it until at least k patterns
+// qualify, then returns the k best by (recurrence, support) — the standard
+// threshold-descent scheme from top-k frequent-pattern mining, reusing
+// RP-growth (and therefore the Erec prune) at every round.
+
+#ifndef RPM_CORE_TOP_K_H_
+#define RPM_CORE_TOP_K_H_
+
+#include <cstddef>
+
+#include "rpm/core/rp_growth.h"
+
+namespace rpm {
+
+struct TopKOptions {
+  /// Never mine below this recurrence (1 = exhaustive fallback).
+  uint64_t floor_min_rec = 1;
+  /// Forwarded to RP-growth.
+  size_t max_pattern_length = 0;
+  uint32_t max_gap_violations = 0;
+};
+
+struct TopKResult {
+  /// At most k patterns, ordered by recurrence desc, then support desc,
+  /// then canonical itemset order. Fewer than k when the database cannot
+  /// produce k patterns even at the floor threshold.
+  std::vector<RecurringPattern> patterns;
+  /// The minRec of the final mining round.
+  uint64_t final_min_rec = 0;
+  /// Mining rounds executed (each one full RP-growth run).
+  size_t rounds = 0;
+};
+
+/// Finds (up to) the k most-recurring patterns. `period` and `min_ps` are
+/// as in RpParams and must be valid; k >= 1.
+TopKResult MineTopKByRecurrence(const TransactionDatabase& db,
+                                Timestamp period, uint64_t min_ps, size_t k,
+                                const TopKOptions& options = {});
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_TOP_K_H_

@@ -1,0 +1,112 @@
+#include "rpm/gen/clickstream_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/random.h"
+#include "rpm/common/zipf.h"
+#include "rpm/timeseries/tdb_builder.h"
+
+namespace rpm::gen {
+
+double ClickstreamActivity(const ClickstreamParams& params, Timestamp ts) {
+  const double minute_of_day = static_cast<double>(ts % 1440);
+  // Cosine with trough at 04:00 (minute 240) and peak 12h later.
+  const double phase =
+      2.0 * std::numbers::pi * (minute_of_day - 240.0) / 1440.0;
+  const double diurnal = 0.5 * (1.0 - std::cos(phase));
+  double factor =
+      params.night_factor + (1.0 - params.night_factor) * diurnal;
+  const int day_of_week = static_cast<int>((ts / 1440) % 7);
+  if (day_of_week >= 5) factor *= params.weekend_factor;
+  return factor;
+}
+
+namespace {
+
+std::vector<SeasonalGroup> PlantGroups(const ClickstreamParams& params,
+                                       Rng* rng) {
+  std::vector<SeasonalGroup> groups(params.num_seasonal_groups);
+  for (SeasonalGroup& g : groups) {
+    const size_t size = params.min_group_size +
+                        rng->NextUint64(params.max_group_size -
+                                        params.min_group_size + 1);
+    // Draw categories from the mid-to-rare half so the groups are not
+    // drowned out by (nor confused with) the most popular categories.
+    const size_t lo = params.num_categories / 3;
+    std::vector<size_t> picks = rng->SampleWithoutReplacement(
+        params.num_categories - lo, size);
+    for (size_t p : picks) g.categories.push_back(static_cast<ItemId>(p + lo));
+    std::sort(g.categories.begin(), g.categories.end());
+
+    const size_t windows =
+        params.min_windows +
+        rng->NextUint64(params.max_windows - params.min_windows + 1);
+    for (size_t w = 0; w < windows; ++w) {
+      const Timestamp len =
+          params.min_window_minutes +
+          static_cast<Timestamp>(rng->NextUint64(static_cast<uint64_t>(
+              params.max_window_minutes - params.min_window_minutes + 1)));
+      const Timestamp latest_start =
+          std::max<Timestamp>(1, static_cast<Timestamp>(params.num_minutes) -
+                                     len);
+      const Timestamp begin = static_cast<Timestamp>(
+          rng->NextUint64(static_cast<uint64_t>(latest_start)));
+      g.windows.emplace_back(begin, begin + len);
+    }
+    std::sort(g.windows.begin(), g.windows.end());
+    g.fire_prob = params.group_fire_prob;
+  }
+  return groups;
+}
+
+bool InAnyWindow(const std::vector<TimeWindow>& windows, Timestamp ts) {
+  for (const TimeWindow& w : windows) {
+    if (ts >= w.first && ts < w.second) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GeneratedClickstream GenerateClickstream(const ClickstreamParams& params) {
+  RPM_CHECK(params.num_minutes > 0);
+  RPM_CHECK(params.num_categories > params.max_group_size);
+  Rng rng(params.seed);
+  ZipfSampler zipf(params.num_categories, params.zipf_exponent);
+
+  GeneratedClickstream result;
+  result.ground_truth = PlantGroups(params, &rng);
+
+  ItemDictionary dict;
+  for (size_t c = 0; c < params.num_categories; ++c) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "cat%03zu", c);
+    dict.GetOrAdd(name);
+  }
+
+  TdbBuilder builder;
+  Itemset txn;
+  for (size_t minute = 0; minute < params.num_minutes; ++minute) {
+    const Timestamp ts = static_cast<Timestamp>(minute);
+    const double activity = ClickstreamActivity(params, ts);
+    txn.clear();
+    const uint32_t visits = rng.NextPoisson(params.base_rate * activity);
+    for (uint32_t v = 0; v < visits; ++v) {
+      txn.push_back(static_cast<ItemId>(zipf.Sample(&rng)));
+    }
+    for (const SeasonalGroup& g : result.ground_truth) {
+      if (InAnyWindow(g.windows, ts) &&
+          rng.NextBernoulli(g.fire_prob * activity)) {
+        txn.insert(txn.end(), g.categories.begin(), g.categories.end());
+      }
+    }
+    if (!txn.empty()) builder.AddTransaction(ts, txn);
+  }
+  result.db = builder.Build(std::move(dict));
+  return result;
+}
+
+}  // namespace rpm::gen

@@ -1,0 +1,161 @@
+#include "rpm/gen/hashtag_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/random.h"
+#include "rpm/common/zipf.h"
+#include "rpm/timeseries/tdb_builder.h"
+
+namespace rpm::gen {
+
+double HashtagActivity(const HashtagParams& params, Timestamp ts) {
+  const double minute_of_day = static_cast<double>(ts % 1440);
+  const double phase =
+      2.0 * std::numbers::pi * (minute_of_day - 240.0) / 1440.0;
+  const double diurnal = 0.5 * (1.0 - std::cos(phase));
+  return params.night_factor + (1.0 - params.night_factor) * diurnal;
+}
+
+namespace {
+
+ResolvedBurstEvent Resolve(const BurstEventSpec& spec) {
+  ResolvedBurstEvent event;
+  event.label = spec.label;
+  for (size_t idx : spec.tag_indices) {
+    event.tags.push_back(static_cast<ItemId>(idx));
+  }
+  std::sort(event.tags.begin(), event.tags.end());
+  event.windows = spec.windows;
+  std::sort(event.windows.begin(), event.windows.end());
+  return event;
+}
+
+std::vector<BurstEventSpec> MakeRandomEvents(const HashtagParams& params,
+                                             Rng* rng) {
+  std::vector<BurstEventSpec> specs(params.num_random_events);
+  size_t counter = 0;
+  for (BurstEventSpec& spec : specs) {
+    spec.label = "random-event-" + std::to_string(counter++);
+    const size_t tags =
+        params.min_event_tags +
+        rng->NextUint64(params.max_event_tags - params.min_event_tags + 1);
+    // Bias toward the rarer two thirds of the tag universe so bursts are
+    // visible against the background (and exercise the rare-item case).
+    const size_t lo = params.num_hashtags / 3;
+    std::vector<size_t> picks =
+        rng->SampleWithoutReplacement(params.num_hashtags - lo, tags);
+    for (size_t p : picks) spec.tag_indices.push_back(p + lo);
+
+    const size_t windows = params.min_event_windows +
+                           rng->NextUint64(params.max_event_windows -
+                                           params.min_event_windows + 1);
+    for (size_t w = 0; w < windows; ++w) {
+      const Timestamp len =
+          params.min_event_minutes +
+          static_cast<Timestamp>(rng->NextUint64(static_cast<uint64_t>(
+              params.max_event_minutes - params.min_event_minutes + 1)));
+      const Timestamp latest_start = std::max<Timestamp>(
+          1, static_cast<Timestamp>(params.num_minutes) - len);
+      const Timestamp begin = static_cast<Timestamp>(
+          rng->NextUint64(static_cast<uint64_t>(latest_start)));
+      spec.windows.emplace_back(begin, begin + len);
+    }
+    spec.fire_prob = params.event_fire_prob;
+  }
+  return specs;
+}
+
+bool InAnyWindow(const std::vector<BurstWindow>& windows, Timestamp ts) {
+  for (const BurstWindow& w : windows) {
+    if (ts >= w.first && ts < w.second) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GeneratedHashtagStream GenerateHashtagStream(
+    const HashtagParams& params, const std::vector<BurstEventSpec>& planted,
+    const std::map<size_t, std::string>& name_overrides) {
+  RPM_CHECK(params.num_minutes > 0);
+  RPM_CHECK(params.num_hashtags > params.max_event_tags);
+  Rng rng(params.seed);
+  ZipfSampler zipf(params.num_hashtags, params.zipf_exponent);
+
+  GeneratedHashtagStream result;
+  for (const BurstEventSpec& spec : planted) {
+    for (size_t idx : spec.tag_indices) RPM_CHECK(idx < params.num_hashtags);
+    result.events.push_back(Resolve(spec));
+  }
+  for (const BurstEventSpec& spec : MakeRandomEvents(params, &rng)) {
+    result.events.push_back(Resolve(spec));
+  }
+
+  ItemDictionary dict;
+  for (size_t i = 0; i < params.num_hashtags; ++i) {
+    auto it = name_overrides.find(i);
+    if (it != name_overrides.end()) {
+      dict.GetOrAdd(it->second);
+    } else {
+      char name[32];
+      std::snprintf(name, sizeof(name), "tag%04zu", i);
+      dict.GetOrAdd(name);
+    }
+  }
+
+  // Collect per-event fire probabilities aligned with result.events.
+  std::vector<double> fire_probs;
+  for (const BurstEventSpec& spec : planted) {
+    fire_probs.push_back(spec.fire_prob);
+  }
+  fire_probs.resize(result.events.size(), params.event_fire_prob);
+
+  // Per-tag daily activity: rank-dependent dropout makes the background
+  // irregular the way real hashtag streams are (tags skip days).
+  const size_t num_days = params.num_minutes / 1440 + 1;
+  std::vector<std::vector<bool>> tag_active_on_day(params.num_hashtags);
+  for (size_t tag = 0; tag < params.num_hashtags; ++tag) {
+    const double dropout =
+        params.daily_dropout_base +
+        params.daily_dropout_slope * static_cast<double>(tag) /
+            static_cast<double>(params.num_hashtags);
+    tag_active_on_day[tag].resize(num_days);
+    for (size_t day = 0; day < num_days; ++day) {
+      tag_active_on_day[tag][day] = !rng.NextBernoulli(dropout);
+    }
+  }
+
+  TdbBuilder builder;
+  Itemset txn;
+  for (size_t minute = 0; minute < params.num_minutes; ++minute) {
+    const Timestamp ts = static_cast<Timestamp>(minute);
+    const size_t day = minute / 1440;
+    const double activity = HashtagActivity(params, ts);
+    txn.clear();
+    const uint32_t tweets = rng.NextPoisson(params.background_rate * activity);
+    for (uint32_t v = 0; v < tweets; ++v) {
+      const size_t tag = zipf.Sample(&rng);
+      if (tag_active_on_day[tag][day]) {
+        txn.push_back(static_cast<ItemId>(tag));
+      }
+    }
+    for (size_t e = 0; e < result.events.size(); ++e) {
+      const ResolvedBurstEvent& event = result.events[e];
+      // Burst firing is intentionally NOT damped by the diurnal curve:
+      // event-driven tweet storms continue through the night, which is
+      // what lets short bursts clear high minPS bars (paper Table 6).
+      if (InAnyWindow(event.windows, ts) &&
+          rng.NextBernoulli(fire_probs[e])) {
+        txn.insert(txn.end(), event.tags.begin(), event.tags.end());
+      }
+    }
+    if (!txn.empty()) builder.AddTransaction(ts, txn);
+  }
+  result.db = builder.Build(std::move(dict));
+  return result;
+}
+
+}  // namespace rpm::gen

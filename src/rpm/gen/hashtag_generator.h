@@ -1,0 +1,91 @@
+// Twitter-like hashtag stream simulator.
+//
+// The paper's Twitter database is the top-1000 English hashtags of 44M
+// tweets over 123 days (1-May-2013 .. 31-Aug-2013), one transaction per
+// minute: 177,120 transactions, 1000 items. The crawl is not available, so
+// this module synthesises a stream of the same shape: Zipf background
+// traffic (hashtag id == popularity rank), a diurnal cycle, and *planted
+// burst events* — groups of 2-4 hashtags co-occurring for a bounded span of
+// days, some involving hashtags that are otherwise rare (the paper's
+// #uttarakhand / #hibaku examples). Events are returned as ground truth.
+
+#ifndef RPM_GEN_HASHTAG_GENERATOR_H_
+#define RPM_GEN_HASHTAG_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::gen {
+
+/// Half-open burst window [begin, end) in minutes since stream start.
+using BurstWindow = std::pair<Timestamp, Timestamp>;
+
+/// A burst event specified by the caller (tag indices == popularity
+/// ranks).
+struct BurstEventSpec {
+  std::string label;
+  std::vector<size_t> tag_indices;
+  std::vector<BurstWindow> windows;
+  /// Per-minute firing probability inside a window. NOT scaled by the
+  /// diurnal curve — bursts are event-driven and run through the night.
+  double fire_prob = 0.5;
+};
+
+/// A planted event resolved to ItemIds (== tag indices).
+struct ResolvedBurstEvent {
+  std::string label;
+  Itemset tags;
+  std::vector<BurstWindow> windows;
+};
+
+struct HashtagParams {
+  size_t num_minutes = 177120;  ///< 123 days.
+  size_t num_hashtags = 1000;
+  double zipf_exponent = 1.05;
+  double background_rate = 18.0;  ///< Mean distinct hashtags per peak minute.
+  double night_factor = 0.35;
+  /// Real hashtag usage fluctuates: every tag independently goes silent on
+  /// some days. Inactive-day probability for tag at rank r is
+  ///   daily_dropout_base + daily_dropout_slope * r / num_hashtags.
+  /// This is what keeps complete-cycle (periodic-frequent) patterns rare
+  /// on hashtag data, as the paper's Table 8 reports. Set both to 0 for a
+  /// perfectly steady background.
+  double daily_dropout_base = 0.005;
+  double daily_dropout_slope = 0.30;
+  size_t num_random_events = 36;  ///< Generated on top of planted specs.
+  size_t min_event_tags = 2;
+  size_t max_event_tags = 4;
+  size_t min_event_windows = 1;
+  size_t max_event_windows = 2;
+  Timestamp min_event_minutes = 2 * 1440;
+  Timestamp max_event_minutes = 15 * 1440;
+  double event_fire_prob = 0.5;
+  uint64_t seed = 13;
+};
+
+struct GeneratedHashtagStream {
+  TransactionDatabase db;
+  /// Planted specs first (same order), then the random events.
+  std::vector<ResolvedBurstEvent> events;
+};
+
+/// Deterministic in params.seed. Hashtag `i` is named "tag0000"-style
+/// unless `name_overrides` maps index i to a custom name (used by
+/// paper_datasets to plant the Table 6 hashtags). Minutes with no tweets
+/// produce no transaction.
+GeneratedHashtagStream GenerateHashtagStream(
+    const HashtagParams& params,
+    const std::vector<BurstEventSpec>& planted = {},
+    const std::map<size_t, std::string>& name_overrides = {});
+
+/// Diurnal multiplier (0, 1] for minute `ts`; trough at 04:00 UTC-ish.
+double HashtagActivity(const HashtagParams& params, Timestamp ts);
+
+}  // namespace rpm::gen
+
+#endif  // RPM_GEN_HASHTAG_GENERATOR_H_

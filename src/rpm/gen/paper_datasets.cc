@@ -1,0 +1,138 @@
+#include "rpm/gen/paper_datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rpm/common/civil_time.h"
+#include "rpm/common/logging.h"
+
+namespace rpm::gen {
+
+int64_t TwitterEpochMinutes() {
+  return MinutesFromCivil({2013, 5, 1, 0, 0});
+}
+
+namespace {
+
+/// Minute offset of a 2013 date/time from the Twitter epoch.
+Timestamp At(uint32_t month, uint32_t day, uint32_t hour, uint32_t minute) {
+  return MinutesFromCivil({2013, month, day, hour, minute}) -
+         TwitterEpochMinutes();
+}
+
+Timestamp Scale(Timestamp ts, double scale) {
+  return static_cast<Timestamp>(std::llround(ts * scale));
+}
+
+// Fixed popularity ranks for the named Table 6 hashtags. Low rank = popular
+// background tag; high rank = rare (near-silent outside its burst).
+constexpr size_t kYyc = 120;
+constexpr size_t kUttarakhand = 950;
+constexpr size_t kNuclear = 80;
+constexpr size_t kHibaku = 940;
+constexpr size_t kPakvotes = 400;
+constexpr size_t kNayapakistan = 870;
+constexpr size_t kOklahoma = 150;
+constexpr size_t kTornado = 300;
+constexpr size_t kPrayForOklahoma = 880;
+
+std::vector<BurstEventSpec> PaperEvents(double scale) {
+  std::vector<BurstEventSpec> events;
+  {
+    BurstEventSpec e;
+    e.label = "uttarakhand-alberta-floods";
+    e.tag_indices = {kYyc, kUttarakhand};
+    e.windows = {{Scale(At(6, 21, 1, 8), scale),
+                  Scale(At(7, 1, 4, 27), scale)}};
+    e.fire_prob = 0.55;
+    events.push_back(std::move(e));
+  }
+  {
+    BurstEventSpec e;
+    e.label = "nuclear-hibaku";
+    e.tag_indices = {kNuclear, kHibaku};
+    e.windows = {{Scale(At(5, 6, 22, 33), scale),
+                  Scale(At(5, 24, 22, 13), scale)},
+                 {Scale(At(7, 1, 6, 17), scale),
+                  Scale(At(7, 14, 6, 21), scale)}};
+    e.fire_prob = 0.5;
+    events.push_back(std::move(e));
+  }
+  {
+    BurstEventSpec e;
+    e.label = "pakistan-elections";
+    e.tag_indices = {kPakvotes, kNayapakistan};
+    e.windows = {{Scale(At(5, 9, 16, 15), scale),
+                  Scale(At(5, 15, 14, 11), scale)}};
+    e.fire_prob = 0.6;
+    events.push_back(std::move(e));
+  }
+  {
+    BurstEventSpec e;
+    e.label = "oklahoma-tornado";
+    e.tag_indices = {kOklahoma, kTornado, kPrayForOklahoma};
+    e.windows = {{Scale(At(5, 21, 11, 52), scale),
+                  Scale(At(5, 24, 21, 38), scale)}};
+    // A short (3.4-day) but viral burst: it must appear in >72% of its
+    // window's minutes to clear minPS = 2% of |TDB| (Table 6 row 4).
+    e.fire_prob = 0.85;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::map<size_t, std::string> PaperTagNames() {
+  return {{kYyc, "yyc"},
+          {kUttarakhand, "uttarakhand"},
+          {kNuclear, "nuclear"},
+          {kHibaku, "hibaku"},
+          {kPakvotes, "pakvotes"},
+          {kNayapakistan, "nayapakistan"},
+          {kOklahoma, "oklahoma"},
+          {kTornado, "tornado"},
+          {kPrayForOklahoma, "prayforoklahoma"}};
+}
+
+}  // namespace
+
+TransactionDatabase MakeT10I4D100K(double scale, uint64_t seed) {
+  RPM_CHECK(scale > 0.0 && scale <= 1.0);
+  QuestParams params;
+  params.seed = seed;
+  params.num_transactions = std::max<size_t>(
+      100, static_cast<size_t>(std::llround(100000 * scale)));
+  return GenerateQuest(params);
+}
+
+GeneratedClickstream MakeShop14(double scale, uint64_t seed) {
+  RPM_CHECK(scale > 0.0 && scale <= 1.0);
+  ClickstreamParams params;
+  params.seed = seed;
+  params.num_minutes = std::max<size_t>(
+      1440, static_cast<size_t>(std::llround(59240 * scale)));
+  if (scale < 1.0) {
+    // Keep several windows inside the shortened stream.
+    params.min_window_minutes =
+        std::max<Timestamp>(120, Scale(params.min_window_minutes, scale));
+    params.max_window_minutes =
+        std::max<Timestamp>(240, Scale(params.max_window_minutes, scale));
+  }
+  return GenerateClickstream(params);
+}
+
+GeneratedHashtagStream MakeTwitter(double scale, uint64_t seed) {
+  RPM_CHECK(scale > 0.0 && scale <= 1.0);
+  HashtagParams params;
+  params.seed = seed;
+  params.num_minutes = std::max<size_t>(
+      1440, static_cast<size_t>(std::llround(177120 * scale)));
+  if (scale < 1.0) {
+    params.min_event_minutes =
+        std::max<Timestamp>(120, Scale(params.min_event_minutes, scale));
+    params.max_event_minutes =
+        std::max<Timestamp>(240, Scale(params.max_event_minutes, scale));
+  }
+  return GenerateHashtagStream(params, PaperEvents(scale), PaperTagNames());
+}
+
+}  // namespace rpm::gen

@@ -1,0 +1,39 @@
+// Canonical instantiations of the paper's three evaluation databases
+// (Sec. 5.1), with an optional scale factor so tests can use miniature
+// versions of the same distributions.
+//
+// The Twitter-like stream plants the four Table 6 events — {yyc,
+// uttarakhand}, {nuclear, hibaku}, {pakvotes, nayapakistan} and {oklahoma,
+// tornado, prayforoklahoma} — at the minute offsets corresponding to the
+// dates the paper reports (epoch: 2013-05-01 00:00), with the "rare"
+// hashtags (#uttarakhand, #hibaku, ...) assigned deep background-popularity
+// ranks so that the rare-item behaviour of Sec. 5.2 is exercised.
+
+#ifndef RPM_GEN_PAPER_DATASETS_H_
+#define RPM_GEN_PAPER_DATASETS_H_
+
+#include <cstdint>
+
+#include "rpm/gen/clickstream_generator.h"
+#include "rpm/gen/hashtag_generator.h"
+#include "rpm/gen/quest_generator.h"
+
+namespace rpm::gen {
+
+/// Minutes since 1970 of 2013-05-01 00:00 — the Twitter stream's epoch.
+int64_t TwitterEpochMinutes();
+
+/// T10I4D100K: 100k transactions, 1000-item universe, avg length 10.
+/// `scale` in (0, 1] shrinks the transaction count.
+TransactionDatabase MakeT10I4D100K(double scale = 1.0, uint64_t seed = 42);
+
+/// Shop-14-like: 59,240 minutes, 138 categories, planted seasonal groups.
+GeneratedClickstream MakeShop14(double scale = 1.0, uint64_t seed = 7);
+
+/// Twitter-like: 177,120 minutes, 1000 hashtags, Table 6 events planted
+/// (window offsets scale with `scale`).
+GeneratedHashtagStream MakeTwitter(double scale = 1.0, uint64_t seed = 13);
+
+}  // namespace rpm::gen
+
+#endif  // RPM_GEN_PAPER_DATASETS_H_

@@ -1,0 +1,123 @@
+#include "rpm/gen/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rpm/common/logging.h"
+#include "rpm/common/random.h"
+#include "rpm/common/zipf.h"
+#include "rpm/timeseries/tdb_builder.h"
+
+namespace rpm::gen {
+
+namespace {
+
+/// One potentially-large itemset with its selection weight and the
+/// corruption level applied when it is planted into a transaction.
+struct PotentialItemset {
+  Itemset items;
+  double weight = 0.0;
+  double corruption = 0.0;
+};
+
+std::vector<PotentialItemset> BuildPotentialItemsets(
+    const QuestParams& params, Rng* rng) {
+  std::vector<PotentialItemset> sets(params.num_patterns);
+  // Item picks are weighted so some items are intrinsically popular; the
+  // original uses an exponential item-popularity skew.
+  std::vector<double> item_weights(params.num_items);
+  for (double& w : item_weights) w = rng->NextExponential(1.0);
+  DiscreteSampler item_sampler(item_weights);
+
+  for (size_t s = 0; s < sets.size(); ++s) {
+    PotentialItemset& set = sets[s];
+    // Size: Poisson with the requested mean, at least 1.
+    size_t size = std::max<uint32_t>(
+        1, rng->NextPoisson(params.avg_pattern_size));
+    size = std::min(size, params.num_items);
+
+    // Share a prefix with the previous itemset: the shared fraction is
+    // exponentially distributed with mean `correlation`.
+    Itemset items;
+    if (s > 0) {
+      double frac =
+          std::min(1.0, rng->NextExponential(1.0 / params.correlation));
+      size_t reuse = std::min(
+          {static_cast<size_t>(std::lround(frac * size)), size,
+           sets[s - 1].items.size()});
+      if (reuse > 0) {
+        std::vector<size_t> picks = rng->SampleWithoutReplacement(
+            sets[s - 1].items.size(), reuse);
+        for (size_t p : picks) items.push_back(sets[s - 1].items[p]);
+      }
+    }
+    while (items.size() < size) {
+      items.push_back(static_cast<ItemId>(item_sampler.Sample(rng)));
+      std::sort(items.begin(), items.end());
+      items.erase(std::unique(items.begin(), items.end()), items.end());
+    }
+    set.items = std::move(items);
+    set.weight = rng->NextExponential(1.0);
+    set.corruption = std::clamp(
+        rng->NextGaussian(params.corruption_mean, params.corruption_sd), 0.0,
+        1.0);
+  }
+  return sets;
+}
+
+}  // namespace
+
+TransactionDatabase GenerateQuest(const QuestParams& params) {
+  RPM_CHECK(params.num_transactions > 0);
+  RPM_CHECK(params.num_items > 1);
+  RPM_CHECK(params.num_patterns > 0);
+  Rng rng(params.seed);
+
+  std::vector<PotentialItemset> sets = BuildPotentialItemsets(params, &rng);
+  std::vector<double> weights(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) weights[i] = sets[i].weight;
+  DiscreteSampler set_sampler(weights);
+
+  TdbBuilder builder;
+  Itemset carry;  // Itemset deferred to the next transaction (half the
+                  // oversize cases, per the original procedure).
+  for (size_t t = 0; t < params.num_transactions; ++t) {
+    const Timestamp ts = static_cast<Timestamp>(t + 1);
+    size_t target = std::max<uint32_t>(
+        1, rng.NextPoisson(params.avg_transaction_size));
+    Itemset txn;
+    if (!carry.empty()) {
+      txn = std::move(carry);
+      carry.clear();
+    }
+    size_t guard = 0;
+    while (txn.size() < target && ++guard < 64) {
+      const PotentialItemset& set = sets[set_sampler.Sample(&rng)];
+      // Corrupt: repeatedly drop an item while a uniform draw stays below
+      // the set's corruption level.
+      Itemset planted = set.items;
+      while (!planted.empty() && rng.NextDouble() < set.corruption) {
+        size_t victim = static_cast<size_t>(rng.NextUint64(planted.size()));
+        planted.erase(planted.begin() + static_cast<ptrdiff_t>(victim));
+      }
+      if (planted.empty()) continue;
+      if (txn.size() + planted.size() > target && !txn.empty()) {
+        // Doesn't fit: keep it anyway half the time, else defer it.
+        if (rng.NextBernoulli(0.5)) {
+          txn.insert(txn.end(), planted.begin(), planted.end());
+        } else {
+          carry = std::move(planted);
+        }
+        break;
+      }
+      txn.insert(txn.end(), planted.begin(), planted.end());
+    }
+    if (txn.empty()) {
+      txn.push_back(static_cast<ItemId>(rng.NextUint64(params.num_items)));
+    }
+    builder.AddTransaction(ts, txn);
+  }
+  return builder.Build();
+}
+
+}  // namespace rpm::gen

@@ -1,0 +1,41 @@
+// IBM Quest-style synthetic transaction generator (Agrawal & Srikant,
+// "Fast Algorithms for Mining Association Rules", VLDB'94 Sec. 4.1) —
+// the procedure the paper cites ([23]) for its T10I4D100K database.
+//
+// The classic TxIyDz naming: T = average transaction size, I = average
+// size of the potentially-large itemsets, D = number of transactions.
+// T10I4D100K therefore is {avg_transaction_size=10, avg_pattern_size=4,
+// num_transactions=100'000}.
+
+#ifndef RPM_GEN_QUEST_GENERATOR_H_
+#define RPM_GEN_QUEST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::gen {
+
+struct QuestParams {
+  size_t num_transactions = 100000;  ///< D
+  double avg_transaction_size = 10;  ///< T
+  double avg_pattern_size = 4;       ///< I
+  size_t num_items = 1000;           ///< N (941 of which typically occur)
+  size_t num_patterns = 2000;        ///< L: potentially-large itemsets
+  /// Mean of the exponential governing how much of each potential itemset
+  /// is shared with its predecessor.
+  double correlation = 0.5;
+  /// Mean / stddev of each itemset's (clamped normal) corruption level.
+  double corruption_mean = 0.5;
+  double corruption_sd = 0.1;
+  uint64_t seed = 42;
+};
+
+/// Generates the database; transaction k gets timestamp k+1 (the paper
+/// treats T10I4D100K as a unit-spaced sequence; per = 360 etc. are plain
+/// transaction-index differences). Deterministic in `seed`.
+TransactionDatabase GenerateQuest(const QuestParams& params);
+
+}  // namespace rpm::gen
+
+#endif  // RPM_GEN_QUEST_GENERATOR_H_

@@ -1,0 +1,44 @@
+#include "rpm/timeseries/database_stats.h"
+
+#include <algorithm>
+
+#include "rpm/common/string_util.h"
+
+namespace rpm {
+
+DatabaseStats ComputeStats(const TransactionDatabase& db) {
+  DatabaseStats stats;
+  stats.num_transactions = db.size();
+  stats.item_supports.assign(db.ItemUniverseSize(), 0);
+  for (const Transaction& tr : db.transactions()) {
+    stats.total_item_occurrences += tr.items.size();
+    stats.max_transaction_length =
+        std::max(stats.max_transaction_length, tr.items.size());
+    for (ItemId item : tr.items) ++stats.item_supports[item];
+  }
+  for (size_t s : stats.item_supports) {
+    if (s > 0) ++stats.num_distinct_items;
+  }
+  if (!db.empty()) {
+    stats.start_ts = db.start_ts();
+    stats.end_ts = db.end_ts();
+    stats.avg_transaction_length =
+        static_cast<double>(stats.total_item_occurrences) /
+        static_cast<double>(stats.num_transactions);
+  }
+  return stats;
+}
+
+std::string DatabaseStats::ToString() const {
+  std::string out;
+  out += FormatWithThousands(static_cast<int64_t>(num_transactions));
+  out += " transactions, ";
+  out += FormatWithThousands(num_distinct_items);
+  out += " distinct items, avg length ";
+  out += FormatDouble(avg_transaction_length, 2);
+  out += ", span [" + std::to_string(start_ts) + ", " +
+         std::to_string(end_ts) + "]";
+  return out;
+}
+
+}  // namespace rpm

@@ -1,0 +1,35 @@
+// Summary statistics of a transactional database (used by benches to report
+// dataset shape next to every table, and by generator sanity tests).
+
+#ifndef RPM_TIMESERIES_DATABASE_STATS_H_
+#define RPM_TIMESERIES_DATABASE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm {
+
+/// Aggregate shape of a database.
+struct DatabaseStats {
+  size_t num_transactions = 0;
+  uint32_t num_distinct_items = 0;
+  size_t total_item_occurrences = 0;
+  double avg_transaction_length = 0.0;
+  size_t max_transaction_length = 0;
+  Timestamp start_ts = 0;
+  Timestamp end_ts = 0;
+  /// Per-item supports, indexed by ItemId (0 for absent ids).
+  std::vector<size_t> item_supports;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+DatabaseStats ComputeStats(const TransactionDatabase& db);
+
+}  // namespace rpm
+
+#endif  // RPM_TIMESERIES_DATABASE_STATS_H_

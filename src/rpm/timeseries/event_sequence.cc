@@ -1,0 +1,55 @@
+#include "rpm/timeseries/event_sequence.h"
+
+#include <algorithm>
+
+namespace rpm {
+
+EventSequence::EventSequence(std::vector<Event> events)
+    : events_(std::move(events)) {
+  Normalize();
+}
+
+void EventSequence::Normalize() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.item < b.item;
+                   });
+}
+
+TimestampList EventSequence::PointSequenceOf(ItemId item) const {
+  TimestampList out;
+  for (const Event& e : events_) {
+    if (e.item != item) continue;
+    if (out.empty() || out.back() != e.ts) out.push_back(e.ts);
+  }
+  return out;
+}
+
+uint32_t EventSequence::ItemUniverseSize() const {
+  uint32_t max_id = 0;
+  bool any = false;
+  for (const Event& e : events_) {
+    any = true;
+    max_id = std::max(max_id, e.item);
+  }
+  return any ? max_id + 1 : 0;
+}
+
+Status EventSequence::Validate() const {
+  for (size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i - 1].ts > events_[i].ts) {
+      return Status::Corruption(
+          "events out of order at index " + std::to_string(i) + ": " +
+          std::to_string(events_[i - 1].ts) + " > " +
+          std::to_string(events_[i].ts));
+    }
+  }
+  for (const Event& e : events_) {
+    if (e.item == kInvalidItem) {
+      return Status::Corruption("event with invalid item id");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rpm

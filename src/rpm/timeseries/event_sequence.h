@@ -1,0 +1,55 @@
+// Event sequences and point sequences (Definitions 1-2).
+//
+// An EventSequence is the raw time-series view of the data: a collection of
+// (item, timestamp) events ordered by timestamp. The mining algorithms do
+// not operate on it directly; TdbBuilder converts it losslessly into a
+// temporally-ordered TransactionDatabase (Sec. 3, Example 2).
+
+#ifndef RPM_TIMESERIES_EVENT_SEQUENCE_H_
+#define RPM_TIMESERIES_EVENT_SEQUENCE_H_
+
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// An ordered collection of events {(i1,ts1), ..., (iN,tsN)}, tsh <= tsj
+/// for h <= j. Duplicate (item, ts) pairs are allowed on input and are
+/// collapsed by the TDB conversion.
+class EventSequence {
+ public:
+  EventSequence() = default;
+
+  /// Takes events in any order; they are sorted by (ts, item).
+  explicit EventSequence(std::vector<Event> events);
+
+  /// Appends one event. Call Normalize() after bulk appends.
+  void Add(ItemId item, Timestamp ts) { events_.push_back({item, ts}); }
+
+  /// Sorts by (ts, item). Idempotent.
+  void Normalize();
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// The implied point sequence of one item: ordered, duplicate-free
+  /// timestamps at which `item` occurs (Definition 2, Example 1).
+  /// Precondition: Normalize() has been called (constructors do).
+  TimestampList PointSequenceOf(ItemId item) const;
+
+  /// Largest item id present plus one; 0 when empty.
+  uint32_t ItemUniverseSize() const;
+
+  /// OK iff events are sorted by timestamp (the Definition 1 invariant).
+  Status Validate() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_TIMESERIES_EVENT_SEQUENCE_H_

@@ -1,0 +1,131 @@
+#include "rpm/timeseries/io/spmf_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "rpm/common/string_util.h"
+#include "rpm/timeseries/tdb_builder.h"
+
+namespace rpm {
+
+namespace {
+
+bool IsCommentOrBlank(std::string_view line) {
+  std::string_view t = Trim(line);
+  return t.empty() || t.front() == '#' || t.front() == '%' ||
+         t.front() == '@';
+}
+
+Status ParseItems(std::string_view text, const SpmfParseOptions& options,
+                  ItemDictionary* dict, Itemset* out, size_t line_no) {
+  out->clear();
+  for (std::string_view tok : SplitWhitespace(text)) {
+    if (options.items_are_ids) {
+      Result<uint32_t> id = ParseUint32(tok);
+      if (!id.ok()) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": " + id.status().message());
+      }
+      out->push_back(*id);
+    } else {
+      out->push_back(dict->GetOrAdd(tok));
+    }
+  }
+  if (out->empty()) {
+    return Status::Corruption("line " + std::to_string(line_no) +
+                              ": transaction with no items");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TransactionDatabase> ReadSpmf(std::istream* in,
+                                     const SpmfParseOptions& options) {
+  TdbBuilder builder;
+  ItemDictionary dict;
+  std::string line;
+  size_t line_no = 0;
+  Timestamp ts = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (options.allow_comments && IsCommentOrBlank(line)) continue;
+    Itemset items;
+    RPM_RETURN_NOT_OK(ParseItems(line, options, &dict, &items, line_no));
+    builder.AddTransaction(++ts, items);
+  }
+  if (in->bad()) return Status::IOError("stream error while reading SPMF");
+  return builder.Build(std::move(dict));
+}
+
+Result<TransactionDatabase> ReadTimestampedSpmf(
+    std::istream* in, const SpmfParseOptions& options) {
+  TdbBuilder builder;
+  ItemDictionary dict;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (options.allow_comments && IsCommentOrBlank(line)) continue;
+    size_t bar = line.find('|');
+    if (bar == std::string::npos) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": missing '|' timestamp separator");
+    }
+    Result<int64_t> ts = ParseInt64(Trim(std::string_view(line).substr(0, bar)));
+    if (!ts.ok()) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                ts.status().message());
+    }
+    Itemset items;
+    RPM_RETURN_NOT_OK(ParseItems(std::string_view(line).substr(bar + 1),
+                                 options, &dict, &items, line_no));
+    builder.AddTransaction(*ts, items);
+  }
+  if (in->bad()) return Status::IOError("stream error while reading SPMF");
+  return builder.Build(std::move(dict));
+}
+
+Result<TransactionDatabase> ReadSpmfFile(const std::string& path,
+                                         const SpmfParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadSpmf(&in, options);
+}
+
+Result<TransactionDatabase> ReadTimestampedSpmfFile(
+    const std::string& path, const SpmfParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadTimestampedSpmf(&in, options);
+}
+
+Status WriteTimestampedSpmf(const TransactionDatabase& db,
+                            std::ostream* out) {
+  const bool named = !db.dictionary().empty();
+  for (const Transaction& tr : db.transactions()) {
+    *out << tr.ts << '|';
+    for (size_t i = 0; i < tr.items.size(); ++i) {
+      if (i > 0) *out << ' ';
+      if (named) {
+        *out << db.dictionary().NameOf(tr.items[i]);
+      } else {
+        *out << tr.items[i];
+      }
+    }
+    *out << '\n';
+  }
+  if (!*out) return Status::IOError("stream error while writing SPMF");
+  return Status::OK();
+}
+
+Status WriteTimestampedSpmfFile(const TransactionDatabase& db,
+                                const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  return WriteTimestampedSpmf(db, &out);
+}
+
+}  // namespace rpm

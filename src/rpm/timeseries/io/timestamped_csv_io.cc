@@ -1,0 +1,68 @@
+#include "rpm/timeseries/io/timestamped_csv_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "rpm/common/csv.h"
+#include "rpm/common/string_util.h"
+
+namespace rpm {
+
+Result<EventCsvData> ReadEventCsv(std::istream* in,
+                                  const EventCsvOptions& options) {
+  CsvReader reader(in);
+  EventCsvData data;
+  bool skip_header = options.has_header;
+  for (;;) {
+    CsvRow row;
+    bool done = false;
+    RPM_RETURN_NOT_OK(reader.Next(&row, &done));
+    if (done) break;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    if (row.size() == 1 && Trim(row[0]).empty()) continue;
+    if (row.size() < 2) {
+      return Status::Corruption("line " +
+                                std::to_string(reader.line_number()) +
+                                ": expected 'timestamp,item'");
+    }
+    Result<int64_t> ts = ParseInt64(Trim(row[0]));
+    if (!ts.ok()) {
+      return Status::Corruption("line " +
+                                std::to_string(reader.line_number()) + ": " +
+                                ts.status().message());
+    }
+    std::string_view name = Trim(row[1]);
+    if (name.empty()) {
+      return Status::Corruption("line " +
+                                std::to_string(reader.line_number()) +
+                                ": empty item name");
+    }
+    data.sequence.Add(data.dictionary.GetOrAdd(name), *ts);
+  }
+  data.sequence.Normalize();
+  return data;
+}
+
+Result<EventCsvData> ReadEventCsvFile(const std::string& path,
+                                      const EventCsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadEventCsv(&in, options);
+}
+
+Status WriteEventCsv(const EventSequence& sequence,
+                     const ItemDictionary& dictionary, std::ostream* out) {
+  CsvWriter writer(out);
+  writer.WriteRow({"timestamp", "item"});
+  for (const Event& e : sequence.events()) {
+    writer.WriteRow({std::to_string(e.ts), dictionary.NameOf(e.item)});
+  }
+  if (!*out) return Status::IOError("stream error while writing CSV");
+  return Status::OK();
+}
+
+}  // namespace rpm

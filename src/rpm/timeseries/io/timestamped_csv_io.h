@@ -1,0 +1,41 @@
+// Long-format CSV event I/O: one event per row, `timestamp,item`.
+//
+// This is the natural export format of logging pipelines (web logs, tweet
+// streams, sensor events); ReadEventCsv + BuildTdbFromSequence is the
+// end-to-end "time series in, transactional database out" path of Sec. 3.
+
+#ifndef RPM_TIMESERIES_IO_TIMESTAMPED_CSV_IO_H_
+#define RPM_TIMESERIES_IO_TIMESTAMPED_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/event_sequence.h"
+#include "rpm/timeseries/item_dictionary.h"
+
+namespace rpm {
+
+struct EventCsvOptions {
+  /// Skip the first row (column headers).
+  bool has_header = true;
+};
+
+/// Parsed events plus the dictionary that interned the item names.
+struct EventCsvData {
+  EventSequence sequence;
+  ItemDictionary dictionary;
+};
+
+Result<EventCsvData> ReadEventCsv(std::istream* in,
+                                  const EventCsvOptions& options = {});
+Result<EventCsvData> ReadEventCsvFile(const std::string& path,
+                                      const EventCsvOptions& options = {});
+
+/// Writes `timestamp,item` rows (with a header) for the whole sequence.
+Status WriteEventCsv(const EventSequence& sequence,
+                     const ItemDictionary& dictionary, std::ostream* out);
+
+}  // namespace rpm
+
+#endif  // RPM_TIMESERIES_IO_TIMESTAMPED_CSV_IO_H_

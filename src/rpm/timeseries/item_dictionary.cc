@@ -1,0 +1,34 @@
+#include "rpm/timeseries/item_dictionary.h"
+
+namespace rpm {
+
+ItemId ItemDictionary::GetOrAdd(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<ItemId> ItemDictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown item '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+std::string ItemDictionary::NameOf(ItemId id) const {
+  if (id < names_.size()) return names_[id];
+  return "item" + std::to_string(id);
+}
+
+std::vector<std::string> ItemDictionary::NamesOf(const Itemset& items) const {
+  std::vector<std::string> out;
+  out.reserve(items.size());
+  for (ItemId id : items) out.push_back(NameOf(id));
+  return out;
+}
+
+}  // namespace rpm

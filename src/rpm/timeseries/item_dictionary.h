@@ -1,0 +1,46 @@
+// Bidirectional mapping between item names and dense ItemIds.
+
+#ifndef RPM_TIMESERIES_ITEM_DICTIONARY_H_
+#define RPM_TIMESERIES_ITEM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// Interns item names as contiguous ids 0..size()-1.
+///
+/// Mining operates on ids; the dictionary is consulted only at the
+/// input/report boundaries. Copyable; ids are stable once assigned.
+class ItemDictionary {
+ public:
+  ItemDictionary() = default;
+
+  /// Returns the existing id for `name`, or assigns the next free one.
+  ItemId GetOrAdd(std::string_view name);
+
+  /// Returns the id of `name`, or NotFound.
+  Result<ItemId> Lookup(std::string_view name) const;
+
+  /// Returns the name of `id`; ids never handed out map to "item<id>".
+  std::string NameOf(ItemId id) const;
+
+  /// Translates a whole itemset to names (report formatting).
+  std::vector<std::string> NamesOf(const Itemset& items) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ItemId> ids_;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_TIMESERIES_ITEM_DICTIONARY_H_

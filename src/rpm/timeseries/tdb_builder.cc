@@ -1,0 +1,48 @@
+#include "rpm/timeseries/tdb_builder.h"
+
+#include <algorithm>
+
+namespace rpm {
+
+void TdbBuilder::AddEvent(ItemId item, Timestamp ts) {
+  grouped_[ts].push_back(item);
+}
+
+void TdbBuilder::AddTransaction(Timestamp ts, const Itemset& items) {
+  Itemset& slot = grouped_[ts];
+  slot.insert(slot.end(), items.begin(), items.end());
+}
+
+void TdbBuilder::AddSequence(const EventSequence& sequence) {
+  for (const Event& e : sequence.events()) AddEvent(e.item, e.ts);
+}
+
+TransactionDatabase TdbBuilder::Build(ItemDictionary dictionary) {
+  std::vector<Transaction> transactions;
+  transactions.reserve(grouped_.size());
+  for (auto& [ts, items] : grouped_) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    if (items.empty()) continue;  // A timestamp with no events: no row.
+    transactions.push_back({ts, std::move(items)});
+  }
+  grouped_.clear();
+  return TransactionDatabase(std::move(transactions), std::move(dictionary));
+}
+
+TransactionDatabase BuildTdbFromSequence(const EventSequence& sequence,
+                                         ItemDictionary dictionary) {
+  TdbBuilder builder;
+  builder.AddSequence(sequence);
+  return builder.Build(std::move(dictionary));
+}
+
+TransactionDatabase MakeDatabase(
+    std::vector<std::pair<Timestamp, Itemset>> rows,
+    ItemDictionary dictionary) {
+  TdbBuilder builder;
+  for (auto& [ts, items] : rows) builder.AddTransaction(ts, items);
+  return builder.Build(std::move(dictionary));
+}
+
+}  // namespace rpm

@@ -1,0 +1,65 @@
+#include "rpm/timeseries/transaction_database.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+
+bool ContainsAll(const Itemset& items, const Itemset& pattern) {
+  return std::includes(items.begin(), items.end(), pattern.begin(),
+                       pattern.end());
+}
+
+TransactionDatabase::TransactionDatabase(
+    std::vector<Transaction> transactions, ItemDictionary dictionary)
+    : transactions_(std::move(transactions)),
+      dictionary_(std::move(dictionary)) {
+  for (const Transaction& tr : transactions_) {
+    for (ItemId item : tr.items) {
+      item_universe_ = std::max(item_universe_, item + 1);
+    }
+  }
+  RPM_DCHECK(Validate().ok());
+}
+
+size_t TransactionDatabase::TotalItemOccurrences() const {
+  size_t total = 0;
+  for (const Transaction& tr : transactions_) total += tr.items.size();
+  return total;
+}
+
+TimestampList TransactionDatabase::TimestampsOf(
+    const Itemset& pattern) const {
+  Itemset sorted = pattern;  // Accept unsorted queries at the API boundary.
+  std::sort(sorted.begin(), sorted.end());
+  TimestampList out;
+  for (const Transaction& tr : transactions_) {
+    if (ContainsAll(tr.items, sorted)) out.push_back(tr.ts);
+  }
+  return out;
+}
+
+Status TransactionDatabase::Validate() const {
+  for (size_t i = 0; i < transactions_.size(); ++i) {
+    const Transaction& tr = transactions_[i];
+    if (i > 0 && transactions_[i - 1].ts >= tr.ts) {
+      return Status::Corruption(
+          "transactions not strictly ordered by timestamp at index " +
+          std::to_string(i));
+    }
+    if (tr.items.empty()) {
+      return Status::Corruption("empty transaction at ts " +
+                                std::to_string(tr.ts));
+    }
+    for (size_t j = 1; j < tr.items.size(); ++j) {
+      if (tr.items[j - 1] >= tr.items[j]) {
+        return Status::Corruption("items not sorted/unique at ts " +
+                                  std::to_string(tr.ts));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rpm

@@ -1,0 +1,81 @@
+// Temporally-ordered transactional database (Sec. 3, Table 1).
+//
+// The database preserves the point sequence of every item in the original
+// time series: TS^X computed here equals the point sequence of X in the TSD
+// (the paper's losslessness argument after Definition 2).
+
+#ifndef RPM_TIMESERIES_TRANSACTION_DATABASE_H_
+#define RPM_TIMESERIES_TRANSACTION_DATABASE_H_
+
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/item_dictionary.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// A set of transactions ordered by strictly increasing timestamp.
+///
+/// Invariants (checked by Validate(), maintained by TdbBuilder):
+///  - transactions sorted by ts, timestamps unique;
+///  - within a transaction, items sorted ascending and duplicate-free.
+class TransactionDatabase {
+ public:
+  TransactionDatabase() = default;
+
+  /// Takes ownership of transactions; the caller must already satisfy the
+  /// invariants (use TdbBuilder otherwise). Verified in debug builds.
+  explicit TransactionDatabase(std::vector<Transaction> transactions,
+                               ItemDictionary dictionary = {});
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  const Transaction& transaction(size_t idx) const {
+    return transactions_[idx];
+  }
+
+  /// |TDB|: number of transactions.
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  /// Largest item id present plus one; 0 when empty.
+  uint32_t ItemUniverseSize() const { return item_universe_; }
+
+  /// Timestamp of the first / last transaction. Precondition: !empty().
+  Timestamp start_ts() const { return transactions_.front().ts; }
+  Timestamp end_ts() const { return transactions_.back().ts; }
+
+  /// Total number of item occurrences (sum of transaction lengths).
+  size_t TotalItemOccurrences() const;
+
+  /// TS^X: ordered timestamps of transactions containing every item of
+  /// `pattern` (Definition 2 / Example 2). O(|TDB| * |pattern|) scan;
+  /// miners use their own indexed structures — this is the definitional
+  /// reference used by tests, the brute-force miner and report verification.
+  TimestampList TimestampsOf(const Itemset& pattern) const;
+
+  /// Sup(X) = |TS^X| (Definition 3).
+  size_t SupportOf(const Itemset& pattern) const {
+    return TimestampsOf(pattern).size();
+  }
+
+  const ItemDictionary& dictionary() const { return dictionary_; }
+  ItemDictionary* mutable_dictionary() { return &dictionary_; }
+
+  /// Full invariant check (ordering, uniqueness, item sortedness).
+  Status Validate() const;
+
+ private:
+  std::vector<Transaction> transactions_;
+  ItemDictionary dictionary_;
+  uint32_t item_universe_ = 0;
+};
+
+/// True iff `pattern` (sorted) is a subset of `items` (sorted).
+bool ContainsAll(const Itemset& items, const Itemset& pattern);
+
+}  // namespace rpm
+
+#endif  // RPM_TIMESERIES_TRANSACTION_DATABASE_H_

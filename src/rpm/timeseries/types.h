@@ -1,0 +1,48 @@
+// Fundamental value types of the time-series / transactional data model
+// (Sec. 3 of the paper, Definitions 1-2).
+
+#ifndef RPM_TIMESERIES_TYPES_H_
+#define RPM_TIMESERIES_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rpm {
+
+/// Dense identifier of an item (event type). Names live in ItemDictionary.
+using ItemId = uint32_t;
+
+/// Occurrence time of an event. Unit-agnostic (the paper uses minutes for
+/// Shop-14/Twitter and transaction indices for T10I4D100K).
+using Timestamp = int64_t;
+
+/// A pattern X ⊆ I: items sorted ascending, no duplicates.
+using Itemset = std::vector<ItemId>;
+
+/// A point sequence: the ordered timestamps at which something occurred
+/// (TS^X in the paper's notation).
+using TimestampList = std::vector<Timestamp>;
+
+/// Sentinel for "no item".
+inline constexpr ItemId kInvalidItem = static_cast<ItemId>(-1);
+
+/// An event (i, ts): item i observed at timestamp ts (Definition 1).
+struct Event {
+  ItemId item = kInvalidItem;
+  Timestamp ts = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// A transaction tr = (ts, Y): the set of items observed at one timestamp.
+/// `items` is sorted ascending and duplicate-free.
+struct Transaction {
+  Timestamp ts = 0;
+  Itemset items;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+};
+
+}  // namespace rpm
+
+#endif  // RPM_TIMESERIES_TYPES_H_

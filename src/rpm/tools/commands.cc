@@ -1,0 +1,503 @@
+#include "rpm/tools/commands.h"
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "rpm/analysis/export.h"
+#include "rpm/analysis/pattern_report.h"
+#include "rpm/analysis/pattern_stats.h"
+#include "rpm/analysis/threshold_advisor.h"
+#include "rpm/baselines/pf_growth.h"
+#include "rpm/baselines/ppattern.h"
+#include "rpm/common/civil_time.h"
+#include "rpm/common/flags.h"
+#include "rpm/core/pattern_filters.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/core/top_k.h"
+#include "rpm/gen/paper_datasets.h"
+#include "rpm/timeseries/database_stats.h"
+#include "rpm/timeseries/io/spmf_io.h"
+#include "rpm/timeseries/io/timestamped_csv_io.h"
+#include "rpm/timeseries/tdb_builder.h"
+
+namespace rpm::tools {
+
+namespace {
+
+/// Loads a database per --format: tspmf (default), spmf, or csv.
+Result<TransactionDatabase> LoadDatabase(const std::string& path,
+                                         const std::string& format) {
+  if (format == "tspmf") return ReadTimestampedSpmfFile(path);
+  if (format == "spmf") return ReadSpmfFile(path);
+  if (format == "csv") {
+    RPM_ASSIGN_OR_RETURN(EventCsvData data, ReadEventCsvFile(path));
+    return BuildTdbFromSequence(data.sequence, std::move(data.dictionary));
+  }
+  return Status::InvalidArgument("unknown --format '" + format +
+                                 "' (expected tspmf, spmf or csv)");
+}
+
+/// Resolves --epoch into minutes since 1970 (empty -> no epoch).
+Result<std::optional<int64_t>> ResolveEpoch(const std::string& epoch) {
+  if (epoch.empty()) return std::optional<int64_t>{};
+  RPM_ASSIGN_OR_RETURN(CivilMinute cm, ParseCivilMinute(epoch));
+  return std::optional<int64_t>{MinutesFromCivil(cm)};
+}
+
+Status WriteResults(const std::vector<RecurringPattern>& patterns,
+                    const ItemDictionary& dict,
+                    const std::string& output_format,
+                    const std::optional<int64_t>& epoch, std::ostream* out) {
+  if (output_format == "text") {
+    analysis::ReportOptions options;
+    options.epoch_minutes = epoch;
+    for (const std::string& line :
+         analysis::FormatPatternReport(patterns, dict, options)) {
+      *out << line << "\n";
+    }
+    return Status::OK();
+  }
+  analysis::ExportOptions options;
+  options.epoch_minutes = epoch;
+  if (output_format == "csv") {
+    return analysis::WritePatternsCsv(patterns, dict, out, options);
+  }
+  if (output_format == "json") {
+    return analysis::WritePatternsJson(patterns, dict, out, options);
+  }
+  return Status::InvalidArgument("unknown --output-format '" +
+                                 output_format +
+                                 "' (expected text, csv or json)");
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 2;
+}
+
+int CmdMine(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  FlagParser parser("rpminer mine", "discover recurring patterns");
+  std::string input, format, output_format, epoch;
+  int64_t per = 0;
+  uint64_t min_ps = 0, min_rec = 1, tolerance = 0, top_k = 0, max_len = 0;
+  double min_ps_pct = -1.0;
+  bool closed = false, maximal = false;
+  parser.AddString("input", "", "event file path", &input);
+  parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
+                   &format);
+  parser.AddInt64("per", 1, "period threshold (Definition 4)", &per);
+  parser.AddUint64("min-ps", 0, "absolute minPS (Definition 7)", &min_ps);
+  parser.AddDouble("min-ps-pct", -1.0,
+                   "minPS as percent of |TDB| (overrides --min-ps)",
+                   &min_ps_pct);
+  parser.AddUint64("min-rec", 1, "minRec (Definition 9)", &min_rec);
+  parser.AddUint64("tolerance", 0,
+                   "noise tolerance: over-period gaps absorbed per interval",
+                   &tolerance);
+  parser.AddUint64("top-k", 0,
+                   "mine the k most-recurring patterns instead of using "
+                   "--min-rec",
+                   &top_k);
+  parser.AddUint64("max-length", 0, "pattern length cap (0 = unlimited)",
+                   &max_len);
+  parser.AddBool("closed", false, "keep only closed patterns", &closed);
+  parser.AddBool("maximal", false, "keep only maximal patterns", &maximal);
+  bool with_stats = false;
+  parser.AddBool("stats", false,
+                 "append coverage/concentration stats per pattern "
+                 "(text output only)",
+                 &with_stats);
+  parser.AddString("output-format", "text", "text|csv|json",
+                   &output_format);
+  parser.AddString("epoch", "",
+                   "render timestamps as dates relative to this "
+                   "'YYYY-MM-DD[ HH:MM]'",
+                   &epoch);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+
+  Result<TransactionDatabase> db = LoadDatabase(input, format);
+  if (!db.ok()) return Fail(err, db.status());
+  Result<std::optional<int64_t>> epoch_minutes = ResolveEpoch(epoch);
+  if (!epoch_minutes.ok()) return Fail(err, epoch_minutes.status());
+
+  if (min_ps_pct >= 0.0) {
+    min_ps = static_cast<uint64_t>(
+        std::ceil(min_ps_pct / 100.0 * static_cast<double>(db->size())));
+  }
+  if (min_ps == 0) min_ps = 1;
+
+  std::vector<RecurringPattern> patterns;
+  if (top_k > 0) {
+    TopKOptions options;
+    options.max_pattern_length = max_len;
+    options.max_gap_violations = static_cast<uint32_t>(tolerance);
+    TopKResult result =
+        MineTopKByRecurrence(*db, per, min_ps, top_k, options);
+    err << "top-k: " << result.patterns.size() << " patterns at minRec="
+        << result.final_min_rec << " after " << result.rounds
+        << " round(s)\n";
+    patterns = std::move(result.patterns);
+  } else {
+    RpParams params;
+    params.period = per;
+    params.min_ps = min_ps;
+    params.min_rec = min_rec;
+    params.max_gap_violations = static_cast<uint32_t>(tolerance);
+    if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
+    RpGrowthOptions options;
+    options.max_pattern_length = max_len;
+    RpGrowthResult result = MineRecurringPatterns(*db, params, options);
+    err << result.patterns.size() << " recurring patterns ("
+        << params.ToString() << ") in " << result.stats.total_seconds
+        << "s\n";
+    patterns = std::move(result.patterns);
+  }
+  if (closed) patterns = FilterClosed(*db, std::move(patterns));
+  if (maximal) patterns = FilterMaximal(std::move(patterns));
+
+  if (with_stats && output_format == "text" && !db->empty()) {
+    for (const RecurringPattern& p : patterns) {
+      out << analysis::FormatItemset(p.items, db->dictionary()) << "  "
+          << analysis::FormatPatternStats(analysis::ComputePatternStats(
+                 p, db->start_ts(), db->end_ts()))
+          << "\n";
+    }
+    return 0;
+  }
+  if (Status s = WriteResults(patterns, db->dictionary(), output_format,
+                              *epoch_minutes, &out);
+      !s.ok()) {
+    return Fail(err, s);
+  }
+  return 0;
+}
+
+int CmdPfMine(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  FlagParser parser("rpminer pf-mine",
+                    "periodic-frequent baseline (PF-growth++)");
+  std::string input, format;
+  uint64_t min_sup = 1;
+  int64_t max_per = 1;
+  parser.AddString("input", "", "event file path", &input);
+  parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
+                   &format);
+  parser.AddUint64("min-sup", 1, "minimum support", &min_sup);
+  parser.AddInt64("max-per", 1, "maximum periodicity", &max_per);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+  Result<TransactionDatabase> db = LoadDatabase(input, format);
+  if (!db.ok()) return Fail(err, db.status());
+  baselines::PfParams params;
+  params.min_sup = min_sup;
+  params.max_per = max_per;
+  if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
+  auto result = baselines::MinePeriodicFrequentPatterns(*db, params);
+  err << result.patterns.size() << " periodic-frequent patterns in "
+      << result.seconds << "s\n";
+  for (const auto& p : result.patterns) {
+    out << analysis::FormatItemset(p.items, db->dictionary())
+        << " sup=" << p.support << " per=" << p.periodicity << "\n";
+  }
+  return 0;
+}
+
+int CmdPpMine(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  FlagParser parser("rpminer pp-mine",
+                    "p-pattern baseline (periodic-first)");
+  std::string input, format;
+  uint64_t min_sup = 1, window = 1, max_patterns = 0;
+  int64_t per = 1;
+  parser.AddString("input", "", "event file path", &input);
+  parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
+                   &format);
+  parser.AddInt64("per", 1, "known period", &per);
+  parser.AddUint64("window", 1, "Ma-Hellerstein window w", &window);
+  parser.AddUint64("min-sup", 1, "min on-period inter-arrival times",
+                   &min_sup);
+  parser.AddUint64("max-patterns", 0,
+                   "stop after this many found (0 = unlimited)",
+                   &max_patterns);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+  Result<TransactionDatabase> db = LoadDatabase(input, format);
+  if (!db.ok()) return Fail(err, db.status());
+  baselines::PPatternParams params;
+  params.period = per;
+  params.window = static_cast<Timestamp>(window);
+  params.min_sup = min_sup;
+  if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
+  baselines::PPatternOptions options;
+  options.max_total_patterns = max_patterns;
+  auto result = baselines::MinePPatterns(*db, params, options);
+  err << result.total_found << " p-patterns"
+      << (result.truncated ? " (truncated)" : "") << " in "
+      << result.seconds << "s\n";
+  for (const auto& p : result.patterns) {
+    out << analysis::FormatItemset(p.items, db->dictionary())
+        << " sup=" << p.support << " periodic=" << p.periodic_count << "\n";
+  }
+  return 0;
+}
+
+int CmdAdvise(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  FlagParser parser("rpminer advise",
+                    "suggest per/minPS/minRec starting points");
+  std::string input, format;
+  uint64_t min_item_support = 10;
+  parser.AddString("input", "", "event file path", &input);
+  parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
+                   &format);
+  parser.AddUint64("min-item-support", 10,
+                   "ignore items below this support", &min_item_support);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+  Result<TransactionDatabase> db = LoadDatabase(input, format);
+  if (!db.ok()) return Fail(err, db.status());
+  analysis::AdvisorOptions options;
+  options.min_item_support = min_item_support;
+  analysis::ThresholdAdvice advice = analysis::AdviseThresholds(*db, options);
+  out << "suggested: --per " << advice.suggested_period << " --min-ps "
+      << advice.suggested_min_ps << " --min-rec "
+      << advice.suggested_min_rec << "\n";
+  out << "rationale: " << advice.rationale << "\n";
+  return 0;
+}
+
+int CmdStats(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err) {
+  FlagParser parser("rpminer stats", "dataset shape summary");
+  std::string input, format;
+  parser.AddString("input", "", "event file path", &input);
+  parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
+                   &format);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+  Result<TransactionDatabase> db = LoadDatabase(input, format);
+  if (!db.ok()) return Fail(err, db.status());
+  out << ComputeStats(*db).ToString() << "\n";
+  return 0;
+}
+
+int CmdCompare(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) {
+  FlagParser parser("rpminer compare",
+                    "run PF / recurring / p-pattern models side by side "
+                    "(Table 8 style)");
+  std::string input, format;
+  int64_t per = 1440;
+  double min_sup_pct = 0.1, min_ps_pct = 2.0;
+  uint64_t min_rec = 1, max_pp = 500000;
+  parser.AddString("input", "", "event file path", &input);
+  parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
+                   &format);
+  parser.AddInt64("per", 1440, "period / max-periodicity threshold", &per);
+  parser.AddDouble("min-sup-pct", 0.1,
+                   "minSup for PF and p-patterns, percent of |TDB|",
+                   &min_sup_pct);
+  parser.AddDouble("min-ps-pct", 2.0,
+                   "minPS for recurring patterns, percent of |TDB|",
+                   &min_ps_pct);
+  parser.AddUint64("min-rec", 1, "minRec for recurring patterns", &min_rec);
+  parser.AddUint64("max-pp", 500000,
+                   "p-pattern enumeration cap (0 = unlimited)", &max_pp);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+  Result<TransactionDatabase> db = LoadDatabase(input, format);
+  if (!db.ok()) return Fail(err, db.status());
+
+  const uint64_t min_sup = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(
+             min_sup_pct / 100.0 * static_cast<double>(db->size()))));
+
+  baselines::PfParams pf;
+  pf.min_sup = min_sup;
+  pf.max_per = per;
+  auto pf_result = baselines::MinePeriodicFrequentPatterns(*db, pf);
+  size_t pf_len = 0;
+  for (const auto& p : pf_result.patterns) {
+    pf_len = std::max(pf_len, p.items.size());
+  }
+
+  Result<RpParams> rp = MakeParamsWithMinPsFraction(
+      per, min_ps_pct / 100.0, min_rec, db->size());
+  if (!rp.ok()) return Fail(err, rp.status());
+  auto rp_result = MineRecurringPatterns(*db, *rp);
+
+  baselines::PPatternParams pp;
+  pp.period = per;
+  pp.min_sup = min_sup;
+  baselines::PPatternOptions pp_options;
+  pp_options.max_stored_patterns = 1;
+  pp_options.max_total_patterns = max_pp;
+  auto pp_result = baselines::MinePPatterns(*db, pp, pp_options);
+
+  out << "model                 patterns    max_len  seconds\n";
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-20s %10zu %8zu %8.2f\n",
+                "pf-patterns", pf_result.patterns.size(), pf_len,
+                pf_result.seconds);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-20s %10zu %8zu %8.2f\n",
+                "recurring-patterns", rp_result.patterns.size(),
+                MaxPatternLength(rp_result.patterns),
+                rp_result.stats.total_seconds);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-20s %s%9zu %8zu %8.2f\n",
+                "p-patterns", pp_result.truncated ? ">" : " ",
+                pp_result.total_found, pp_result.max_length,
+                pp_result.seconds);
+  out << line;
+  return 0;
+}
+
+int CmdGenerate(int argc, const char* const* argv, std::ostream& out,
+                std::ostream& err) {
+  FlagParser parser("rpminer generate",
+                    "synthesize one of the paper's evaluation datasets");
+  std::string dataset, output;
+  double scale = 1.0;
+  uint64_t seed = 42;
+  parser.AddString("dataset", "twitter", "quest|shop14|twitter", &dataset);
+  parser.AddString("output", "", "output path (tspmf); empty = stdout",
+                   &output);
+  parser.AddDouble("scale", 1.0, "fraction of the paper's size (0,1]",
+                   &scale);
+  parser.AddUint64("seed", 42, "generator seed", &seed);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    err << "--scale must be in (0, 1]\n";
+    return 1;
+  }
+  TransactionDatabase db;
+  if (dataset == "quest") {
+    db = gen::MakeT10I4D100K(scale, seed);
+  } else if (dataset == "shop14") {
+    db = gen::MakeShop14(scale, seed).db;
+  } else if (dataset == "twitter") {
+    db = gen::MakeTwitter(scale, seed).db;
+  } else {
+    err << "unknown --dataset '" << dataset << "'\n" << parser.Help();
+    return 1;
+  }
+  err << "generated: " << ComputeStats(db).ToString() << "\n";
+  Status write = output.empty()
+                     ? WriteTimestampedSpmf(db, &out)
+                     : WriteTimestampedSpmfFile(db, output);
+  if (!write.ok()) return Fail(err, write);
+  return 0;
+}
+
+int CmdConvert(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) {
+  FlagParser parser("rpminer convert",
+                    "convert an event CSV to timestamped SPMF");
+  std::string input, output;
+  parser.AddString("input", "", "event CSV path (timestamp,item rows)",
+                   &input);
+  parser.AddString("output", "", "output path; empty = stdout", &output);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (input.empty()) {
+    err << "--input is required\n" << parser.Help();
+    return 1;
+  }
+  Result<TransactionDatabase> db = LoadDatabase(input, "csv");
+  if (!db.ok()) return Fail(err, db.status());
+  Status write = output.empty()
+                     ? WriteTimestampedSpmf(*db, &out)
+                     : WriteTimestampedSpmfFile(*db, output);
+  if (!write.ok()) return Fail(err, write);
+  err << "converted " << db->size() << " transactions\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string RpminerUsage() {
+  return "usage: rpminer <command> [flags]\n"
+         "commands:\n"
+         "  mine      discover recurring patterns (RP-growth)\n"
+         "  pf-mine   periodic-frequent baseline (PF-growth++)\n"
+         "  pp-mine   p-pattern baseline (periodic-first)\n"
+         "  stats     dataset shape summary\n"
+         "  advise    suggest per/minPS/minRec starting points\n"
+         "  compare   PF vs recurring vs p-patterns on one input\n"
+         "  generate  synthesize quest|shop14|twitter dataset\n"
+         "  convert   event CSV -> timestamped SPMF\n"
+         "run 'rpminer <command> --help' is not supported; invalid flags "
+         "print the command's flag list\n";
+}
+
+int RunRpminer(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) {
+  if (argc < 2) {
+    err << RpminerUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Shift argv so subcommands see their own flags as argv[1..].
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "mine") return CmdMine(sub_argc, sub_argv, out, err);
+  if (command == "pf-mine") return CmdPfMine(sub_argc, sub_argv, out, err);
+  if (command == "pp-mine") return CmdPpMine(sub_argc, sub_argv, out, err);
+  if (command == "stats") return CmdStats(sub_argc, sub_argv, out, err);
+  if (command == "advise") return CmdAdvise(sub_argc, sub_argv, out, err);
+  if (command == "compare") return CmdCompare(sub_argc, sub_argv, out, err);
+  if (command == "generate") {
+    return CmdGenerate(sub_argc, sub_argv, out, err);
+  }
+  if (command == "convert") return CmdConvert(sub_argc, sub_argv, out, err);
+  err << "unknown command '" << command << "'\n" << RpminerUsage();
+  return 1;
+}
+
+}  // namespace rpm::tools

@@ -1,0 +1,9 @@
+// Entry point of the `rpminer` command-line tool.
+
+#include <iostream>
+
+#include "rpm/tools/commands.h"
+
+int main(int argc, char** argv) {
+  return rpm::tools::RunRpminer(argc, argv, std::cout, std::cerr);
+}

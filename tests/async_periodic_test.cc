@@ -1,0 +1,190 @@
+#include "rpm/baselines/async_periodic.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_growth.h"
+#include "rpm/timeseries/tdb_builder.h"
+#include "test_util.h"
+
+namespace rpm::baselines {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+
+/// Item A at the given sequence positions (timestamps = positions, filler
+/// item B everywhere so every position exists as a transaction).
+TransactionDatabase DbWithAAt(const std::vector<size_t>& a_positions,
+                              size_t length) {
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (size_t i = 0; i < length; ++i) {
+    Itemset items = {B};
+    if (std::find(a_positions.begin(), a_positions.end(), i) !=
+        a_positions.end()) {
+      items.push_back(A);
+    }
+    rows.push_back({static_cast<Timestamp>(i), items});
+  }
+  return MakeDatabase(rows);
+}
+
+const AsyncPeriodicPattern* FindPattern(
+    const std::vector<AsyncPeriodicPattern>& ps, ItemId item,
+    size_t period) {
+  for (const auto& p : ps) {
+    if (p.item == item && p.period == period) return &p;
+  }
+  return nullptr;
+}
+
+TEST(AsyncPeriodicTest, PerfectPeriodicSingleSegment) {
+  // A at 0,3,6,9,12: one segment of 5 repetitions at period 3.
+  TransactionDatabase db = DbWithAAt({0, 3, 6, 9, 12}, 15);
+  AsyncPeriodicParams params;
+  params.min_rep = 3;
+  params.max_dis = 2;
+  params.max_period = 5;
+  auto result = MineAsyncPeriodicPatterns(db, params);
+  const AsyncPeriodicPattern* p = FindPattern(result, A, 3);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->total_repetitions, 5u);
+  ASSERT_EQ(p->segments.size(), 1u);
+  EXPECT_EQ(p->segments[0], (ValidSegment{0, 5}));
+  EXPECT_EQ(p->start_pos(), 0u);
+  EXPECT_EQ(p->end_pos(), 13u);
+}
+
+TEST(AsyncPeriodicTest, PhaseShiftBridgedByDisturbance) {
+  // Period 3 with a phase shift: 0,3,6 then (shift by +1) 10,13,16.
+  // Gap between segment end (6) and next start (10) is 4.
+  TransactionDatabase db = DbWithAAt({0, 3, 6, 10, 13, 16}, 20);
+  AsyncPeriodicParams params;
+  params.min_rep = 3;
+  params.max_period = 5;
+
+  params.max_dis = 4;  // Bridges the shift.
+  auto bridged = MineAsyncPeriodicPatterns(db, params);
+  const AsyncPeriodicPattern* p = FindPattern(bridged, A, 3);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->total_repetitions, 6u);
+  EXPECT_EQ(p->segments.size(), 2u);
+
+  params.max_dis = 3;  // Too strict: best chain is one segment.
+  auto split = MineAsyncPeriodicPatterns(db, params);
+  const AsyncPeriodicPattern* q = FindPattern(split, A, 3);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->total_repetitions, 3u);
+  EXPECT_EQ(q->segments.size(), 1u);
+}
+
+TEST(AsyncPeriodicTest, MinRepFiltersShortRuns) {
+  // Runs of 2 at period 2: 0,2 and 7,9.
+  TransactionDatabase db = DbWithAAt({0, 2, 7, 9}, 12);
+  AsyncPeriodicParams params;
+  params.min_rep = 3;
+  params.max_period = 4;
+  auto result = MineAsyncPeriodicPatterns(db, params);
+  EXPECT_EQ(FindPattern(result, A, 2), nullptr);
+  params.min_rep = 2;
+  result = MineAsyncPeriodicPatterns(db, params);
+  ASSERT_NE(FindPattern(result, A, 2), nullptr);
+}
+
+TEST(AsyncPeriodicTest, ChoosesBestChainNotFirst) {
+  // Period 2: segments {0,2} (2 reps), far gap, {10,12,14,16} (4 reps).
+  TransactionDatabase db = DbWithAAt({0, 2, 10, 12, 14, 16}, 20);
+  AsyncPeriodicParams params;
+  params.min_rep = 2;
+  params.max_dis = 3;  // Gap 10-2=8 > 3: chains cannot join.
+  params.max_period = 3;
+  auto result = MineAsyncPeriodicPatterns(db, params);
+  const AsyncPeriodicPattern* p = FindPattern(result, A, 2);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->total_repetitions, 4u);
+  EXPECT_EQ(p->segments[0].start_pos, 10u);
+}
+
+TEST(AsyncPeriodicTest, FillerItemIsPeriodOnePattern) {
+  TransactionDatabase db = DbWithAAt({0}, 10);
+  AsyncPeriodicParams params;
+  params.min_rep = 5;
+  params.max_period = 2;
+  auto result = MineAsyncPeriodicPatterns(db, params);
+  const AsyncPeriodicPattern* b = FindPattern(result, B, 1);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->total_repetitions, 10u);
+}
+
+TEST(AsyncPeriodicTest, PositionBlindnessVsRecurringModel) {
+  // The paper's Sec. 2 point in reverse: an item periodic in TIME (every
+  // 10 minutes) recorded in a database where OTHER transactions appear
+  // irregularly — its POSITION period is erratic, so the asynchronous
+  // model (max_period bounded) misses it while RP-growth sees it.
+  TdbBuilder builder;
+  Rng rng(7);
+  Timestamp ts = 0;
+  for (int k = 0; k < 40; ++k) {
+    ts += 10;
+    builder.AddTransaction(ts, {A});
+    // 0-6 noise transactions between every pair of A's.
+    Timestamp noise_ts = ts;
+    const uint64_t noise = rng.NextUint64(7);
+    for (uint64_t n = 0; n < noise; ++n) {
+      noise_ts += 1;
+      builder.AddTransaction(noise_ts, {B});
+    }
+  }
+  TransactionDatabase db = builder.Build();
+
+  RpParams rp;
+  rp.period = 10;
+  rp.min_ps = 40;
+  rp.min_rec = 1;
+  RpGrowthResult mined = MineRecurringPatterns(db, rp);
+  bool a_found = false;
+  for (const auto& p : mined.patterns) a_found |= p.items == Itemset{A};
+  EXPECT_TRUE(a_found);
+
+  AsyncPeriodicParams ap;
+  ap.min_rep = 10;  // A sustained positional period...
+  ap.max_dis = 3;
+  ap.max_period = 8;
+  auto async_result = MineAsyncPeriodicPatterns(db, ap);
+  for (const auto& p : async_result) {
+    if (p.item == A) {
+      EXPECT_LT(p.total_repetitions, 40u)
+          << "position-based model should not see the full time-periodic "
+             "behaviour";
+    }
+  }
+}
+
+TEST(AsyncPeriodicTest, EmptyDatabase) {
+  AsyncPeriodicParams params;
+  EXPECT_TRUE(
+      MineAsyncPeriodicPatterns(TransactionDatabase{}, params).empty());
+}
+
+TEST(AsyncPeriodicTest, ResultsOrderedByItemThenPeriod) {
+  TransactionDatabase db = DbWithAAt({0, 2, 4, 6, 8}, 10);
+  AsyncPeriodicParams params;
+  params.min_rep = 2;
+  params.max_period = 4;
+  auto result = MineAsyncPeriodicPatterns(db, params);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_TRUE(result[i - 1].item < result[i].item ||
+                (result[i - 1].item == result[i].item &&
+                 result[i - 1].period < result[i].period));
+  }
+}
+
+TEST(AsyncPeriodicDeathTest, InvalidParams) {
+  AsyncPeriodicParams bad;
+  bad.min_rep = 1;
+  EXPECT_DEATH(
+      MineAsyncPeriodicPatterns(rpm::testing::PaperExampleDb(), bad),
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::baselines

@@ -1,0 +1,106 @@
+#include "rpm/common/civil_time.h"
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+TEST(CivilTimeTest, EpochIsDayZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+}
+
+TEST(CivilTimeTest, KnownDates) {
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(2013, 5, 1), 15826);
+}
+
+TEST(CivilTimeTest, LeapYearHandling) {
+  // 2012 was a leap year; 2013 not.
+  EXPECT_EQ(DaysFromCivil(2012, 3, 1) - DaysFromCivil(2012, 2, 28), 2);
+  EXPECT_EQ(DaysFromCivil(2013, 3, 1) - DaysFromCivil(2013, 2, 28), 1);
+  // Century rule: 2000 leap, 1900 not.
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28), 2);
+  EXPECT_EQ(DaysFromCivil(1900, 3, 1) - DaysFromCivil(1900, 2, 28), 1);
+}
+
+TEST(CivilTimeTest, MinutesFromCivil) {
+  EXPECT_EQ(MinutesFromCivil({1970, 1, 1, 0, 0}), 0);
+  EXPECT_EQ(MinutesFromCivil({1970, 1, 1, 1, 30}), 90);
+  EXPECT_EQ(MinutesFromCivil({1970, 1, 2, 0, 0}), 1440);
+}
+
+TEST(CivilTimeTest, CivilFromMinutesRoundTrip) {
+  for (int64_t m : {int64_t{0}, int64_t{1439}, int64_t{1440},
+                    MinutesFromCivil({2013, 5, 1, 0, 0}),
+                    MinutesFromCivil({2013, 8, 31, 23, 59}),
+                    MinutesFromCivil({1969, 12, 31, 23, 59}),
+                    MinutesFromCivil({2400, 2, 29, 12, 1})}) {
+    EXPECT_EQ(MinutesFromCivil(CivilFromMinutes(m)), m) << "minutes " << m;
+  }
+}
+
+TEST(CivilTimeTest, NegativeMinutesFloorCorrectly) {
+  CivilMinute cm = CivilFromMinutes(-1);
+  EXPECT_EQ(cm.year, 1969);
+  EXPECT_EQ(cm.month, 12u);
+  EXPECT_EQ(cm.day, 31u);
+  EXPECT_EQ(cm.hour, 23u);
+  EXPECT_EQ(cm.minute, 59u);
+}
+
+TEST(CivilTimeTest, FormatCivilMinute) {
+  EXPECT_EQ(FormatCivilMinute({2013, 6, 21, 1, 8}), "2013-06-21 01:08");
+  EXPECT_EQ(FormatCivilMinute({1970, 1, 1, 0, 0}), "1970-01-01 00:00");
+}
+
+TEST(CivilTimeTest, FormatMinuteOffsetAgainstPaperEpoch) {
+  const int64_t epoch = MinutesFromCivil({2013, 5, 1, 0, 0});
+  EXPECT_EQ(FormatMinuteOffset(0, epoch), "2013-05-01 00:00");
+  // Paper Table 6 row 1 start: 2013-06-21 01:08.
+  const int64_t offset =
+      MinutesFromCivil({2013, 6, 21, 1, 8}) - epoch;
+  EXPECT_EQ(offset, 51 * 1440 + 68);
+  EXPECT_EQ(FormatMinuteOffset(offset, epoch), "2013-06-21 01:08");
+}
+
+TEST(ParseCivilMinuteTest, DateOnly) {
+  Result<CivilMinute> cm = ParseCivilMinute("2013-05-01");
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(*cm, (CivilMinute{2013, 5, 1, 0, 0}));
+}
+
+TEST(ParseCivilMinuteTest, DateAndTime) {
+  Result<CivilMinute> cm = ParseCivilMinute("2013-06-21 01:08");
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(*cm, (CivilMinute{2013, 6, 21, 1, 8}));
+}
+
+TEST(ParseCivilMinuteTest, RoundTripsWithFormat) {
+  for (const char* text : {"1999-12-31 23:59", "2020-02-29 00:00"}) {
+    Result<CivilMinute> cm = ParseCivilMinute(text);
+    ASSERT_TRUE(cm.ok()) << text;
+    EXPECT_EQ(FormatCivilMinute(*cm), text);
+  }
+}
+
+TEST(ParseCivilMinuteTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCivilMinute("yesterday").ok());
+  EXPECT_FALSE(ParseCivilMinute("2013/05/01").ok());
+  EXPECT_FALSE(ParseCivilMinute("2013-13-01").ok());
+  EXPECT_FALSE(ParseCivilMinute("2013-05-42").ok());
+  EXPECT_FALSE(ParseCivilMinute("2013-05-01 25:00").ok());
+  EXPECT_FALSE(ParseCivilMinute("2013-05-01 10:73").ok());
+  EXPECT_FALSE(ParseCivilMinute("2013-05-01 10:30 extra").ok());
+  EXPECT_FALSE(ParseCivilMinute("").ok());
+}
+
+TEST(CivilTimeTest, TwitterSpanIs123Days) {
+  const int64_t begin = MinutesFromCivil({2013, 5, 1, 0, 0});
+  const int64_t end = MinutesFromCivil({2013, 9, 1, 0, 0});
+  EXPECT_EQ(end - begin, 123 * 1440);  // 177,120 minutes.
+}
+
+}  // namespace
+}  // namespace rpm

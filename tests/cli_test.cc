@@ -1,0 +1,312 @@
+// End-to-end tests of the rpminer CLI command layer (RunRpminer against
+// in-memory streams and temp files).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rpm/timeseries/io/spmf_io.h"
+#include "rpm/tools/commands.h"
+#include "test_util.h"
+
+namespace rpm::tools {
+namespace {
+
+/// Writes the paper's running example to a temp file; returns the path.
+std::string WritePaperExampleFile() {
+  std::string path =
+      ::testing::TempDir() + "/rpminer_cli_example.tspmf";
+  std::ofstream out(path);
+  WriteTimestampedSpmf(rpm::testing::PaperExampleDb(), &out);
+  return path;
+}
+
+int RunCli(std::initializer_list<const char*> args, std::string* out_text,
+        std::string* err_text) {
+  std::vector<const char*> argv(args);
+  std::ostringstream out, err;
+  int code =
+      RunRpminer(static_cast<int>(argv.size()), argv.data(), out, err);
+  *out_text = out.str();
+  *err_text = err.str();
+  return code;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer"}, &out, &err), 1);
+  EXPECT_NE(err.find("usage: rpminer"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommand) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "frobnicate"}, &out, &err), 1);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, MineRequiresInput) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--per=2"}, &out, &err), 1);
+  EXPECT_NE(err.find("--input is required"), std::string::npos);
+}
+
+TEST(CliTest, MineUnknownFlag) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--bogus=1"}, &out, &err), 1);
+  EXPECT_NE(err.find("unknown flag"), std::string::npos);
+}
+
+TEST(CliTest, MineMissingFileIsRuntimeError) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--input=/no/such/file", "--per=2",
+                 "--min-ps=3", "--min-rec=2"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, MinePaperExampleFindsTable2) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps=3", "--min-rec=2"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(err.find("8 recurring patterns"), std::string::npos);
+  EXPECT_NE(out.find("{a, b}"), std::string::npos);
+  EXPECT_NE(out.find("{e, f}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineJsonOutput) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps=3", "--min-rec=2", "--output-format=json"},
+                &out, &err),
+            0);
+  EXPECT_NE(out.find("\"support\": 7"), std::string::npos);
+  EXPECT_NE(out.find("\"items\": [\"a\", \"b\"]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineCsvOutputWithPercentThreshold) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  // 25% of 12 transactions = 3 = the paper's minPS.
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps-pct=25", "--min-rec=2", "--output-format=csv"},
+                &out, &err),
+            0);
+  EXPECT_NE(out.find("pattern,support"), std::string::npos);
+  EXPECT_NE(out.find("a b,7,2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineClosedFiltersSubPatterns) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps=3", "--min-rec=2", "--closed"},
+                &out, &err),
+            0);
+  // 'b' alone is not closed (always with 'a'), so "{b}" must not appear.
+  EXPECT_EQ(out.find("{b}"), std::string::npos);
+  EXPECT_NE(out.find("{a, b}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineTopK) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps=3", "--top-k=3"},
+                &out, &err),
+            0);
+  EXPECT_NE(err.find("top-k: 3 patterns"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineWithStatsPrintsCoverage) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                    "--min-ps=3", "--min-rec=2", "--stats"},
+                   &out, &err),
+            0);
+  EXPECT_NE(out.find("coverage="), std::string::npos);
+  EXPECT_NE(out.find("concentration="), std::string::npos);
+  EXPECT_NE(out.find("{a, b}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineWithEpochRendersDates) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps=3", "--min-rec=2", "--epoch=2013-05-01"},
+                &out, &err),
+            0);
+  EXPECT_NE(out.find("2013-05-01 00:01"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineRejectsBadEpoch) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                 "--min-ps=3", "--epoch=yesterday"},
+                &out, &err),
+            2);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, MineWithToleranceBridgesGaps) {
+  // One item at ts 1..6 and 9..14 (hole at 7-8): strict mining at
+  // minPS=10 finds nothing; tolerance 1 bridges the gap.
+  std::string path = ::testing::TempDir() + "/rpminer_cli_tolerant.tspmf";
+  {
+    std::ofstream f(path);
+    for (Timestamp ts : {1, 2, 3, 4, 5, 6, 9, 10, 11, 12, 13, 14}) {
+      f << ts << "|x\n";
+    }
+  }
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=1",
+                    "--min-ps=10", "--min-rec=1"},
+                   &out, &err),
+            0);
+  EXPECT_NE(err.find("0 recurring patterns"), std::string::npos);
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=1",
+                    "--min-ps=10", "--min-rec=1", "--tolerance=1"},
+                   &out, &err),
+            0);
+  EXPECT_NE(err.find("1 recurring patterns"), std::string::npos);
+  EXPECT_NE(out.find("{x}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, StatsSummarisesDataset) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "stats", "--input", path.c_str()}, &out, &err),
+            0);
+  EXPECT_NE(out.find("12 transactions"), std::string::npos);
+  EXPECT_NE(out.find("7 distinct items"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, AdviseSuggestsUsableThresholds) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "advise", "--input", path.c_str(),
+                    "--min-item-support=5"},
+                   &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("suggested: --per "), std::string::npos);
+  EXPECT_NE(out.find("rationale:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, PfMineFindsRegularPatterns) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "pf-mine", "--input", path.c_str(),
+                 "--min-sup=6", "--max-per=3"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("sup="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, PpMineCountsPatterns) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "pp-mine", "--input", path.c_str(), "--per=2",
+                 "--min-sup=4"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(err.find("p-patterns"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, CompareRunsAllThreeModels) {
+  std::string path = WritePaperExampleFile();
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "compare", "--input", path.c_str(),
+                    "--per=2", "--min-sup-pct=30", "--min-ps-pct=25"},
+                   &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("pf-patterns"), std::string::npos);
+  EXPECT_NE(out.find("recurring-patterns"), std::string::npos);
+  EXPECT_NE(out.find("p-patterns"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliTest, GenerateToStdout) {
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "generate", "--dataset=shop14", "--scale=0.02",
+                 "--seed=3"},
+                &out, &err),
+            0);
+  EXPECT_NE(err.find("generated:"), std::string::npos);
+  EXPECT_NE(out.find("|"), std::string::npos);  // tspmf lines.
+}
+
+TEST(CliTest, GenerateRejectsBadDataset) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "generate", "--dataset=imaginary"}, &out, &err),
+            1);
+}
+
+TEST(CliTest, GenerateRejectsBadScale) {
+  std::string out, err;
+  EXPECT_EQ(
+      RunCli({"rpminer", "generate", "--dataset=quest", "--scale=7"}, &out,
+          &err),
+      1);
+}
+
+TEST(CliTest, ConvertCsvToSpmf) {
+  std::string csv_path = ::testing::TempDir() + "/rpminer_cli_events.csv";
+  {
+    std::ofstream f(csv_path);
+    f << "timestamp,item\n1,x\n1,y\n3,x\n";
+  }
+  std::string out, err;
+  ASSERT_EQ(
+      RunCli({"rpminer", "convert", "--input", csv_path.c_str()}, &out, &err),
+      0)
+      << err;
+  EXPECT_NE(out.find("1|x y"), std::string::npos);
+  EXPECT_NE(out.find("3|x"), std::string::npos);
+  EXPECT_NE(err.find("converted 2 transactions"), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+TEST(CliTest, MineRoundTripThroughGenerate) {
+  std::string path = ::testing::TempDir() + "/rpminer_cli_gen.tspmf";
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "generate", "--dataset=twitter", "--scale=0.01",
+                 "--output", path.c_str()},
+                &out, &err),
+            0);
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--per=60",
+                 "--min-ps-pct=2", "--min-rec=1"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(err.find("recurring patterns"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rpm::tools

@@ -1,0 +1,108 @@
+#include "rpm/gen/clickstream_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/analysis/pattern_set.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/timeseries/database_stats.h"
+
+namespace rpm::gen {
+namespace {
+
+ClickstreamParams SmallParams() {
+  ClickstreamParams params;
+  params.num_minutes = 6 * 1440;  // Six days.
+  params.num_categories = 40;
+  params.num_seasonal_groups = 3;
+  params.min_window_minutes = 1440;
+  params.max_window_minutes = 2 * 1440;
+  params.seed = 21;
+  return params;
+}
+
+TEST(ClickstreamGeneratorTest, Deterministic) {
+  GeneratedClickstream a = GenerateClickstream(SmallParams());
+  GeneratedClickstream b = GenerateClickstream(SmallParams());
+  ASSERT_EQ(a.db.size(), b.db.size());
+  for (size_t i = 0; i < a.db.size(); ++i) {
+    EXPECT_EQ(a.db.transaction(i).items, b.db.transaction(i).items);
+  }
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (size_t g = 0; g < a.ground_truth.size(); ++g) {
+    EXPECT_EQ(a.ground_truth[g].categories, b.ground_truth[g].categories);
+    EXPECT_EQ(a.ground_truth[g].windows, b.ground_truth[g].windows);
+  }
+}
+
+TEST(ClickstreamGeneratorTest, DatabaseValidates) {
+  GeneratedClickstream g = GenerateClickstream(SmallParams());
+  EXPECT_TRUE(g.db.Validate().ok());
+  EXPECT_GT(g.db.size(), 1000u);
+  EXPECT_LE(g.db.size(), SmallParams().num_minutes);
+}
+
+TEST(ClickstreamGeneratorTest, PlantsRequestedGroups) {
+  GeneratedClickstream g = GenerateClickstream(SmallParams());
+  ASSERT_EQ(g.ground_truth.size(), 3u);
+  for (const SeasonalGroup& group : g.ground_truth) {
+    EXPECT_GE(group.categories.size(), SmallParams().min_group_size);
+    EXPECT_LE(group.categories.size(), SmallParams().max_group_size);
+    EXPECT_FALSE(group.windows.empty());
+    for (const auto& [begin, end] : group.windows) {
+      EXPECT_LT(begin, end);
+      EXPECT_LE(end, static_cast<Timestamp>(2 * SmallParams().num_minutes));
+    }
+  }
+}
+
+TEST(ClickstreamGeneratorTest, ActivityCurveIsBounded) {
+  ClickstreamParams params = SmallParams();
+  for (Timestamp ts = 0; ts < 3 * 1440; ts += 17) {
+    const double a = ClickstreamActivity(params, ts);
+    EXPECT_GT(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(ClickstreamGeneratorTest, NightIsQuieterThanAfternoon) {
+  ClickstreamParams params = SmallParams();
+  // 04:00 trough vs 16:00 peak on a weekday (day 0).
+  EXPECT_LT(ClickstreamActivity(params, 4 * 60),
+            ClickstreamActivity(params, 16 * 60));
+}
+
+TEST(ClickstreamGeneratorTest, WeekendIsDamped) {
+  ClickstreamParams params = SmallParams();
+  const Timestamp weekday_4pm = 16 * 60;              // Day 0.
+  const Timestamp weekend_4pm = 5 * 1440 + 16 * 60;   // Day 5.
+  EXPECT_LT(ClickstreamActivity(params, weekend_4pm),
+            ClickstreamActivity(params, weekday_4pm));
+}
+
+TEST(ClickstreamGeneratorTest, MinerRecoversPlantedGroups) {
+  // End-to-end: every planted group must surface as a recurring pattern
+  // whose interesting interval overlaps a planted window.
+  ClickstreamParams params = SmallParams();
+  params.group_fire_prob = 0.7;  // Strong signal for a compact test.
+  GeneratedClickstream g = GenerateClickstream(params);
+
+  RpParams mine;
+  mine.period = 60;   // One hour.
+  mine.min_ps = 30;
+  mine.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(g.db, mine);
+
+  for (const SeasonalGroup& group : g.ground_truth) {
+    bool recovered = false;
+    for (const auto& [begin, end] : group.windows) {
+      recovered = recovered || rpm::analysis::RecoversPlantedEvent(
+                                   result.patterns, group.categories, begin,
+                                   end);
+    }
+    EXPECT_TRUE(recovered) << "group of " << group.categories.size()
+                           << " categories not recovered";
+  }
+}
+
+}  // namespace
+}  // namespace rpm::gen

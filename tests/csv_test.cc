@@ -1,0 +1,109 @@
+#include "rpm/common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+std::vector<CsvRow> MustReadAll(const std::string& text) {
+  std::istringstream in(text);
+  Result<std::vector<CsvRow>> rows = ReadAllCsv(&in);
+  EXPECT_TRUE(rows.ok()) << rows.status();
+  return std::move(rows).ValueOrDie();
+}
+
+TEST(CsvReaderTest, SimpleRows) {
+  auto rows = MustReadAll("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvReaderTest, MissingTrailingNewline) {
+  auto rows = MustReadAll("x,y");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"x", "y"}));
+}
+
+TEST(CsvReaderTest, CrLfLineEndings) {
+  auto rows = MustReadAll("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvReaderTest, QuotedFieldWithComma) {
+  auto rows = MustReadAll("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(CsvReaderTest, EscapedQuote) {
+  auto rows = MustReadAll("\"say \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReaderTest, QuotedNewline) {
+  auto rows = MustReadAll("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(CsvReaderTest, EmptyFields) {
+  auto rows = MustReadAll(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"", "", ""}));
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsCorruption) {
+  std::istringstream in("\"oops\n");
+  Result<std::vector<CsvRow>> rows = ReadAllCsv(&in);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsCorruption());
+}
+
+TEST(CsvReaderTest, EmptyStreamIsDone) {
+  std::istringstream in("");
+  CsvReader reader(&in);
+  CsvRow row;
+  bool done = false;
+  ASSERT_TRUE(reader.Next(&row, &done).ok());
+  EXPECT_TRUE(done);
+}
+
+TEST(CsvReaderTest, CustomDelimiter) {
+  std::istringstream in("a|b|c\n");
+  CsvReader reader(&in, '|');
+  CsvRow row;
+  bool done = false;
+  ASSERT_TRUE(reader.Next(&row, &done).ok());
+  EXPECT_EQ(row, (CsvRow{"a", "b", "c"}));
+}
+
+TEST(CsvWriterTest, QuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRow({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvRoundTripTest, WriteThenReadIsIdentity) {
+  std::vector<CsvRow> original = {
+      {"ts", "item"},
+      {"1", "jackets, gloves"},
+      {"2", "he said \"buy\""},
+      {"3", ""},
+  };
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  for (const CsvRow& row : original) writer.WriteRow(row);
+  auto parsed = MustReadAll(out.str());
+  EXPECT_EQ(parsed, original);
+}
+
+}  // namespace
+}  // namespace rpm

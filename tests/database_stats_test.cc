@@ -1,0 +1,47 @@
+#include "rpm/timeseries/database_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::G;
+using ::rpm::testing::PaperExampleDb;
+
+TEST(DatabaseStatsTest, PaperExampleShape) {
+  DatabaseStats stats = ComputeStats(PaperExampleDb());
+  EXPECT_EQ(stats.num_transactions, 12u);
+  EXPECT_EQ(stats.num_distinct_items, 7u);
+  EXPECT_EQ(stats.total_item_occurrences, 46u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_length, 46.0 / 12.0);
+  EXPECT_EQ(stats.max_transaction_length, 7u);
+  EXPECT_EQ(stats.start_ts, 1);
+  EXPECT_EQ(stats.end_ts, 14);
+}
+
+TEST(DatabaseStatsTest, ItemSupports) {
+  DatabaseStats stats = ComputeStats(PaperExampleDb());
+  ASSERT_EQ(stats.item_supports.size(), 7u);
+  EXPECT_EQ(stats.item_supports[A], 8u);  // Sup(a)=8 per Table 2.
+  EXPECT_EQ(stats.item_supports[G], 6u);  // Example 11: S(g)=6.
+}
+
+TEST(DatabaseStatsTest, EmptyDatabase) {
+  DatabaseStats stats = ComputeStats(TransactionDatabase{});
+  EXPECT_EQ(stats.num_transactions, 0u);
+  EXPECT_EQ(stats.num_distinct_items, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_length, 0.0);
+}
+
+TEST(DatabaseStatsTest, ToStringMentionsKeyNumbers) {
+  DatabaseStats stats = ComputeStats(PaperExampleDb());
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("12 transactions"), std::string::npos);
+  EXPECT_NE(s.find("7 distinct items"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpm

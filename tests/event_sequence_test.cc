@@ -1,0 +1,88 @@
+#include "rpm/timeseries/event_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+
+/// The raw event stream of Figure 1 for items 'a' and 'b'.
+EventSequence PaperSequenceAB() {
+  EventSequence seq;
+  for (Timestamp ts : {1, 2, 3, 4, 7, 11, 12, 14}) seq.Add(A, ts);
+  for (Timestamp ts : {1, 3, 4, 7, 11, 12, 14}) seq.Add(B, ts);
+  seq.Normalize();
+  return seq;
+}
+
+TEST(EventSequenceTest, Example1PointSequenceOfA) {
+  EventSequence seq = PaperSequenceAB();
+  // Example 1: point sequence of 'a' is {1,2,3,4,7,11,12,14}.
+  EXPECT_EQ(seq.PointSequenceOf(A),
+            (TimestampList{1, 2, 3, 4, 7, 11, 12, 14}));
+}
+
+TEST(EventSequenceTest, Example1PointSequenceOfB) {
+  EventSequence seq = PaperSequenceAB();
+  // Example 1: point sequence of 'b' is {1,3,4,7,11,12,14}.
+  EXPECT_EQ(seq.PointSequenceOf(B), (TimestampList{1, 3, 4, 7, 11, 12, 14}));
+}
+
+TEST(EventSequenceTest, PointSequenceOfAbsentItemIsEmpty) {
+  EventSequence seq = PaperSequenceAB();
+  EXPECT_TRUE(seq.PointSequenceOf(99).empty());
+}
+
+TEST(EventSequenceTest, PointSequenceDeduplicatesSameTimestamp) {
+  EventSequence seq;
+  seq.Add(A, 5);
+  seq.Add(A, 5);
+  seq.Add(A, 6);
+  seq.Normalize();
+  EXPECT_EQ(seq.PointSequenceOf(A), (TimestampList{5, 6}));
+}
+
+TEST(EventSequenceTest, ConstructorSortsEvents) {
+  EventSequence seq({{A, 9}, {B, 2}, {A, 5}});
+  ASSERT_TRUE(seq.Validate().ok());
+  EXPECT_EQ(seq.events()[0].ts, 2);
+  EXPECT_EQ(seq.events()[2].ts, 9);
+}
+
+TEST(EventSequenceTest, ValidateDetectsDisorder) {
+  EventSequence seq;
+  seq.Add(A, 9);
+  seq.Add(B, 2);
+  // No Normalize().
+  EXPECT_TRUE(seq.Validate().IsCorruption());
+  seq.Normalize();
+  EXPECT_TRUE(seq.Validate().ok());
+}
+
+TEST(EventSequenceTest, ValidateDetectsInvalidItem) {
+  EventSequence seq;
+  seq.Add(kInvalidItem, 1);
+  EXPECT_TRUE(seq.Validate().IsCorruption());
+}
+
+TEST(EventSequenceTest, ItemUniverseSize) {
+  EventSequence empty;
+  EXPECT_EQ(empty.ItemUniverseSize(), 0u);
+  EventSequence seq({{3, 1}, {7, 2}});
+  EXPECT_EQ(seq.ItemUniverseSize(), 8u);
+}
+
+TEST(EventSequenceTest, SizeAndEmpty) {
+  EventSequence seq;
+  EXPECT_TRUE(seq.empty());
+  seq.Add(A, 1);
+  EXPECT_EQ(seq.size(), 1u);
+  EXPECT_FALSE(seq.empty());
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,111 @@
+#include "rpm/analysis/export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rpm/common/civil_time.h"
+#include "rpm/common/csv.h"
+
+namespace rpm::analysis {
+namespace {
+
+std::vector<RecurringPattern> SamplePatterns() {
+  return {{{0, 1}, 7, {{1, 4, 3}, {11, 14, 3}}},
+          {{2}, 6, {{2, 5, 3}}}};
+}
+
+ItemDictionary SampleDict() {
+  ItemDictionary dict;
+  dict.GetOrAdd("jackets");
+  dict.GetOrAdd("gloves");
+  dict.GetOrAdd("scarves");
+  return dict;
+}
+
+TEST(ExportCsvTest, OneRowPerInterval) {
+  std::ostringstream out;
+  ASSERT_TRUE(WritePatternsCsv(SamplePatterns(), SampleDict(), &out).ok());
+  std::istringstream in(out.str());
+  auto rows = ReadAllCsv(&in);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);  // Header + 2 + 1.
+  EXPECT_EQ((*rows)[0][0], "pattern");
+  EXPECT_EQ((*rows)[1][0], "jackets gloves");
+  EXPECT_EQ((*rows)[1][1], "7");
+  EXPECT_EQ((*rows)[1][4], "1");   // begin.
+  EXPECT_EQ((*rows)[2][3], "1");   // interval_index.
+  EXPECT_EQ((*rows)[3][0], "scarves");
+}
+
+TEST(ExportCsvTest, EpochAddsDateColumns) {
+  std::ostringstream out;
+  ExportOptions options;
+  options.epoch_minutes = MinutesFromCivil({2013, 5, 1, 0, 0});
+  ASSERT_TRUE(
+      WritePatternsCsv(SamplePatterns(), SampleDict(), &out, options).ok());
+  std::istringstream in(out.str());
+  auto rows = ReadAllCsv(&in);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0].back(), "end_date");
+  EXPECT_EQ((*rows)[1][7], "2013-05-01 00:01");
+}
+
+TEST(ExportCsvTest, IdsWhenNoDictionary) {
+  std::ostringstream out;
+  ASSERT_TRUE(
+      WritePatternsCsv(SamplePatterns(), ItemDictionary{}, &out).ok());
+  EXPECT_NE(out.str().find("0 1"), std::string::npos);
+}
+
+TEST(ExportJsonTest, WellFormedStructure) {
+  std::ostringstream out;
+  ASSERT_TRUE(WritePatternsJson(SamplePatterns(), SampleDict(), &out).ok());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"items\": [\"jackets\", \"gloves\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"support\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"recurrence\": 2"), std::string::npos);
+  EXPECT_NE(json.find("{\"begin\": 1, \"end\": 4, \"ps\": 3}"),
+            std::string::npos);
+  // Balanced brackets (cheap sanity check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ExportJsonTest, NumericItemsWithoutDictionary) {
+  std::ostringstream out;
+  ASSERT_TRUE(
+      WritePatternsJson(SamplePatterns(), ItemDictionary{}, &out).ok());
+  EXPECT_NE(out.str().find("\"items\": [0, 1]"), std::string::npos);
+}
+
+TEST(ExportJsonTest, EpochAddsDates) {
+  std::ostringstream out;
+  ExportOptions options;
+  options.epoch_minutes = MinutesFromCivil({2013, 5, 1, 0, 0});
+  ASSERT_TRUE(
+      WritePatternsJson(SamplePatterns(), SampleDict(), &out, options).ok());
+  EXPECT_NE(out.str().find("\"begin_date\": \"2013-05-01 00:01\""),
+            std::string::npos);
+}
+
+TEST(ExportJsonTest, EmptyPatternListIsEmptyArray) {
+  std::ostringstream out;
+  ASSERT_TRUE(WritePatternsJson({}, SampleDict(), &out).ok());
+  EXPECT_EQ(out.str(), "[\n]\n");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace rpm::analysis

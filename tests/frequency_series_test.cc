@@ -1,0 +1,87 @@
+#include "rpm/analysis/frequency_series.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm::analysis {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::PaperExampleDb;
+
+TEST(BucketedFrequencyTest, BucketOfOneGivesPerTimestampCounts) {
+  TransactionDatabase db = PaperExampleDb();
+  std::vector<size_t> series = BucketedFrequency(db, A, 1);
+  // Buckets 1..14 -> indices 0..13; 'a' at 1,2,3,4,7,11,12,14.
+  ASSERT_EQ(series.size(), 14u);
+  EXPECT_EQ(series[0], 1u);
+  EXPECT_EQ(series[3], 1u);
+  EXPECT_EQ(series[4], 0u);   // ts 5.
+  EXPECT_EQ(series[7], 0u);   // ts 8 absent entirely.
+  EXPECT_EQ(series[13], 1u);  // ts 14.
+}
+
+TEST(BucketedFrequencyTest, WiderBucketsAggregate) {
+  TransactionDatabase db = PaperExampleDb();
+  std::vector<size_t> series = BucketedFrequency(db, A, 7);
+  // Buckets: ts 1..6 -> bucket 0, 7..13 -> 1, 14 -> 2.
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0], 4u);  // a at 1,2,3,4.
+  EXPECT_EQ(series[1], 3u);  // a at 7,11,12.
+  EXPECT_EQ(series[2], 1u);  // a at 14.
+}
+
+TEST(BucketedFrequencyTest, SeriesTotalEqualsSupport) {
+  TransactionDatabase db = PaperExampleDb();
+  for (ItemId item = 0; item < 7; ++item) {
+    for (Timestamp bucket : {1, 2, 5}) {
+      std::vector<size_t> series = BucketedFrequency(db, item, bucket);
+      size_t total = 0;
+      for (size_t v : series) total += v;
+      EXPECT_EQ(total, db.SupportOf({item}));
+    }
+  }
+}
+
+TEST(BucketedPatternFrequencyTest, JointOccurrences) {
+  TransactionDatabase db = PaperExampleDb();
+  std::vector<size_t> series = BucketedPatternFrequency(db, {A, B}, 14);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0] + series[1], 7u);  // Sup(ab) = 7.
+}
+
+TEST(BucketedFrequencyTest, EmptyDatabase) {
+  EXPECT_TRUE(BucketedFrequency(TransactionDatabase{}, A, 5).empty());
+}
+
+TEST(RenderAsciiSeriesTest, EmptyAndZero) {
+  EXPECT_EQ(RenderAsciiSeries({}), "");
+  EXPECT_EQ(RenderAsciiSeries({0, 0, 0}), "   ");
+}
+
+TEST(RenderAsciiSeriesTest, PeaksGetDensestGlyph) {
+  std::string art = RenderAsciiSeries({0, 1, 10});
+  ASSERT_EQ(art.size(), 3u);
+  EXPECT_EQ(art[0], ' ');
+  EXPECT_EQ(art[2], '@');
+  EXPECT_NE(art[1], ' ');
+  EXPECT_NE(art[1], '@');
+}
+
+TEST(RenderAsciiSeriesTest, DownsamplesToMaxWidth) {
+  std::vector<size_t> series(1000, 1);
+  series[500] = 100;
+  std::string art = RenderAsciiSeries(series, 50);
+  EXPECT_EQ(art.size(), 50u);
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(RenderAsciiSeriesTest, NonZeroNeverRendersBlank) {
+  std::string art = RenderAsciiSeries({1, 1000});
+  EXPECT_NE(art[0], ' ');
+}
+
+}  // namespace
+}  // namespace rpm::analysis

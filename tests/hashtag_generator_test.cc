@@ -1,0 +1,114 @@
+#include "rpm/gen/hashtag_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/analysis/pattern_set.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/timeseries/database_stats.h"
+
+namespace rpm::gen {
+namespace {
+
+HashtagParams SmallParams() {
+  HashtagParams params;
+  params.num_minutes = 5 * 1440;
+  params.num_hashtags = 60;
+  params.num_random_events = 4;
+  params.min_event_minutes = 1440;
+  params.max_event_minutes = 2 * 1440;
+  params.seed = 33;
+  return params;
+}
+
+TEST(HashtagGeneratorTest, Deterministic) {
+  GeneratedHashtagStream a = GenerateHashtagStream(SmallParams());
+  GeneratedHashtagStream b = GenerateHashtagStream(SmallParams());
+  ASSERT_EQ(a.db.size(), b.db.size());
+  for (size_t i = 0; i < a.db.size(); ++i) {
+    EXPECT_EQ(a.db.transaction(i).items, b.db.transaction(i).items);
+  }
+}
+
+TEST(HashtagGeneratorTest, DatabaseValidates) {
+  GeneratedHashtagStream g = GenerateHashtagStream(SmallParams());
+  EXPECT_TRUE(g.db.Validate().ok());
+  EXPECT_GT(g.db.size(), 1000u);
+}
+
+TEST(HashtagGeneratorTest, PlantedSpecsComeFirstInEvents) {
+  BurstEventSpec spec;
+  spec.label = "custom";
+  spec.tag_indices = {10, 20};
+  spec.windows = {{100, 2000}};
+  spec.fire_prob = 0.9;
+  GeneratedHashtagStream g = GenerateHashtagStream(SmallParams(), {spec});
+  ASSERT_EQ(g.events.size(), 1u + SmallParams().num_random_events);
+  EXPECT_EQ(g.events[0].label, "custom");
+  EXPECT_EQ(g.events[0].tags, (Itemset{10, 20}));
+}
+
+TEST(HashtagGeneratorTest, NameOverridesApply) {
+  GeneratedHashtagStream g =
+      GenerateHashtagStream(SmallParams(), {}, {{7, "earthquake"}});
+  EXPECT_EQ(g.db.dictionary().NameOf(7), "earthquake");
+  EXPECT_EQ(g.db.dictionary().NameOf(8), "tag0008");
+}
+
+TEST(HashtagGeneratorTest, ZipfBackgroundSkew) {
+  DatabaseStats stats = ComputeStats(GenerateHashtagStream(SmallParams()).db);
+  // Rank 0 must dominate a deep-tail tag that is in no event.
+  ASSERT_GT(stats.item_supports.size(), 5u);
+  EXPECT_GT(stats.item_supports[0], stats.item_supports[5] * 2);
+}
+
+TEST(HashtagGeneratorTest, BurstsOnlyFireInsideWindows) {
+  // A planted event over rare tags: co-occurrences of the pair outside the
+  // window should be (near) absent.
+  HashtagParams params = SmallParams();
+  params.num_random_events = 0;
+  params.zipf_exponent = 2.0;  // Make the tail genuinely rare.
+  BurstEventSpec spec;
+  spec.label = "isolated";
+  spec.tag_indices = {55, 58};  // Deep tail: background is negligible.
+  spec.windows = {{2000, 4000}};
+  spec.fire_prob = 0.9;
+  GeneratedHashtagStream g = GenerateHashtagStream(params, {spec});
+
+  TimestampList joint = g.db.TimestampsOf({55, 58});
+  ASSERT_GT(joint.size(), 100u);  // The burst fired.
+  size_t outside = 0;
+  for (Timestamp ts : joint) {
+    if (ts < 2000 || ts >= 4000) ++outside;
+  }
+  EXPECT_LT(outside, 3u);
+}
+
+TEST(HashtagGeneratorTest, MinerRecoversPlantedEvent) {
+  HashtagParams params = SmallParams();
+  params.num_random_events = 0;
+  BurstEventSpec spec;
+  spec.label = "flood";
+  spec.tag_indices = {50, 57};
+  spec.windows = {{1000, 3500}};
+  spec.fire_prob = 0.85;
+  GeneratedHashtagStream g = GenerateHashtagStream(params, {spec});
+
+  RpParams mine;
+  mine.period = 30;
+  mine.min_ps = 40;
+  mine.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(g.db, mine);
+  EXPECT_TRUE(rpm::analysis::RecoversPlantedEvent(
+      result.patterns, g.events[0].tags, 1000, 3500));
+}
+
+TEST(HashtagGeneratorDeathTest, RejectsOutOfRangeTagIndex) {
+  BurstEventSpec spec;
+  spec.label = "bad";
+  spec.tag_indices = {10000};
+  spec.windows = {{0, 100}};
+  EXPECT_DEATH(GenerateHashtagStream(SmallParams(), {spec}), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::gen

@@ -1,0 +1,95 @@
+#include "rpm/analysis/interval_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rpm::analysis {
+namespace {
+
+TEST(NormalizeSpansTest, SortsAndMerges) {
+  std::vector<TimeSpan> spans = {{10, 20}, {0, 5}, {4, 8}, {19, 25}};
+  EXPECT_EQ(NormalizeSpans(spans),
+            (std::vector<TimeSpan>{{0, 8}, {10, 25}}));
+}
+
+TEST(NormalizeSpansTest, DropsEmptyAndInverted) {
+  std::vector<TimeSpan> spans = {{5, 5}, {9, 3}, {1, 2}};
+  EXPECT_EQ(NormalizeSpans(spans), (std::vector<TimeSpan>{{1, 2}}));
+}
+
+TEST(NormalizeSpansTest, AdjacentSpansMerge) {
+  std::vector<TimeSpan> spans = {{0, 5}, {5, 9}};
+  EXPECT_EQ(NormalizeSpans(spans), (std::vector<TimeSpan>{{0, 9}}));
+}
+
+TEST(TotalSpanLengthTest, Sums) {
+  EXPECT_EQ(TotalSpanLength({{0, 5}, {10, 12}}), 7);
+  EXPECT_EQ(TotalSpanLength({}), 0);
+}
+
+TEST(IntersectionLengthTest, PartialOverlaps) {
+  EXPECT_EQ(IntersectionLength({{0, 10}}, {{5, 15}}), 5);
+  EXPECT_EQ(IntersectionLength({{0, 10}, {20, 30}}, {{5, 25}}), 10);
+  EXPECT_EQ(IntersectionLength({{0, 10}}, {{10, 20}}), 0);
+  EXPECT_EQ(IntersectionLength({}, {{0, 5}}), 0);
+}
+
+TEST(IntersectionLengthTest, UnsortedInputHandled) {
+  EXPECT_EQ(IntersectionLength({{20, 30}, {0, 10}}, {{25, 26}, {5, 6}}), 2);
+}
+
+TEST(SpansOfIntervalsTest, ClosedToHalfOpen) {
+  std::vector<PeriodicInterval> intervals = {{1, 4, 3}, {7, 7, 1}};
+  EXPECT_EQ(SpansOfIntervals(intervals),
+            (std::vector<TimeSpan>{{1, 5}, {7, 8}}));
+}
+
+TEST(WindowRecallTest, FullCoverage) {
+  std::vector<PeriodicInterval> intervals = {{0, 99, 50}};
+  EXPECT_DOUBLE_EQ(WindowRecall(intervals, {{10, 20}}), 1.0);
+}
+
+TEST(WindowRecallTest, HalfCoverage) {
+  std::vector<PeriodicInterval> intervals = {{0, 9, 5}};  // Covers [0,10).
+  EXPECT_DOUBLE_EQ(WindowRecall(intervals, {{0, 20}}), 0.5);
+}
+
+TEST(WindowRecallTest, EmptyWindowsIsOne) {
+  EXPECT_DOUBLE_EQ(WindowRecall({}, {}), 1.0);
+}
+
+TEST(IntervalPrecisionTest, AllInside) {
+  std::vector<PeriodicInterval> intervals = {{10, 14, 3}};  // [10,15).
+  EXPECT_DOUBLE_EQ(IntervalPrecision(intervals, {{0, 100}}), 1.0);
+}
+
+TEST(IntervalPrecisionTest, HalfInside) {
+  std::vector<PeriodicInterval> intervals = {{0, 9, 5}};  // [0,10).
+  EXPECT_DOUBLE_EQ(IntervalPrecision(intervals, {{5, 50}}), 0.5);
+}
+
+TEST(IntervalPrecisionTest, EmptyIntervalsIsOne) {
+  EXPECT_DOUBLE_EQ(IntervalPrecision({}, {{0, 5}}), 1.0);
+}
+
+TEST(SpanJaccardTest, IdenticalIsOne) {
+  std::vector<PeriodicInterval> intervals = {{0, 9, 5}};
+  EXPECT_DOUBLE_EQ(SpanJaccard(intervals, {{0, 10}}), 1.0);
+}
+
+TEST(SpanJaccardTest, DisjointIsZero) {
+  std::vector<PeriodicInterval> intervals = {{0, 9, 5}};
+  EXPECT_DOUBLE_EQ(SpanJaccard(intervals, {{50, 60}}), 0.0);
+}
+
+TEST(SpanJaccardTest, PartialOverlap) {
+  std::vector<PeriodicInterval> intervals = {{0, 9, 5}};   // [0,10).
+  // Window [5,15): intersection 5, union 15.
+  EXPECT_DOUBLE_EQ(SpanJaccard(intervals, {{5, 15}}), 5.0 / 15.0);
+}
+
+TEST(SpanJaccardTest, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(SpanJaccard({}, {}), 1.0);
+}
+
+}  // namespace
+}  // namespace rpm::analysis

@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rpm/timeseries/io/spmf_io.h"
+#include "rpm/timeseries/io/timestamped_csv_io.h"
+#include "rpm/timeseries/tdb_builder.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+TEST(SpmfPlainTest, ReadsLineNumberTimestamps) {
+  std::istringstream in("a b g\na c d\n");
+  Result<TransactionDatabase> db = ReadSpmf(&in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->size(), 2u);
+  EXPECT_EQ(db->transaction(0).ts, 1);
+  EXPECT_EQ(db->transaction(1).ts, 2);
+  EXPECT_EQ(db->transaction(0).items.size(), 3u);
+  EXPECT_EQ(db->dictionary().NameOf(0), "a");
+}
+
+TEST(SpmfPlainTest, SkipsCommentsAndBlanks) {
+  std::istringstream in("# header\n\n% note\n@meta\na b\n");
+  Result<TransactionDatabase> db = ReadSpmf(&in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 1u);
+}
+
+TEST(SpmfPlainTest, NumericIdsMode) {
+  std::istringstream in("5 3 9\n1 5\n");
+  SpmfParseOptions options;
+  options.items_are_ids = true;
+  Result<TransactionDatabase> db = ReadSpmf(&in, options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->transaction(0).items, (Itemset{3, 5, 9}));
+  EXPECT_TRUE(db->dictionary().empty());
+}
+
+TEST(SpmfPlainTest, RejectsNonNumericInIdsMode) {
+  std::istringstream in("5 x\n");
+  SpmfParseOptions options;
+  options.items_are_ids = true;
+  Result<TransactionDatabase> db = ReadSpmf(&in, options);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(SpmfTimestampedTest, ParsesExplicitTimestamps) {
+  std::istringstream in("1|a b g\n2|a c d\n14|a b g\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->size(), 3u);
+  EXPECT_EQ(db->transaction(2).ts, 14);
+}
+
+TEST(SpmfTimestampedTest, GapsInTimestampsPreserved) {
+  std::istringstream in("1|a\n9|a\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->TimestampsOf({0}), (TimestampList{1, 9}));
+}
+
+TEST(SpmfTimestampedTest, MissingBarIsCorruption) {
+  std::istringstream in("1 a b\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(SpmfTimestampedTest, BadTimestampIsCorruption) {
+  std::istringstream in("xx|a b\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(SpmfTimestampedTest, EmptyTransactionIsCorruption) {
+  std::istringstream in("3|\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+}
+
+TEST(SpmfRoundTripTest, PaperExampleSurvives) {
+  // Re-interning may permute ids ('g' appears in line 1, before 'c'), so
+  // the round-trip is compared by item *names* per transaction.
+  TransactionDatabase original = rpm::testing::PaperExampleDb();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteTimestampedSpmf(original, &out).ok());
+  std::istringstream in(out.str());
+  Result<TransactionDatabase> parsed = ReadTimestampedSpmf(&in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed->transaction(i).ts, original.transaction(i).ts);
+    std::vector<std::string> want =
+        original.dictionary().NamesOf(original.transaction(i).items);
+    std::vector<std::string> got =
+        parsed->dictionary().NamesOf(parsed->transaction(i).items);
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "ts " << original.transaction(i).ts;
+  }
+}
+
+TEST(SpmfFileTest, MissingFileIsIOError) {
+  Result<TransactionDatabase> db = ReadSpmfFile("/nonexistent/path.txt");
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsIOError());
+}
+
+TEST(EventCsvTest, ParsesLongFormat) {
+  std::istringstream in("timestamp,item\n1,jackets\n1,gloves\n2,jackets\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->sequence.size(), 3u);
+  TransactionDatabase db =
+      BuildTdbFromSequence(data->sequence, data->dictionary);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.transaction(0).items.size(), 2u);
+  EXPECT_EQ(db.dictionary().NameOf(0), "jackets");
+}
+
+TEST(EventCsvTest, NoHeaderOption) {
+  std::istringstream in("5,x\n");
+  EventCsvOptions options;
+  options.has_header = false;
+  Result<EventCsvData> data = ReadEventCsv(&in, options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->sequence.size(), 1u);
+  EXPECT_EQ(data->sequence.events()[0].ts, 5);
+}
+
+TEST(EventCsvTest, BadTimestampIsCorruption) {
+  std::istringstream in("ts,item\nabc,x\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsCorruption());
+}
+
+TEST(EventCsvTest, MissingColumnIsCorruption) {
+  std::istringstream in("ts,item\n42\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsCorruption());
+}
+
+TEST(EventCsvTest, EmptyItemIsCorruption) {
+  std::istringstream in("ts,item\n42,\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsCorruption());
+}
+
+TEST(EventCsvTest, RoundTrip) {
+  EventSequence seq;
+  ItemDictionary dict;
+  seq.Add(dict.GetOrAdd("x"), 1);
+  seq.Add(dict.GetOrAdd("y"), 2);
+  seq.Add(dict.GetOrAdd("x"), 3);
+  seq.Normalize();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEventCsv(seq, dict, &out).ok());
+  std::istringstream in(out.str());
+  Result<EventCsvData> parsed = ReadEventCsv(&in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->sequence.size(), 3u);
+  EXPECT_EQ(parsed->sequence.PointSequenceOf(0), (TimestampList{1, 3}));
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,60 @@
+#include "rpm/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, InfoBelowThresholdDoesNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  RPM_LOG(Info) << "suppressed " << 42;
+  RPM_LOG(Warning) << "also suppressed";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  RPM_CHECK(1 + 1 == 2) << "never evaluated";
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ RPM_CHECK(false) << "boom " << 7; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ RPM_LOG(Fatal) << "fatal path"; }, "fatal path");
+}
+
+TEST(LoggingTest, DcheckPassesSilently) {
+  RPM_DCHECK(true) << "fine";
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckFailsInDebugBuilds) {
+  EXPECT_DEATH({ RPM_DCHECK(false) << "debug only"; }, "Check failed");
+}
+#else
+TEST(LoggingTest, DcheckCompiledOutInReleaseBuilds) {
+  RPM_DCHECK(false) << "must not abort in NDEBUG";
+}
+#endif
+
+TEST(LoggingTest, CheckConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  RPM_CHECK(bump());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace rpm

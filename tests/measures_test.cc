@@ -1,0 +1,229 @@
+#include "rpm/core/measures.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::G;
+using ::rpm::testing::PaperExampleDb;
+
+// TS^{ab} from Example 2.
+const TimestampList kTsAb = {1, 3, 4, 7, 11, 12, 14};
+
+TEST(InterArrivalTimesTest, Example4) {
+  // IAT^{ab} = {2, 1, 3, 4, 1, 2}.
+  EXPECT_EQ(InterArrivalTimes(kTsAb),
+            (std::vector<Timestamp>{2, 1, 3, 4, 1, 2}));
+}
+
+TEST(InterArrivalTimesTest, ShortLists) {
+  EXPECT_TRUE(InterArrivalTimes({}).empty());
+  EXPECT_TRUE(InterArrivalTimes({5}).empty());
+  EXPECT_EQ(InterArrivalTimes({5, 9}), (std::vector<Timestamp>{4}));
+}
+
+TEST(DecomposeTest, Example5AllMaximalIntervals) {
+  // per=2: TS^{ab}_1={1,3,4}, TS^{ab}_2={7}, TS^{ab}_3={11,12,14};
+  // periodic-intervals [1,4], [7,7], [11,14].
+  auto pis = DecomposePeriodicIntervals(kTsAb, 2);
+  ASSERT_EQ(pis.size(), 3u);
+  EXPECT_EQ(pis[0], (PeriodicInterval{1, 4, 3}));
+  EXPECT_EQ(pis[1], (PeriodicInterval{7, 7, 1}));
+  EXPECT_EQ(pis[2], (PeriodicInterval{11, 14, 3}));
+}
+
+TEST(DecomposeTest, Example6PeriodicSupports) {
+  auto pis = DecomposePeriodicIntervals(kTsAb, 2);
+  // ps^{ab}_1 = 3, ps^{ab}_2 = 1, ps^{ab}_3 = 3.
+  EXPECT_EQ(pis[0].periodic_support, 3u);
+  EXPECT_EQ(pis[1].periodic_support, 1u);
+  EXPECT_EQ(pis[2].periodic_support, 3u);
+}
+
+TEST(DecomposeTest, SingleTimestamp) {
+  auto pis = DecomposePeriodicIntervals({42}, 5);
+  ASSERT_EQ(pis.size(), 1u);
+  EXPECT_EQ(pis[0], (PeriodicInterval{42, 42, 1}));
+}
+
+TEST(DecomposeTest, EmptyList) {
+  EXPECT_TRUE(DecomposePeriodicIntervals({}, 3).empty());
+}
+
+TEST(DecomposeTest, AllOneRunWhenPeriodLarge) {
+  auto pis = DecomposePeriodicIntervals(kTsAb, 100);
+  ASSERT_EQ(pis.size(), 1u);
+  EXPECT_EQ(pis[0], (PeriodicInterval{1, 14, 7}));
+}
+
+TEST(DecomposeTest, AllSingletonsWhenPeriodTiny) {
+  auto pis = DecomposePeriodicIntervals({10, 20, 30}, 1);
+  ASSERT_EQ(pis.size(), 3u);
+  for (const auto& pi : pis) EXPECT_EQ(pi.periodic_support, 1u);
+}
+
+TEST(DecomposeTest, SupportsAreConserved) {
+  auto pis = DecomposePeriodicIntervals(kTsAb, 2);
+  uint64_t total = 0;
+  for (const auto& pi : pis) total += pi.periodic_support;
+  EXPECT_EQ(total, kTsAb.size());
+}
+
+TEST(SelectInterestingTest, Example7) {
+  // minPS=3 keeps [1,4] and [11,14], drops [7,7].
+  auto interesting =
+      SelectInterestingIntervals(DecomposePeriodicIntervals(kTsAb, 2), 3);
+  ASSERT_EQ(interesting.size(), 2u);
+  EXPECT_EQ(interesting[0], (PeriodicInterval{1, 4, 3}));
+  EXPECT_EQ(interesting[1], (PeriodicInterval{11, 14, 3}));
+}
+
+TEST(FindInterestingTest, MatchesDecomposePlusSelect) {
+  for (Timestamp per : {1, 2, 3, 5, 10}) {
+    for (uint64_t min_ps : {1u, 2u, 3u, 4u}) {
+      EXPECT_EQ(FindInterestingIntervals(kTsAb, per, min_ps),
+                SelectInterestingIntervals(
+                    DecomposePeriodicIntervals(kTsAb, per), min_ps))
+          << "per=" << per << " minPS=" << min_ps;
+    }
+  }
+}
+
+TEST(RecurrenceTest, Example8) {
+  // Rec(ab) = |{[1,4], [11,14]}| = 2.
+  EXPECT_EQ(ComputeRecurrence(kTsAb, 2, 3), 2u);
+}
+
+TEST(RecurrenceTest, PatternCNotRecurring) {
+  // Example 10: TS^c has one long interval [2,12] at per=2 -> Rec=1.
+  TimestampList ts_c = PaperExampleDb().TimestampsOf({rpm::testing::C});
+  auto ipi = FindInterestingIntervals(ts_c, 2, 3);
+  ASSERT_EQ(ipi.size(), 1u);
+  EXPECT_EQ(ipi[0], (PeriodicInterval{2, 12, 7}));
+}
+
+TEST(ErecTest, Example11ItemG) {
+  // TS^g={1,5,6,7,12,14}; per=2, minPS=3:
+  // runs {1}, {5,6,7}, {12,14} -> floor(1/3)+floor(3/3)+floor(2/3) = 1.
+  TimestampList ts_g = PaperExampleDb().TimestampsOf({G});
+  EXPECT_EQ(ts_g, (TimestampList{1, 5, 6, 7, 12, 14}));
+  EXPECT_EQ(ComputeErec(ts_g, 2, 3), 1u);
+}
+
+TEST(ErecTest, AbHasErecTwo) {
+  EXPECT_EQ(ComputeErec(kTsAb, 2, 3), 2u);
+}
+
+TEST(ErecTest, EmptyAndSingle) {
+  EXPECT_EQ(ComputeErec({}, 2, 3), 0u);
+  EXPECT_EQ(ComputeErec({7}, 2, 3), 0u);
+  EXPECT_EQ(ComputeErec({7}, 2, 1), 1u);
+}
+
+TEST(ErecTest, MatchesDecompositionSum) {
+  for (Timestamp per : {1, 2, 4}) {
+    for (uint64_t min_ps : {1u, 2u, 3u}) {
+      uint64_t expected = 0;
+      for (const auto& pi : DecomposePeriodicIntervals(kTsAb, per)) {
+        expected += pi.periodic_support / min_ps;
+      }
+      EXPECT_EQ(ComputeErec(kTsAb, per, min_ps), expected);
+    }
+  }
+}
+
+// Property 1: Erec(X) >= Rec(X), on every pattern of the running example.
+TEST(ErecTest, Property1ErecUpperBoundsRecurrence) {
+  TransactionDatabase db = PaperExampleDb();
+  for (ItemId i = 0; i < 7; ++i) {
+    for (ItemId j = i; j < 7; ++j) {
+      Itemset pattern = i == j ? Itemset{i} : Itemset{i, j};
+      TimestampList ts = db.TimestampsOf(pattern);
+      for (Timestamp per : {1, 2, 3}) {
+        for (uint64_t min_ps : {1u, 2u, 3u}) {
+          EXPECT_GE(ComputeErec(ts, per, min_ps),
+                    ComputeRecurrence(ts, per, min_ps));
+        }
+      }
+    }
+  }
+}
+
+// Property 2: X subset of Y implies Erec(X) >= Erec(Y).
+TEST(ErecTest, Property2AntiMonotone) {
+  TransactionDatabase db = PaperExampleDb();
+  for (ItemId i = 0; i < 7; ++i) {
+    TimestampList ts_i = db.TimestampsOf({i});
+    for (ItemId j = 0; j < 7; ++j) {
+      if (i == j) continue;
+      Itemset pair = {std::min(i, j), std::max(i, j)};
+      TimestampList ts_ij = db.TimestampsOf(pair);
+      for (Timestamp per : {1, 2, 3}) {
+        for (uint64_t min_ps : {1u, 2u, 3u}) {
+          EXPECT_GE(ComputeErec(ts_i, per, min_ps),
+                    ComputeErec(ts_ij, per, min_ps))
+              << "i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(TolerantTest, ZeroViolationsMatchesExactModel) {
+  EXPECT_EQ(FindInterestingIntervalsTolerant(kTsAb, 2, 3, 0),
+            FindInterestingIntervals(kTsAb, 2, 3));
+}
+
+TEST(TolerantTest, OneViolationBridgesGaps) {
+  // ts {1,2,3, 10, 11,12}: per=2 splits at gap 7. With one violation the
+  // whole list is a single interval of ps 6.
+  TimestampList ts = {1, 2, 3, 10, 11, 12};
+  auto strict = FindInterestingIntervalsTolerant(ts, 2, 3, 0);
+  ASSERT_EQ(strict.size(), 2u);
+  auto tolerant = FindInterestingIntervalsTolerant(ts, 2, 3, 1);
+  ASSERT_EQ(tolerant.size(), 1u);
+  EXPECT_EQ(tolerant[0], (PeriodicInterval{1, 12, 6}));
+}
+
+TEST(TolerantTest, ViolationBudgetResetsPerInterval) {
+  // Two over-period gaps: with budget 1 the second one splits.
+  TimestampList ts = {1, 2, 10, 11, 20, 21};
+  auto tolerant = FindInterestingIntervalsTolerant(ts, 2, 2, 1);
+  // First interval absorbs gap 8 ({1,2,10,11}, ps=4), then gap 9 splits.
+  ASSERT_EQ(tolerant.size(), 2u);
+  EXPECT_EQ(tolerant[0], (PeriodicInterval{1, 11, 4}));
+  EXPECT_EQ(tolerant[1], (PeriodicInterval{20, 21, 2}));
+}
+
+TEST(TolerantTest, SupportBoundIsValid) {
+  // floor(sup/minPS) >= tolerant recurrence, for assorted budgets.
+  for (uint32_t budget : {0u, 1u, 2u, 5u}) {
+    for (uint64_t min_ps : {1u, 2u, 3u}) {
+      auto ipi = FindInterestingIntervalsTolerant(kTsAb, 2, min_ps, budget);
+      EXPECT_GE(ComputeTolerantRecurrenceBound(kTsAb.size(), min_ps),
+                ipi.size());
+    }
+  }
+}
+
+TEST(ParamsDispatchTest, UsesTolerantPathWhenConfigured) {
+  RpParams params;
+  params.period = 2;
+  params.min_ps = 3;
+  params.min_rec = 1;
+  params.max_gap_violations = 1;
+  TimestampList ts = {1, 2, 3, 10, 11, 12};
+  EXPECT_EQ(FindInterestingIntervals(ts, params).size(), 1u);
+  EXPECT_EQ(ComputeRecurrenceUpperBound(ts, params), 2u);  // floor(6/3).
+  params.max_gap_violations = 0;
+  EXPECT_EQ(FindInterestingIntervals(ts, params).size(), 2u);
+  EXPECT_EQ(ComputeRecurrenceUpperBound(ts, params), 2u);  // Erec.
+}
+
+}  // namespace
+}  // namespace rpm

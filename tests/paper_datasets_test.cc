@@ -1,0 +1,78 @@
+#include "rpm/gen/paper_datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/common/civil_time.h"
+#include "rpm/timeseries/database_stats.h"
+
+namespace rpm::gen {
+namespace {
+
+TEST(PaperDatasetsTest, TwitterEpochIs2013May1) {
+  EXPECT_EQ(CivilFromMinutes(TwitterEpochMinutes()),
+            (CivilMinute{2013, 5, 1, 0, 0}));
+}
+
+TEST(PaperDatasetsTest, QuestScaleControlsSize) {
+  TransactionDatabase db = MakeT10I4D100K(0.02);
+  EXPECT_EQ(db.size(), 2000u);
+}
+
+TEST(PaperDatasetsTest, Shop14MiniShape) {
+  GeneratedClickstream g = MakeShop14(0.05);
+  DatabaseStats stats = ComputeStats(g.db);
+  EXPECT_GT(stats.num_transactions, 1000u);
+  EXPECT_LE(stats.num_distinct_items, 138u);
+  EXPECT_GT(stats.num_distinct_items, 80u);
+}
+
+TEST(PaperDatasetsTest, TwitterMiniContainsPaperEvents) {
+  GeneratedHashtagStream g = MakeTwitter(0.05);
+  ASSERT_GE(g.events.size(), 4u);
+  EXPECT_EQ(g.events[0].label, "uttarakhand-alberta-floods");
+  EXPECT_EQ(g.events[1].label, "nuclear-hibaku");
+  EXPECT_EQ(g.events[2].label, "pakistan-elections");
+  EXPECT_EQ(g.events[3].label, "oklahoma-tornado");
+  // The hibaku event recurs (two windows) — that is its whole point.
+  EXPECT_EQ(g.events[1].windows.size(), 2u);
+}
+
+TEST(PaperDatasetsTest, TwitterNamedTagsPresent) {
+  GeneratedHashtagStream g = MakeTwitter(0.02);
+  const ItemDictionary& dict = g.db.dictionary();
+  for (const char* name : {"yyc", "uttarakhand", "nuclear", "hibaku",
+                           "pakvotes", "nayapakistan", "oklahoma", "tornado",
+                           "prayforoklahoma"}) {
+    EXPECT_TRUE(dict.Lookup(name).ok()) << name;
+  }
+}
+
+TEST(PaperDatasetsTest, RareTagsAreActuallyRare) {
+  GeneratedHashtagStream g = MakeTwitter(0.05);
+  DatabaseStats stats = ComputeStats(g.db);
+  const ItemDictionary& dict = g.db.dictionary();
+  const ItemId uttarakhand = *dict.Lookup("uttarakhand");
+  const ItemId nuclear = *dict.Lookup("nuclear");
+  // #uttarakhand (rank 950) must be far less frequent than #nuclear
+  // (rank 80) — the paper's Figure 8(a) observation.
+  EXPECT_LT(stats.item_supports[uttarakhand],
+            stats.item_supports[nuclear] / 2);
+}
+
+TEST(PaperDatasetsTest, FullScaleWindowsMatchPaperDates) {
+  // Window offsets at scale 1.0 must land on the paper's reported dates.
+  GeneratedHashtagStream g = MakeTwitter(0.01);  // Windows scaled by 0.01.
+  // Instead of generating the full stream, recompute the unscaled offset:
+  const int64_t epoch = TwitterEpochMinutes();
+  const int64_t start = MinutesFromCivil({2013, 6, 21, 1, 8}) - epoch;
+  EXPECT_EQ(start, 51 * 1440 + 68);
+  (void)g;
+}
+
+TEST(PaperDatasetsDeathTest, RejectsBadScale) {
+  EXPECT_DEATH(MakeT10I4D100K(0.0), "Check failed");
+  EXPECT_DEATH(MakeTwitter(1.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::gen

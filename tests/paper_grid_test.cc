@@ -1,0 +1,73 @@
+// Exhaustive threshold grid over the paper's running example: RP-growth
+// must equal the definitional oracle for EVERY sensible (per, minPS,
+// minRec) combination, not just the paper's (2, 3, 2).
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/brute_force.h"
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+struct GridCase {
+  Timestamp per;
+  uint64_t min_ps;
+  uint64_t min_rec;
+};
+
+std::vector<GridCase> AllCases() {
+  std::vector<GridCase> cases;
+  for (Timestamp per : {1, 2, 3, 4, 5, 7, 13, 20}) {
+    for (uint64_t min_ps : {1u, 2u, 3u, 4u, 6u, 12u}) {
+      for (uint64_t min_rec : {1u, 2u, 3u, 4u}) {
+        cases.push_back({per, min_ps, min_rec});
+      }
+    }
+  }
+  return cases;
+}
+
+class PaperGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PaperGridTest, RpGrowthEqualsOracle) {
+  const GridCase& c = GetParam();
+  RpParams params;
+  params.period = c.per;
+  params.min_ps = c.min_ps;
+  params.min_rec = c.min_rec;
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  std::vector<RecurringPattern> oracle = MineByDefinition(db, params);
+  RpGrowthResult growth = MineRecurringPatterns(db, params);
+  EXPECT_TRUE(SamePatternSets(growth.patterns, oracle))
+      << "per=" << c.per << " minPS=" << c.min_ps
+      << " minRec=" << c.min_rec << ": oracle " << oracle.size()
+      << ", rp-growth " << growth.patterns.size();
+}
+
+TEST_P(PaperGridTest, VerticalEqualsOracle) {
+  const GridCase& c = GetParam();
+  RpParams params;
+  params.period = c.per;
+  params.min_ps = c.min_ps;
+  params.min_rec = c.min_rec;
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  EXPECT_TRUE(SamePatternSets(MineVertical(db, params).patterns,
+                              MineByDefinition(db, params)));
+}
+
+INSTANTIATE_TEST_SUITE_P(FullThresholdGrid, PaperGridTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << "per" << info.param.per << "_ps"
+                              << info.param.min_ps << "_rec"
+                              << info.param.min_rec;
+                           return os.str();
+                         });
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,191 @@
+#include "rpm/baselines/partial_periodic.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
+namespace rpm::baselines {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::C;
+
+/// A strictly alternating symbolic sequence: a, b, a, b, ... at unit
+/// timestamps. With p=2 the pattern {a}* holds in every segment.
+TransactionDatabase AlternatingDb(size_t n) {
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({static_cast<Timestamp>(i + 1),
+                    Itemset{i % 2 == 0 ? A : B}});
+  }
+  return MakeDatabase(rows);
+}
+
+TEST(PartialPeriodicTest, AlternatingSequenceFullSupport) {
+  TransactionDatabase db = AlternatingDb(20);
+  PartialPeriodicParams params;
+  params.period_length = 2;
+  params.min_sup = 10;
+  PartialPeriodicResult result = MinePartialPeriodicPatterns(db, params);
+  ASSERT_EQ(result.num_segments, 10u);
+  // Patterns with support 10: a@0, b@1, and {a@0, b@1}.
+  ASSERT_EQ(result.patterns.size(), 3u);
+  EXPECT_EQ(result.patterns[0].elements,
+            (std::vector<PositionedItem>{{0, A}}));
+  EXPECT_EQ(result.patterns[1].elements,
+            (std::vector<PositionedItem>{{0, A}, {1, B}}));
+  EXPECT_EQ(result.patterns[2].elements,
+            (std::vector<PositionedItem>{{1, B}}));
+  for (const auto& p : result.patterns) EXPECT_EQ(p.support, 10u);
+}
+
+TEST(PartialPeriodicTest, TrailingPartialSegmentDropped) {
+  TransactionDatabase db = AlternatingDb(21);  // One extra transaction.
+  PartialPeriodicParams params;
+  params.period_length = 2;
+  params.min_sup = 1;
+  PartialPeriodicResult result = MinePartialPeriodicPatterns(db, params);
+  EXPECT_EQ(result.num_segments, 10u);
+}
+
+TEST(PartialPeriodicTest, SupportCountsMatchDefinition) {
+  // p=3 over 4 segments with 'c' at offset 2 in segments 0, 2, 3 only.
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (size_t i = 0; i < 12; ++i) {
+    Itemset items = {A};
+    if (i % 3 == 2 && i / 3 != 1) items.push_back(C);
+    rows.push_back({static_cast<Timestamp>(i + 1), items});
+  }
+  TransactionDatabase db = MakeDatabase(rows);
+  PartialPeriodicParams params;
+  params.period_length = 3;
+  params.min_sup = 3;
+  PartialPeriodicResult result = MinePartialPeriodicPatterns(db, params);
+  bool found = false;
+  for (const auto& p : result.patterns) {
+    if (p.elements == std::vector<PositionedItem>{{2, C}}) {
+      found = true;
+      EXPECT_EQ(p.support, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PartialPeriodicTest, PositionBlindnessToRealTime) {
+  // The model's defining weakness (the paper's Sec. 2 critique): items
+  // periodic in *time* but with a missing transaction shift position and
+  // lose segment support.  'a' fires at every even timestamp, but one
+  // empty timestamp (no transaction at ts 10) compresses the sequence.
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (Timestamp ts = 1; ts <= 20; ++ts) {
+    if (ts == 10) continue;  // Nothing happened at ts 10.
+    Itemset items = {(ts % 2 == 0) ? A : B};
+    rows.push_back({ts, items});
+  }
+  TransactionDatabase db = MakeDatabase(rows);
+
+  // Time-aware recurring mining sees 'a' with per=2: two interesting
+  // intervals {2..8} (ps 4) and {12..20} (ps 5) around the silent ts 10.
+  RpParams rp;
+  rp.period = 2;
+  rp.min_ps = 4;
+  rp.min_rec = 2;
+  RpGrowthResult rp_result = MineRecurringPatterns(db, rp);
+  bool a_recurring = false;
+  for (const auto& p : rp_result.patterns) {
+    a_recurring = a_recurring || p.items == Itemset{A};
+  }
+  EXPECT_TRUE(a_recurring);
+
+  // Position-based mining: after the gap 'a' flips from offset 1 to
+  // offset 0, so neither offset reaches support 9 at p=2.
+  PartialPeriodicParams pp;
+  pp.period_length = 2;
+  pp.min_sup = 9;
+  PartialPeriodicResult pp_result = MinePartialPeriodicPatterns(db, pp);
+  for (const auto& p : pp_result.patterns) {
+    for (const PositionedItem& e : p.elements) {
+      EXPECT_NE(e.item, A) << "position-based model should lose 'a'";
+    }
+  }
+}
+
+TEST(PartialPeriodicTest, MaxElementsCap) {
+  TransactionDatabase db = AlternatingDb(20);
+  PartialPeriodicParams params;
+  params.period_length = 2;
+  params.min_sup = 5;
+  PartialPeriodicOptions options;
+  options.max_pattern_elements = 1;
+  PartialPeriodicResult result =
+      MinePartialPeriodicPatterns(db, params, options);
+  for (const auto& p : result.patterns) {
+    EXPECT_EQ(p.elements.size(), 1u);
+  }
+}
+
+TEST(PartialPeriodicTest, TotalCapTruncates) {
+  TransactionDatabase db = AlternatingDb(20);
+  PartialPeriodicParams params;
+  params.period_length = 2;
+  params.min_sup = 1;
+  PartialPeriodicOptions options;
+  options.max_total_patterns = 2;
+  PartialPeriodicResult result =
+      MinePartialPeriodicPatterns(db, params, options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.patterns.size(), 2u);
+}
+
+TEST(PartialPeriodicTest, PeriodOneIsPlainFrequentItemsets) {
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  PartialPeriodicParams params;
+  params.period_length = 1;
+  params.min_sup = 7;
+  PartialPeriodicResult result = MinePartialPeriodicPatterns(db, params);
+  // Segments == transactions; support == plain itemset support.
+  // Sup >= 7: a(8), b(7), c(7), ab(7).
+  ASSERT_EQ(result.patterns.size(), 4u);
+  for (const auto& p : result.patterns) {
+    Itemset items;
+    for (const PositionedItem& e : p.elements) items.push_back(e.item);
+    EXPECT_EQ(p.support, db.SupportOf(items));
+  }
+}
+
+TEST(PartialPeriodicTest, FormatRendering) {
+  ItemDictionary dict;
+  dict.GetOrAdd("a");
+  dict.GetOrAdd("b");
+  PartialPeriodicPattern p;
+  p.elements = {{0, 0}, {2, 1}};
+  EXPECT_EQ(FormatPartialPeriodicPattern(p, 3, dict), "{a}*{b}");
+  PartialPeriodicPattern multi;
+  multi.elements = {{1, 0}, {1, 1}};
+  EXPECT_EQ(FormatPartialPeriodicPattern(multi, 2, dict), "*{a,b}");
+  EXPECT_EQ(FormatPartialPeriodicPattern(multi, 2, ItemDictionary{}),
+            "*{0,1}");
+}
+
+TEST(PartialPeriodicTest, EmptyDatabase) {
+  PartialPeriodicParams params;
+  params.period_length = 3;
+  params.min_sup = 1;
+  PartialPeriodicResult result =
+      MinePartialPeriodicPatterns(TransactionDatabase{}, params);
+  EXPECT_EQ(result.num_segments, 0u);
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(PartialPeriodicDeathTest, InvalidParams) {
+  PartialPeriodicParams bad;
+  bad.period_length = 0;
+  EXPECT_DEATH(
+      MinePartialPeriodicPatterns(rpm::testing::PaperExampleDb(), bad),
+      "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::baselines

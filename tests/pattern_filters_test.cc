@@ -1,0 +1,127 @@
+#include "rpm/core/pattern_filters.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::C;
+using ::rpm::testing::D;
+using ::rpm::testing::E;
+using ::rpm::testing::F;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::PaperExampleParams;
+
+TEST(ClosureTest, ClosureOfAIsA) {
+  // 'a' occurs in transactions whose intersection is exactly {a,b} minus..
+  // ts2 = {a,c,d} so closure(a) = {a}.
+  TransactionDatabase db = PaperExampleDb();
+  EXPECT_EQ(ClosureOf(db, {A}), (Itemset{A}));
+}
+
+TEST(ClosureTest, BIsClosedWithA) {
+  // 'b' always co-occurs with 'a' (every b-transaction contains a).
+  TransactionDatabase db = PaperExampleDb();
+  EXPECT_EQ(ClosureOf(db, {B}), (Itemset{A, B}));
+}
+
+TEST(ClosureTest, EAlwaysWithF) {
+  TransactionDatabase db = PaperExampleDb();
+  EXPECT_EQ(ClosureOf(db, {E}), (Itemset{E, F}));
+  EXPECT_EQ(ClosureOf(db, {F}), (Itemset{E, F}));
+  EXPECT_EQ(ClosureOf(db, {E, F}), (Itemset{E, F}));
+}
+
+TEST(ClosureTest, AbsentPatternReturnsItself) {
+  TransactionDatabase db = PaperExampleDb();
+  EXPECT_EQ(ClosureOf(db, {99}), (Itemset{99}));
+}
+
+TEST(FilterClosedTest, PaperExampleClosedSet) {
+  TransactionDatabase db = PaperExampleDb();
+  RpGrowthResult mined =
+      MineRecurringPatterns(db, PaperExampleParams());
+  std::vector<RecurringPattern> closed =
+      FilterClosed(db, mined.patterns);
+  // From Table 2: b -> ab (closure), e -> ef, f -> ef, d -> cd are
+  // non-closed; a, ab, cd, ef remain.
+  ASSERT_EQ(closed.size(), 4u);
+  std::vector<Itemset> sets;
+  for (const auto& p : closed) sets.push_back(p.items);
+  EXPECT_EQ(sets, (std::vector<Itemset>{{A}, {A, B}, {C, D}, {E, F}}));
+}
+
+TEST(FilterClosedTest, ClosedKeepsMeasuresIntact) {
+  TransactionDatabase db = PaperExampleDb();
+  RpGrowthResult mined = MineRecurringPatterns(db, PaperExampleParams());
+  for (const RecurringPattern& p : FilterClosed(db, mined.patterns)) {
+    EXPECT_EQ(rpm::testing::VerifyPatternAgainstDb(db, PaperExampleParams(),
+                                                   p),
+              "");
+  }
+}
+
+TEST(FilterMaximalTest, PaperExampleMaximalSet) {
+  TransactionDatabase db = PaperExampleDb();
+  RpGrowthResult mined = MineRecurringPatterns(db, PaperExampleParams());
+  std::vector<RecurringPattern> maximal = FilterMaximal(mined.patterns);
+  // Maximal mined patterns: ab, cd, ef (singletons a,b,d,e,f are covered).
+  ASSERT_EQ(maximal.size(), 3u);
+  std::vector<Itemset> sets;
+  for (const auto& p : maximal) sets.push_back(p.items);
+  EXPECT_EQ(sets, (std::vector<Itemset>{{A, B}, {C, D}, {E, F}}));
+}
+
+TEST(FilterMaximalTest, MaximalIsSubsetOfClosed) {
+  // Standard containment: maximal ⊆ closed ⊆ all.
+  TransactionDatabase db = PaperExampleDb();
+  RpGrowthResult mined = MineRecurringPatterns(db, PaperExampleParams());
+  auto closed = FilterClosed(db, mined.patterns);
+  auto maximal = FilterMaximal(mined.patterns);
+  EXPECT_LE(maximal.size(), closed.size());
+  EXPECT_LE(closed.size(), mined.patterns.size());
+}
+
+TEST(FilterMaximalTest, IncomparableSetsAllSurvive) {
+  std::vector<RecurringPattern> ps = {{{0, 1}, 1, {}},
+                                      {{1, 2}, 1, {}},
+                                      {{2, 3}, 1, {}}};
+  EXPECT_EQ(FilterMaximal(ps).size(), 3u);
+}
+
+TEST(FilterMaximalTest, EmptyInput) {
+  EXPECT_TRUE(FilterMaximal({}).empty());
+}
+
+TEST(FilterClosedTest, RandomDbClosedPatternsVerify) {
+  for (uint64_t seed = 61; seed <= 64; ++seed) {
+    rpm::testing::RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 50;
+    TransactionDatabase db = rpm::testing::MakeRandomDb(spec, seed);
+    RpParams params;
+    params.period = 3;
+    params.min_ps = 3;
+    params.min_rec = 1;
+    RpGrowthResult mined = MineRecurringPatterns(db, params);
+    std::vector<RecurringPattern> closed = FilterClosed(db, mined.patterns);
+    // Every closed pattern's closure is itself.
+    for (const RecurringPattern& p : closed) {
+      EXPECT_EQ(ClosureOf(db, p.items), p.items);
+    }
+    // Every dropped pattern has a closed superset with the same support.
+    for (const RecurringPattern& p : mined.patterns) {
+      Itemset closure = ClosureOf(db, p.items);
+      if (closure == p.items) continue;
+      EXPECT_EQ(db.SupportOf(closure), p.support) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,90 @@
+#include "rpm/analysis/pattern_report.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/common/civil_time.h"
+#include "test_util.h"
+
+namespace rpm::analysis {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+
+ItemDictionary AbDict() {
+  ItemDictionary dict;
+  dict.GetOrAdd("jackets");
+  dict.GetOrAdd("gloves");
+  return dict;
+}
+
+TEST(FormatItemsetTest, WithNames) {
+  EXPECT_EQ(FormatItemset({A, B}, AbDict()), "{jackets, gloves}");
+}
+
+TEST(FormatItemsetTest, EmptyDictionaryFallsBackToIds) {
+  EXPECT_EQ(FormatItemset({3, 9}, ItemDictionary{}), "{3, 9}");
+}
+
+TEST(FormatPatternReportTest, NumericEndpointsByDefault) {
+  std::vector<RecurringPattern> ps = {
+      {{A, B}, 7, {{1, 4, 3}, {11, 14, 3}}}};
+  auto lines = FormatPatternReport(ps, AbDict());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{jackets, gloves}  sup=7 rec=2  [1 .. 4]:ps=3"
+            " [11 .. 14]:ps=3");
+}
+
+TEST(FormatPatternReportTest, DateEndpointsWithEpoch) {
+  const int64_t epoch = MinutesFromCivil({2013, 5, 1, 0, 0});
+  std::vector<RecurringPattern> ps = {{{A}, 3, {{0, 1440, 3}}}};
+  ReportOptions options;
+  options.epoch_minutes = epoch;
+  auto lines = FormatPatternReport(ps, AbDict(), options);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("2013-05-01 00:00"), std::string::npos);
+  EXPECT_NE(lines[0].find("2013-05-02 00:00"), std::string::npos);
+}
+
+TEST(FormatPatternReportTest, SortBySupportDescending) {
+  std::vector<RecurringPattern> ps = {{{A}, 3, {{0, 1, 2}}},
+                                      {{B}, 9, {{0, 1, 2}}}};
+  auto lines = FormatPatternReport(ps, AbDict());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("gloves"), std::string::npos);
+}
+
+TEST(FormatPatternReportTest, SortByDuration) {
+  std::vector<RecurringPattern> ps = {
+      {{A}, 9, {{0, 5, 2}}},          // Duration 5, higher support.
+      {{B}, 3, {{0, 100, 2}}}};       // Duration 100.
+  ReportOptions options;
+  options.sort_by_support = false;
+  auto lines = FormatPatternReport(ps, AbDict(), options);
+  EXPECT_NE(lines[0].find("gloves"), std::string::npos);
+}
+
+TEST(FormatPatternReportTest, TopKTruncates) {
+  std::vector<RecurringPattern> ps;
+  for (uint64_t s = 1; s <= 5; ++s) ps.push_back({{A}, s, {{0, 1, 1}}});
+  ReportOptions options;
+  options.top_k = 2;
+  EXPECT_EQ(FormatPatternReport(ps, AbDict(), options).size(), 2u);
+}
+
+TEST(FormatPatternReportTest, MinLengthFilters) {
+  std::vector<RecurringPattern> ps = {{{A}, 1, {}}, {{A, B}, 1, {}}};
+  ReportOptions options;
+  options.min_pattern_length = 2;
+  auto lines = FormatPatternReport(ps, AbDict(), options);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("{jackets, gloves}"), std::string::npos);
+}
+
+TEST(FormatPatternReportTest, EmptyInput) {
+  EXPECT_TRUE(FormatPatternReport({}, AbDict()).empty());
+}
+
+}  // namespace
+}  // namespace rpm::analysis

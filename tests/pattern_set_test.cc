@@ -1,0 +1,60 @@
+#include "rpm/analysis/pattern_set.h"
+
+#include <gtest/gtest.h>
+
+namespace rpm::analysis {
+namespace {
+
+TEST(ItemsetsOfTest, ExtractsAndCanonicalizes) {
+  std::vector<RecurringPattern> ps = {{{2}, 1, {}},
+                                      {{0, 1}, 1, {}},
+                                      {{2}, 5, {}}};  // Duplicate itemset.
+  std::vector<Itemset> sets = ItemsetsOf(ps);
+  EXPECT_EQ(sets, (std::vector<Itemset>{{0, 1}, {2}}));
+}
+
+TEST(ItemsetsOfTest, WorksForBaselineTypes) {
+  std::vector<rpm::baselines::PeriodicFrequentPattern> pf = {
+      {{1}, 3, 2}, {{0, 2}, 4, 1}};
+  EXPECT_EQ(ItemsetsOf(pf), (std::vector<Itemset>{{0, 2}, {1}}));
+
+  std::vector<rpm::baselines::PPattern> pp = {{{5}, 3, 2}};
+  EXPECT_EQ(ItemsetsOf(pp), (std::vector<Itemset>{{5}}));
+}
+
+TEST(IsSubsetOfTest, Basics) {
+  std::vector<Itemset> small = {{0}, {1, 2}};
+  std::vector<Itemset> big = {{0}, {1}, {1, 2}, {3}};
+  EXPECT_TRUE(IsSubsetOf(small, big));
+  EXPECT_FALSE(IsSubsetOf(big, small));
+  EXPECT_TRUE(IsSubsetOf({}, small));
+  EXPECT_TRUE(IsSubsetOf(small, small));
+}
+
+TEST(LengthHistogramTest, CountsByLength) {
+  std::vector<Itemset> sets = {{0}, {1}, {0, 1}, {0, 1, 2}};
+  std::vector<size_t> hist = LengthHistogram(sets);
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(LengthHistogramTest, EmptyInput) {
+  std::vector<size_t> hist = LengthHistogram({});
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0], 0u);
+}
+
+TEST(RecoversPlantedEventTest, MatchesOverlappingInterval) {
+  std::vector<RecurringPattern> mined = {
+      {{3, 4}, 10, {{100, 200, 50}, {500, 600, 40}}}};
+  EXPECT_TRUE(RecoversPlantedEvent(mined, {3, 4}, 150, 400));
+  EXPECT_TRUE(RecoversPlantedEvent(mined, {3, 4}, 0, 101));
+  EXPECT_FALSE(RecoversPlantedEvent(mined, {3, 4}, 201, 499));
+  EXPECT_FALSE(RecoversPlantedEvent(mined, {3, 5}, 150, 400));
+  EXPECT_FALSE(RecoversPlantedEvent({}, {3, 4}, 0, 1000));
+}
+
+}  // namespace
+}  // namespace rpm::analysis

@@ -1,0 +1,60 @@
+#include "rpm/analysis/pattern_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rpm::analysis {
+namespace {
+
+RecurringPattern SamplePattern() {
+  // sup=10, intervals [0,30]:4 and [60,90]:6.
+  return {{1, 2}, 10, {{0, 30, 4}, {60, 90, 6}}};
+}
+
+TEST(PatternStatsTest, Durations) {
+  PatternStats stats = ComputePatternStats(SamplePattern(), 0, 100);
+  EXPECT_EQ(stats.total_interesting_duration, 60);
+  EXPECT_EQ(stats.max_interval_duration, 30);
+}
+
+TEST(PatternStatsTest, Coverage) {
+  PatternStats stats = ComputePatternStats(SamplePattern(), 0, 100);
+  EXPECT_DOUBLE_EQ(stats.series_coverage, 0.6);
+}
+
+TEST(PatternStatsTest, PeriodicSupportAggregates) {
+  PatternStats stats = ComputePatternStats(SamplePattern(), 0, 100);
+  EXPECT_DOUBLE_EQ(stats.mean_periodic_support, 5.0);
+  EXPECT_EQ(stats.max_periodic_support, 6u);
+  EXPECT_DOUBLE_EQ(stats.periodic_concentration, 1.0);  // 10 of sup 10.
+}
+
+TEST(PatternStatsTest, ConcentrationBelowOneWithStrayAppearances) {
+  RecurringPattern p = {{1}, 20, {{0, 30, 4}, {60, 90, 6}}};
+  PatternStats stats = ComputePatternStats(p, 0, 100);
+  EXPECT_DOUBLE_EQ(stats.periodic_concentration, 0.5);
+}
+
+TEST(PatternStatsTest, NoIntervals) {
+  RecurringPattern p = {{1}, 5, {}};
+  PatternStats stats = ComputePatternStats(p, 0, 100);
+  EXPECT_EQ(stats.total_interesting_duration, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_periodic_support, 0.0);
+  EXPECT_DOUBLE_EQ(stats.series_coverage, 0.0);
+}
+
+TEST(PatternStatsTest, ZeroSpanSeries) {
+  PatternStats stats = ComputePatternStats(SamplePattern(), 50, 50);
+  EXPECT_DOUBLE_EQ(stats.series_coverage, 0.0);
+}
+
+TEST(PatternStatsTest, FormatMentionsEverything) {
+  std::string s = FormatPatternStats(ComputePatternStats(SamplePattern(),
+                                                         0, 100));
+  EXPECT_NE(s.find("coverage=60.0%"), std::string::npos);
+  EXPECT_NE(s.find("total_dur=60"), std::string::npos);
+  EXPECT_NE(s.find("max_ps=6"), std::string::npos);
+  EXPECT_NE(s.find("concentration=100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpm::analysis

@@ -1,0 +1,74 @@
+#include "rpm/core/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+
+TEST(PeriodicIntervalTest, Duration) {
+  PeriodicInterval pi{3, 17, 5};
+  EXPECT_EQ(pi.Duration(), 14);
+  EXPECT_EQ((PeriodicInterval{7, 7, 1}).Duration(), 0);
+}
+
+TEST(RecurringPatternTest, RecurrenceIsIntervalCount) {
+  RecurringPattern p{{A}, 8, {{1, 4, 4}, {11, 14, 3}}};
+  EXPECT_EQ(p.recurrence(), 2u);
+}
+
+TEST(RecurringPatternTest, ToStringMatchesEquation1) {
+  // Example 9's rendering of 'ab'.
+  RecurringPattern p{{A, B}, 7, {{1, 4, 3}, {11, 14, 3}}};
+  ItemDictionary dict;
+  dict.GetOrAdd("a");
+  dict.GetOrAdd("b");
+  EXPECT_EQ(p.ToString(&dict),
+            "a b [support=7, recurrence=2, {{[1,4]:3}, {[11,14]:3}}]");
+}
+
+TEST(RecurringPatternTest, ToStringWithoutDictionaryUsesIds) {
+  RecurringPattern p{{3, 5}, 2, {{1, 2, 2}}};
+  EXPECT_EQ(p.ToString(), "3 5 [support=2, recurrence=1, {{[1,2]:2}}]");
+}
+
+TEST(SortPatternsCanonicallyTest, LexicographicByItems) {
+  std::vector<RecurringPattern> ps = {
+      {{2}, 1, {}}, {{0, 1}, 1, {}}, {{0}, 1, {}}, {{1, 2}, 1, {}}};
+  SortPatternsCanonically(&ps);
+  EXPECT_EQ(ps[0].items, (Itemset{0}));
+  EXPECT_EQ(ps[1].items, (Itemset{0, 1}));
+  EXPECT_EQ(ps[2].items, (Itemset{1, 2}));
+  EXPECT_EQ(ps[3].items, (Itemset{2}));
+}
+
+TEST(SamePatternSetsTest, OrderInsensitive) {
+  std::vector<RecurringPattern> a = {{{0}, 1, {{1, 1, 1}}},
+                                     {{1}, 2, {{2, 3, 2}}}};
+  std::vector<RecurringPattern> b = {a[1], a[0]};
+  EXPECT_TRUE(SamePatternSets(a, b));
+}
+
+TEST(SamePatternSetsTest, DetectsDifferences) {
+  std::vector<RecurringPattern> a = {{{0}, 1, {{1, 1, 1}}}};
+  std::vector<RecurringPattern> b = {{{0}, 2, {{1, 1, 1}}}};
+  EXPECT_FALSE(SamePatternSets(a, b));
+  EXPECT_FALSE(SamePatternSets(a, {}));
+  std::vector<RecurringPattern> c = {{{0}, 1, {{1, 2, 1}}}};
+  EXPECT_FALSE(SamePatternSets(a, c));
+}
+
+TEST(MaxPatternLengthTest, FindsLongest) {
+  std::vector<RecurringPattern> ps = {{{0}, 1, {}},
+                                      {{0, 1, 2}, 1, {}},
+                                      {{4, 5}, 1, {}}};
+  EXPECT_EQ(MaxPatternLength(ps), 3u);
+  EXPECT_EQ(MaxPatternLength({}), 0u);
+}
+
+}  // namespace
+}  // namespace rpm

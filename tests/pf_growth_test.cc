@@ -1,0 +1,171 @@
+#include "rpm/baselines/pf_growth.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/analysis/pattern_set.h"
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
+namespace rpm::baselines {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::MakeRandomDb;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::RandomDbSpec;
+
+TEST(ComputePeriodicityTest, IncludesBoundaryGaps) {
+  // db span [0, 20], ts {5, 10}: gaps 5 (lead-in), 5, 10 (tail).
+  EXPECT_EQ(ComputePeriodicity({5, 10}, 0, 20), 10);
+  EXPECT_EQ(ComputePeriodicity({5, 18}, 0, 20), 13);
+  EXPECT_EQ(ComputePeriodicity({0, 10, 20}, 0, 20), 10);
+}
+
+TEST(ComputePeriodicityTest, EmptyListIsWholeSpan) {
+  EXPECT_EQ(ComputePeriodicity({}, 3, 17), 14);
+}
+
+TEST(ComputePeriodicityTest, SingleTimestamp) {
+  EXPECT_EQ(ComputePeriodicity({4}, 0, 10), 6);
+}
+
+/// Definitional PF miner over all subsets (test oracle).
+std::vector<PeriodicFrequentPattern> PfOracle(const TransactionDatabase& db,
+                                              const PfParams& params) {
+  std::vector<PeriodicFrequentPattern> out;
+  const uint32_t n = db.ItemUniverseSize();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Itemset pattern;
+    for (uint32_t bit = 0; bit < n; ++bit) {
+      if (mask & (1u << bit)) pattern.push_back(bit);
+    }
+    TimestampList ts = db.TimestampsOf(pattern);
+    if (ts.size() < params.min_sup) continue;
+    Timestamp per = ComputePeriodicity(ts, db.start_ts(), db.end_ts());
+    if (per <= params.max_per) {
+      out.push_back({pattern, ts.size(), per});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.items < b.items; });
+  return out;
+}
+
+TEST(PfGrowthTest, MatchesOracleOnPaperExample) {
+  PfParams params;
+  params.min_sup = 4;
+  params.max_per = 3;
+  PfGrowthResult result =
+      MinePeriodicFrequentPatterns(PaperExampleDb(), params);
+  EXPECT_EQ(result.patterns, PfOracle(PaperExampleDb(), params));
+}
+
+TEST(PfGrowthTest, MatchesOracleAcrossThresholds) {
+  TransactionDatabase db = PaperExampleDb();
+  for (uint64_t min_sup : {1u, 3u, 6u, 8u}) {
+    for (Timestamp max_per : {1, 2, 3, 5}) {
+      PfParams params;
+      params.min_sup = min_sup;
+      params.max_per = max_per;
+      EXPECT_EQ(MinePeriodicFrequentPatterns(db, params).patterns,
+                PfOracle(db, params))
+          << "minSup=" << min_sup << " maxPer=" << max_per;
+    }
+  }
+}
+
+TEST(PfGrowthTest, MatchesOracleOnRandomDbs) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 50;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    PfParams params;
+    params.min_sup = 8;
+    params.max_per = 6;
+    EXPECT_EQ(MinePeriodicFrequentPatterns(db, params).patterns,
+              PfOracle(db, params))
+        << "seed " << seed;
+  }
+}
+
+TEST(PfGrowthTest, PeriodicFrequentPatternsAreRecurringPatterns) {
+  // The paper: recurring patterns generalise periodic-frequent patterns.
+  // PF(minSup, maxPer) is contained in RP(per=maxPer, minPS=minSup,
+  // minRec=1): a PF pattern's timestamps have all gaps <= maxPer, so they
+  // form one interval with ps = Sup >= minSup.
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 50;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    PfParams pf;
+    pf.min_sup = 6;
+    pf.max_per = 5;
+    RpParams rp;
+    rp.period = pf.max_per;
+    rp.min_ps = pf.min_sup;
+    rp.min_rec = 1;
+    auto pf_sets =
+        rpm::analysis::ItemsetsOf(MinePeriodicFrequentPatterns(db, pf).patterns);
+    auto rp_sets =
+        rpm::analysis::ItemsetsOf(MineRecurringPatterns(db, rp).patterns);
+    EXPECT_TRUE(rpm::analysis::IsSubsetOf(pf_sets, rp_sets))
+        << "seed " << seed << ": PF " << pf_sets.size() << " sets, RP "
+        << rp_sets.size();
+  }
+}
+
+TEST(PfGrowthTest, StrictConstraintYieldsFewPatterns) {
+  // Table 8's qualitative point: the complete-cyclic constraint admits far
+  // fewer patterns than the recurring model on bursty data.
+  RandomDbSpec spec;
+  spec.num_items = 8;
+  spec.num_timestamps = 80;
+  TransactionDatabase db = MakeRandomDb(spec, 99);
+  PfParams pf;
+  pf.min_sup = 10;
+  pf.max_per = 3;
+  RpParams rp;
+  rp.period = 3;
+  rp.min_ps = 5;
+  rp.min_rec = 1;
+  auto pf_result = MinePeriodicFrequentPatterns(db, pf);
+  auto rp_result = MineRecurringPatterns(db, rp);
+  EXPECT_LE(pf_result.patterns.size(), rp_result.patterns.size());
+}
+
+TEST(PfGrowthTest, EmptyDatabase) {
+  PfParams params;
+  params.min_sup = 1;
+  params.max_per = 10;
+  EXPECT_TRUE(
+      MinePeriodicFrequentPatterns(TransactionDatabase{}, params)
+          .patterns.empty());
+}
+
+TEST(PfGrowthTest, ItemAppearingEveryTimestampIsFound) {
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (Timestamp ts = 1; ts <= 10; ++ts) rows.push_back({ts, {A, B}});
+  TransactionDatabase db = MakeDatabase(rows);
+  PfParams params;
+  params.min_sup = 10;
+  params.max_per = 1;
+  auto result = MinePeriodicFrequentPatterns(db, params);
+  ASSERT_EQ(result.patterns.size(), 3u);  // a, b, ab.
+  for (const auto& p : result.patterns) {
+    EXPECT_EQ(p.support, 10u);
+    EXPECT_EQ(p.periodicity, 1);
+  }
+}
+
+TEST(PfGrowthDeathTest, InvalidParams) {
+  PfParams bad;
+  bad.min_sup = 0;
+  EXPECT_DEATH(MinePeriodicFrequentPatterns(PaperExampleDb(), bad),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::baselines

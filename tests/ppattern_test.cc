@@ -1,0 +1,200 @@
+#include "rpm/baselines/ppattern.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/analysis/pattern_set.h"
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
+namespace rpm::baselines {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::MakeRandomDb;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::RandomDbSpec;
+
+TEST(CountOnPeriodGapsTest, CountsGapsWithinBound) {
+  // IAT^{ab} = {2,1,3,4,1,2}; with per=2, w=1 the on-period gaps are
+  // {2,1,1,2} -> 4 (Example 4's periodic occurrences).
+  EXPECT_EQ(CountOnPeriodGaps({1, 3, 4, 7, 11, 12, 14}, 2, 1), 4u);
+}
+
+TEST(CountOnPeriodGapsTest, WindowWidensTheBound) {
+  // w=2 accepts iat <= 3: adds the gap of 3 -> 5.
+  EXPECT_EQ(CountOnPeriodGaps({1, 3, 4, 7, 11, 12, 14}, 2, 2), 5u);
+}
+
+TEST(CountOnPeriodGapsTest, ShortLists) {
+  EXPECT_EQ(CountOnPeriodGaps({}, 2, 1), 0u);
+  EXPECT_EQ(CountOnPeriodGaps({9}, 2, 1), 0u);
+}
+
+/// Definitional p-pattern oracle over all subsets.
+std::vector<PPattern> PPatternOracle(const TransactionDatabase& db,
+                                     const PPatternParams& params) {
+  std::vector<PPattern> out;
+  const uint32_t n = db.ItemUniverseSize();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    Itemset pattern;
+    for (uint32_t bit = 0; bit < n; ++bit) {
+      if (mask & (1u << bit)) pattern.push_back(bit);
+    }
+    TimestampList ts = db.TimestampsOf(pattern);
+    uint64_t pc = CountOnPeriodGaps(ts, params.period, params.window);
+    if (pc >= params.min_sup) out.push_back({pattern, ts.size(), pc});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PPattern& a, const PPattern& b) {
+              return a.items < b.items;
+            });
+  return out;
+}
+
+TEST(PPatternTest, MatchesOracleOnPaperExample) {
+  PPatternParams params;
+  params.period = 2;
+  params.window = 1;
+  params.min_sup = 4;
+  PPatternResult result = MinePPatterns(PaperExampleDb(), params);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.patterns, PPatternOracle(PaperExampleDb(), params));
+  EXPECT_EQ(result.total_found, result.patterns.size());
+}
+
+TEST(PPatternTest, MatchesOracleAcrossThresholds) {
+  TransactionDatabase db = PaperExampleDb();
+  for (Timestamp per : {1, 2, 4}) {
+    for (uint64_t min_sup : {2u, 4u, 6u}) {
+      PPatternParams params;
+      params.period = per;
+      params.min_sup = min_sup;
+      EXPECT_EQ(MinePPatterns(db, params).patterns,
+                PPatternOracle(db, params))
+          << "per=" << per << " minSup=" << min_sup;
+    }
+  }
+}
+
+TEST(PPatternTest, MatchesOracleOnRandomDbs) {
+  for (uint64_t seed = 21; seed <= 26; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 50;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    PPatternParams params;
+    params.period = 3;
+    params.min_sup = 10;
+    EXPECT_EQ(MinePPatterns(db, params).patterns, PPatternOracle(db, params))
+        << "seed " << seed;
+  }
+}
+
+TEST(PPatternTest, RecurringPatternsAreAmongPPatterns) {
+  // Sec. 5.4: every recurring pattern is discovered as a p-pattern at a
+  // suitably low minSup — RP(per, minPS, minRec) needs at least
+  // minRec*(minPS-1) on-period gaps.
+  for (uint64_t seed = 31; seed <= 34; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 60;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    RpParams rp;
+    rp.period = 3;
+    rp.min_ps = 4;
+    rp.min_rec = 2;
+    PPatternParams pp;
+    pp.period = rp.period;
+    pp.min_sup = rp.min_rec * (rp.min_ps - 1);
+    auto rp_sets =
+        rpm::analysis::ItemsetsOf(MineRecurringPatterns(db, rp).patterns);
+    auto pp_sets =
+        rpm::analysis::ItemsetsOf(MinePPatterns(db, pp).patterns);
+    EXPECT_TRUE(rpm::analysis::IsSubsetOf(rp_sets, pp_sets))
+        << "seed " << seed;
+  }
+}
+
+TEST(PPatternTest, LowMinSupProducesMorePatternsThanRpModel) {
+  // The combinatorial-explosion contrast of Table 8.
+  RandomDbSpec spec;
+  spec.num_items = 8;
+  spec.num_timestamps = 80;
+  spec.item_base_prob = 0.4;
+  TransactionDatabase db = MakeRandomDb(spec, 55);
+  PPatternParams pp;
+  pp.period = 4;
+  pp.min_sup = 5;
+  RpParams rp;
+  rp.period = 4;
+  rp.min_ps = 5;
+  rp.min_rec = 2;
+  EXPECT_GT(MinePPatterns(db, pp).total_found,
+            MineRecurringPatterns(db, rp).patterns.size());
+}
+
+TEST(PPatternTest, StoredCapKeepsCounting) {
+  TransactionDatabase db = PaperExampleDb();
+  PPatternParams params;
+  params.period = 2;
+  params.min_sup = 2;
+  PPatternOptions options;
+  options.max_stored_patterns = 3;
+  PPatternResult result = MinePPatterns(db, params, options);
+  EXPECT_EQ(result.patterns.size(), 3u);
+  EXPECT_GT(result.total_found, 3u);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(PPatternTest, TotalCapTruncatesEnumeration) {
+  TransactionDatabase db = PaperExampleDb();
+  PPatternParams params;
+  params.period = 2;
+  params.min_sup = 2;
+  PPatternOptions options;
+  options.max_total_patterns = 5;
+  PPatternResult result = MinePPatterns(db, params, options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.total_found, 5u);
+}
+
+TEST(PPatternTest, MaxLengthBoundsPatterns) {
+  PPatternParams params;
+  params.period = 2;
+  params.min_sup = 2;
+  PPatternOptions options;
+  options.max_pattern_length = 1;
+  PPatternResult result = MinePPatterns(PaperExampleDb(), params, options);
+  for (const PPattern& p : result.patterns) EXPECT_EQ(p.items.size(), 1u);
+}
+
+TEST(PPatternTest, MaxLengthTracked) {
+  PPatternParams params;
+  params.period = 2;
+  params.min_sup = 2;
+  PPatternResult result = MinePPatterns(PaperExampleDb(), params);
+  size_t longest = 0;
+  for (const PPattern& p : result.patterns) {
+    longest = std::max(longest, p.items.size());
+  }
+  EXPECT_EQ(result.max_length, longest);
+}
+
+TEST(PPatternTest, EmptyDatabase) {
+  PPatternParams params;
+  params.period = 2;
+  params.min_sup = 1;
+  PPatternResult result = MinePPatterns(TransactionDatabase{}, params);
+  EXPECT_EQ(result.total_found, 0u);
+  EXPECT_EQ(result.candidate_items, 0u);
+}
+
+TEST(PPatternDeathTest, InvalidParams) {
+  PPatternParams bad;
+  bad.period = 0;
+  EXPECT_DEATH(MinePPatterns(PaperExampleDb(), bad), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::baselines

@@ -1,0 +1,233 @@
+// Randomized equivalence and invariant tests: RP-growth against the
+// definitional oracle and the vertical miner, over a grid of seeds and
+// thresholds (parameterised gtest).
+
+#include <ostream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/brute_force.h"
+#include "rpm/core/measures.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/core/rp_list.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::MakeRandomDb;
+using ::rpm::testing::RandomDbSpec;
+
+struct PropertyCase {
+  uint64_t seed;
+  Timestamp per;
+  uint64_t min_ps;
+  uint64_t min_rec;
+
+  friend std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+    return os << "seed" << c.seed << "_per" << c.per << "_ps" << c.min_ps
+              << "_rec" << c.min_rec;
+  }
+};
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  const struct {
+    Timestamp per;
+    uint64_t ps;
+    uint64_t rec;
+  } grids[] = {
+      {2, 2, 2}, {3, 3, 1}, {1, 2, 3}, {5, 4, 2}, {2, 1, 1}, {4, 5, 2},
+  };
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const auto& g : grids) {
+      cases.push_back({seed, g.per, g.ps, g.rec});
+    }
+  }
+  return cases;
+}
+
+class MinerEquivalenceTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  TransactionDatabase MakeDb() const {
+    RandomDbSpec spec;
+    spec.num_items = 7;
+    spec.num_timestamps = 70;
+    spec.max_gap = 3;
+    return MakeRandomDb(spec, GetParam().seed);
+  }
+
+  RpParams Params() const {
+    RpParams p;
+    p.period = GetParam().per;
+    p.min_ps = GetParam().min_ps;
+    p.min_rec = GetParam().min_rec;
+    return p;
+  }
+};
+
+TEST_P(MinerEquivalenceTest, RpGrowthMatchesDefinitionalOracle) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  std::vector<RecurringPattern> oracle = MineByDefinition(db, params);
+  RpGrowthResult growth = MineRecurringPatterns(db, params);
+  EXPECT_TRUE(SamePatternSets(growth.patterns, oracle))
+      << "oracle " << oracle.size() << " patterns, rp-growth "
+      << growth.patterns.size();
+}
+
+TEST_P(MinerEquivalenceTest, VerticalMinerMatchesOracle) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  EXPECT_TRUE(SamePatternSets(MineVertical(db, params).patterns,
+                              MineByDefinition(db, params)));
+}
+
+TEST_P(MinerEquivalenceTest, ErecPruningLosesNothing) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  RpGrowthOptions naive;
+  naive.pruning = PruningMode::kSupportOnly;
+  EXPECT_TRUE(SamePatternSets(
+      MineRecurringPatterns(db, params).patterns,
+      MineRecurringPatterns(db, params, naive).patterns));
+}
+
+TEST_P(MinerEquivalenceTest, EveryEmittedPatternReverifies) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  for (const RecurringPattern& p :
+       MineRecurringPatterns(db, params).patterns) {
+    EXPECT_EQ(rpm::testing::VerifyPatternAgainstDb(db, params, p), "")
+        << p.ToString();
+  }
+}
+
+TEST_P(MinerEquivalenceTest, MinedItemsAreCandidates) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  RpList list = BuildRpList(db, params);
+  for (const RecurringPattern& p :
+       MineRecurringPatterns(db, params).patterns) {
+    for (ItemId item : p.items) {
+      EXPECT_TRUE(list.IsCandidate(item)) << "item " << item;
+    }
+  }
+}
+
+TEST_P(MinerEquivalenceTest, ErecBoundsRecurrenceForAllPairs) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  const uint32_t n = db.ItemUniverseSize();
+  for (ItemId i = 0; i < n; ++i) {
+    TimestampList ts_i = db.TimestampsOf({i});
+    EXPECT_GE(ComputeErec(ts_i, params.period, params.min_ps),
+              ComputeRecurrence(ts_i, params.period, params.min_ps));
+    for (ItemId j = i + 1; j < n; ++j) {
+      TimestampList ts_ij = db.TimestampsOf({i, j});
+      // Property 2 (anti-monotone bound) and Property 1 together.
+      EXPECT_GE(ComputeErec(ts_i, params.period, params.min_ps),
+                ComputeErec(ts_ij, params.period, params.min_ps));
+      EXPECT_GE(ComputeErec(ts_ij, params.period, params.min_ps),
+                ComputeRecurrence(ts_ij, params.period, params.min_ps));
+    }
+  }
+}
+
+TEST_P(MinerEquivalenceTest, TolerantPatternsReverify) {
+  TransactionDatabase db = MakeDb();
+  RpParams params = Params();
+  params.max_gap_violations = 1;
+  for (const RecurringPattern& p :
+       MineRecurringPatterns(db, params).patterns) {
+    TimestampList ts = db.TimestampsOf(p.items);
+    EXPECT_EQ(ts.size(), p.support);
+    EXPECT_EQ(FindInterestingIntervals(ts, params), p.intervals)
+        << p.ToString();
+  }
+}
+
+TEST_P(MinerEquivalenceTest, TolerantMiningIsCompleteOverLattice) {
+  // Oracle for the noise-tolerant extension: exhaustive subsets checked
+  // with the tolerant interval finder, across violation budgets.
+  TransactionDatabase db = MakeDb();
+  for (uint32_t budget : {1u, 2u, 3u}) {
+    RpParams params = Params();
+    params.max_gap_violations = budget;
+
+    std::vector<RecurringPattern> oracle;
+    const uint32_t n = db.ItemUniverseSize();
+    ASSERT_LE(n, 16u);
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      Itemset pattern;
+      for (uint32_t bit = 0; bit < n; ++bit) {
+        if (mask & (1u << bit)) pattern.push_back(bit);
+      }
+      TimestampList ts = db.TimestampsOf(pattern);
+      if (ts.empty()) continue;
+      auto ipi = FindInterestingIntervals(ts, params);
+      if (ipi.size() >= params.min_rec) {
+        oracle.push_back({pattern, ts.size(), std::move(ipi)});
+      }
+    }
+    SortPatternsCanonically(&oracle);
+    RpGrowthResult growth = MineRecurringPatterns(db, params);
+    EXPECT_TRUE(SamePatternSets(growth.patterns, oracle))
+        << "budget " << budget << ": oracle " << oracle.size()
+        << ", mined " << growth.patterns.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, MinerEquivalenceTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const auto& info) {
+                           std::ostringstream os;
+                           os << info.param;
+                           return os.str();
+                         });
+
+// Sparser databases (more empty timestamps, longer gaps) — a different
+// regime for interval splitting.
+class SparseDbTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseDbTest, RpGrowthMatchesOracleOnSparseData) {
+  RandomDbSpec spec;
+  spec.num_items = 5;
+  spec.num_timestamps = 40;
+  spec.max_gap = 9;
+  spec.item_base_prob = 0.12;
+  spec.num_bursts = 2;
+  TransactionDatabase db = MakeRandomDb(spec, GetParam());
+  for (Timestamp per : {2, 6, 12}) {
+    RpParams params;
+    params.period = per;
+    params.min_ps = 2;
+    params.min_rec = 2;
+    EXPECT_TRUE(SamePatternSets(MineRecurringPatterns(db, params).patterns,
+                                MineByDefinition(db, params)))
+        << "per=" << per;
+  }
+}
+
+TEST_P(SparseDbTest, DenseBurstyDbMatchesOracle) {
+  RandomDbSpec spec;
+  spec.num_items = 6;
+  spec.num_timestamps = 90;
+  spec.max_gap = 2;
+  spec.item_base_prob = 0.45;
+  spec.num_bursts = 4;
+  TransactionDatabase db = MakeRandomDb(spec, GetParam() + 1000);
+  RpParams params;
+  params.period = 3;
+  params.min_ps = 4;
+  params.min_rec = 2;
+  EXPECT_TRUE(SamePatternSets(MineRecurringPatterns(db, params).patterns,
+                              MineByDefinition(db, params)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseDbTest,
+                         ::testing::Range<uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace rpm

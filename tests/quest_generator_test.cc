@@ -1,0 +1,92 @@
+#include "rpm/gen/quest_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/timeseries/database_stats.h"
+
+namespace rpm::gen {
+namespace {
+
+QuestParams SmallParams() {
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.num_items = 120;
+  params.num_patterns = 80;
+  params.seed = 5;
+  return params;
+}
+
+TEST(QuestGeneratorTest, DeterministicForSameSeed) {
+  TransactionDatabase a = GenerateQuest(SmallParams());
+  TransactionDatabase b = GenerateQuest(SmallParams());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.transaction(i).ts, b.transaction(i).ts);
+    EXPECT_EQ(a.transaction(i).items, b.transaction(i).items);
+  }
+}
+
+TEST(QuestGeneratorTest, DifferentSeedsDiffer) {
+  QuestParams p1 = SmallParams();
+  QuestParams p2 = SmallParams();
+  p2.seed = 6;
+  TransactionDatabase a = GenerateQuest(p1);
+  TransactionDatabase b = GenerateQuest(p2);
+  bool any_diff = a.size() != b.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a.transaction(i).items != b.transaction(i).items;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(QuestGeneratorTest, ProducesRequestedTransactionCount) {
+  TransactionDatabase db = GenerateQuest(SmallParams());
+  EXPECT_EQ(db.size(), 2000u);
+}
+
+TEST(QuestGeneratorTest, TimestampsAreUnitSpacedFromOne) {
+  TransactionDatabase db = GenerateQuest(SmallParams());
+  EXPECT_EQ(db.start_ts(), 1);
+  EXPECT_EQ(db.end_ts(), 2000);
+}
+
+TEST(QuestGeneratorTest, AverageLengthNearT) {
+  QuestParams params = SmallParams();
+  params.num_transactions = 5000;
+  DatabaseStats stats = ComputeStats(GenerateQuest(params));
+  // Dedup within transactions pulls the mean a bit under T=10.
+  EXPECT_GT(stats.avg_transaction_length, 6.0);
+  EXPECT_LT(stats.avg_transaction_length, 14.0);
+}
+
+TEST(QuestGeneratorTest, UsesMostOfTheItemUniverse) {
+  DatabaseStats stats = ComputeStats(GenerateQuest(SmallParams()));
+  EXPECT_GT(stats.num_distinct_items, 60u);
+  EXPECT_LE(stats.num_distinct_items, 120u);
+}
+
+TEST(QuestGeneratorTest, ItemPopularityIsSkewed) {
+  DatabaseStats stats = ComputeStats(GenerateQuest(SmallParams()));
+  size_t max_sup = 0, nonzero = 0;
+  size_t total = 0;
+  for (size_t s : stats.item_supports) {
+    max_sup = std::max(max_sup, s);
+    total += s;
+    nonzero += s > 0 ? 1 : 0;
+  }
+  const double mean = static_cast<double>(total) / nonzero;
+  EXPECT_GT(static_cast<double>(max_sup), 3.0 * mean);
+}
+
+TEST(QuestGeneratorTest, DatabaseValidates) {
+  EXPECT_TRUE(GenerateQuest(SmallParams()).Validate().ok());
+}
+
+TEST(QuestGeneratorDeathTest, RejectsDegenerateParams) {
+  QuestParams params = SmallParams();
+  params.num_transactions = 0;
+  EXPECT_DEATH(GenerateQuest(params), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm::gen

@@ -1,0 +1,251 @@
+#include "rpm/common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 123, s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 0;
+  uint64_t a = SplitMix64(&s);
+  uint64_t b = SplitMix64(&s);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedUint64StaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedUint64CoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextUint64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInt64RespectsInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextInt64DegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.NextInt64(42, 42), 42);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsAboutHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-1.0));
+    EXPECT_TRUE(rng.NextBernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(9);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, PoissonSmallMeanMatches) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextPoisson(3.5);
+  EXPECT_NEAR(sum / kN, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextPoisson(200.0);
+  EXPECT_NEAR(sum / kN, 200.0, 2.0);
+}
+
+TEST(RngTest, ExponentialMeanIsOneOverLambda) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.NextGeometric(0.25));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(RngTest, GeometricPOneIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(23);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.NextWeighted(w), 1u);
+}
+
+TEST(RngTest, WeightedProportions) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0};
+  int second = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) second += rng.NextWeighted(w) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(second) / kN, 0.75, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // Astronomically unlikely to be identity.
+}
+
+TEST(RngTest, SampleWithoutReplacementBasics) {
+  Rng rng(31);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(10, 4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (size_t x : s) EXPECT_LT(x, 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(31);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(5, 5);
+  EXPECT_EQ(s, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(31);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(DiscreteSamplerTest, SingleBucket) {
+  Rng rng(37);
+  DiscreteSampler sampler({5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(37);
+  DiscreteSampler sampler({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(sampler.Sample(&rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  Rng rng(41);
+  DiscreteSampler sampler({1.0, 2.0, 7.0});
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.7, 0.01);
+}
+
+TEST(DiscreteSamplerDeathTest, RejectsEmptyAndNegative) {
+  EXPECT_DEATH(DiscreteSampler({}), "Check failed");
+  EXPECT_DEATH(DiscreteSampler({-1.0, 2.0}), "Check failed");
+  EXPECT_DEATH(DiscreteSampler({0.0, 0.0}), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm

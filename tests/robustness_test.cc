@@ -1,0 +1,182 @@
+// Robustness: parsers on adversarial input (no crashes, clean Status),
+// miners on degenerate databases, and miner equivalence on the scaled
+// paper datasets.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rpm/analysis/pattern_set.h"
+#include "rpm/common/random.h"
+#include "rpm/core/brute_force.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/gen/paper_datasets.h"
+#include "rpm/timeseries/io/spmf_io.h"
+#include "rpm/timeseries/io/timestamped_csv_io.h"
+#include "rpm/timeseries/tdb_builder.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t len) {
+  std::string s(len, '\0');
+  for (char& c : s) {
+    c = static_cast<char>(rng->NextUint64(96) + 32);  // Printable-ish.
+  }
+  return s;
+}
+
+TEST(ParserRobustnessTest, TimestampedSpmfNeverCrashesOnGarbage) {
+  Rng rng(12345);
+  for (int round = 0; round < 200; ++round) {
+    std::string text = RandomBytes(&rng, rng.NextUint64(200));
+    // Sprinkle in newlines and bars so the parser's paths are exercised.
+    for (size_t i = 0; i < text.size(); i += 7) text[i] = '\n';
+    for (size_t i = 3; i < text.size(); i += 11) text[i] = '|';
+    std::istringstream in(text);
+    Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+    if (db.ok()) {
+      EXPECT_TRUE(db->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, PlainSpmfNeverCrashesOnGarbage) {
+  Rng rng(999);
+  for (int round = 0; round < 200; ++round) {
+    std::string text = RandomBytes(&rng, rng.NextUint64(200));
+    std::istringstream in(text);
+    Result<TransactionDatabase> db = ReadSpmf(&in);
+    if (db.ok()) {
+      EXPECT_TRUE(db->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, EventCsvNeverCrashesOnGarbage) {
+  Rng rng(777);
+  for (int round = 0; round < 200; ++round) {
+    std::string text = RandomBytes(&rng, rng.NextUint64(200));
+    for (size_t i = 0; i < text.size(); i += 5) text[i] = ',';
+    for (size_t i = 2; i < text.size(); i += 9) text[i] = '\n';
+    std::istringstream in(text);
+    Result<EventCsvData> data = ReadEventCsv(&in);
+    (void)data;  // Either outcome is fine; crashing is not.
+  }
+}
+
+TEST(ParserRobustnessTest, RandomDbRoundTripsThroughSpmf) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    rpm::testing::RandomDbSpec spec;
+    spec.num_items = 10;
+    spec.num_timestamps = 40;
+    TransactionDatabase original = rpm::testing::MakeRandomDb(spec, seed);
+    std::ostringstream out;
+    ASSERT_TRUE(WriteTimestampedSpmf(original, &out).ok());
+    std::istringstream in(out.str());
+    SpmfParseOptions options;
+    options.items_are_ids = true;  // No dictionary: ids written verbatim.
+    Result<TransactionDatabase> reread =
+        ReadTimestampedSpmf(&in, options);
+    ASSERT_TRUE(reread.ok()) << reread.status();
+    ASSERT_EQ(reread->size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(reread->transaction(i), original.transaction(i));
+    }
+  }
+}
+
+TEST(MinerRobustnessTest, SingleItemRepeatedEverywhere) {
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (Timestamp ts = 0; ts < 1000; ++ts) rows.push_back({ts, {0}});
+  TransactionDatabase db = MakeDatabase(rows);
+  RpParams params;
+  params.period = 1;
+  params.min_ps = 1000;
+  params.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  ASSERT_EQ(result.patterns.size(), 1u);
+  EXPECT_EQ(result.patterns[0].intervals[0], (PeriodicInterval{0, 999, 1000}));
+}
+
+TEST(MinerRobustnessTest, WideTransactionWithLengthCap) {
+  // One 40-item transaction: 2^40 subsets qualify at minPS=1; the length
+  // cap keeps exploration bounded.
+  Itemset wide;
+  for (ItemId i = 0; i < 40; ++i) wide.push_back(i);
+  TransactionDatabase db = MakeDatabase({{1, wide}, {2, wide}});
+  RpParams params;
+  params.period = 1;
+  params.min_ps = 2;
+  params.min_rec = 1;
+  RpGrowthOptions options;
+  options.max_pattern_length = 2;
+  RpGrowthResult result = MineRecurringPatterns(db, params, options);
+  // 40 singletons + C(40,2) pairs.
+  EXPECT_EQ(result.patterns.size(), 40u + 40u * 39u / 2u);
+}
+
+TEST(MinerRobustnessTest, NegativeTimestampsMineCorrectly) {
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (Timestamp ts = -10; ts <= -1; ++ts) rows.push_back({ts, {0}});
+  TransactionDatabase db = MakeDatabase(rows);
+  RpParams params;
+  params.period = 1;
+  params.min_ps = 10;
+  params.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  ASSERT_EQ(result.patterns.size(), 1u);
+  EXPECT_EQ(result.patterns[0].intervals[0], (PeriodicInterval{-10, -1, 10}));
+}
+
+TEST(MinerRobustnessTest, HugeTimestampsNoOverflow) {
+  const Timestamp base = INT64_MAX / 2;
+  TransactionDatabase db = MakeDatabase(
+      {{base, {0}}, {base + 5, {0}}, {base + 10, {0}}});
+  RpParams params;
+  params.period = 5;
+  params.min_ps = 3;
+  params.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  ASSERT_EQ(result.patterns.size(), 1u);
+  EXPECT_EQ(result.patterns[0].support, 3u);
+}
+
+TEST(PaperDatasetEquivalenceTest, Shop14MiniAllMinersAgree) {
+  gen::GeneratedClickstream shop = gen::MakeShop14(0.01, 77);
+  RpParams params;
+  params.period = 120;
+  params.min_ps = 20;
+  params.min_rec = 1;
+  RpGrowthResult growth = MineRecurringPatterns(shop.db, params);
+  VerticalMinerResult vertical = MineVertical(shop.db, params);
+  EXPECT_TRUE(SamePatternSets(growth.patterns, vertical.patterns))
+      << growth.patterns.size() << " vs " << vertical.patterns.size();
+}
+
+TEST(PaperDatasetEquivalenceTest, TwitterMiniAllMinersAgree) {
+  gen::GeneratedHashtagStream tw = gen::MakeTwitter(0.01, 88);
+  RpParams params;
+  params.period = 60;
+  params.min_ps = 25;
+  params.min_rec = 1;
+  RpGrowthResult growth = MineRecurringPatterns(tw.db, params);
+  VerticalMinerResult vertical = MineVertical(tw.db, params);
+  EXPECT_TRUE(SamePatternSets(growth.patterns, vertical.patterns));
+}
+
+TEST(PaperDatasetEquivalenceTest, QuestMiniAllMinersAgree) {
+  TransactionDatabase quest = gen::MakeT10I4D100K(0.01, 99);
+  RpParams params;
+  params.period = 30;
+  params.min_ps = 5;
+  params.min_rec = 2;
+  RpGrowthResult growth = MineRecurringPatterns(quest, params);
+  VerticalMinerResult vertical = MineVertical(quest, params);
+  EXPECT_TRUE(SamePatternSets(growth.patterns, vertical.patterns));
+}
+
+}  // namespace
+}  // namespace rpm

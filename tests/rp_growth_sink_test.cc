@@ -1,0 +1,89 @@
+// Tests of the streaming sink / store_patterns options of RP-growth.
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::MakeRandomDb;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::PaperExampleParams;
+using ::rpm::testing::PaperExamplePatterns;
+using ::rpm::testing::RandomDbSpec;
+
+TEST(RpGrowthSinkTest, SinkReceivesExactlyTheStoredPatterns) {
+  std::vector<RecurringPattern> sunk;
+  RpGrowthOptions options;
+  options.sink = [&sunk](const RecurringPattern& p) { sunk.push_back(p); };
+  RpGrowthResult result = MineRecurringPatterns(
+      PaperExampleDb(), PaperExampleParams(), options);
+  EXPECT_TRUE(SamePatternSets(sunk, result.patterns));
+  EXPECT_TRUE(SamePatternSets(sunk, PaperExamplePatterns()));
+}
+
+TEST(RpGrowthSinkTest, CountOnlyModeKeepsStatsButNoStorage) {
+  size_t count = 0;
+  RpGrowthOptions options;
+  options.store_patterns = false;
+  options.sink = [&count](const RecurringPattern&) { ++count; };
+  RpGrowthResult result = MineRecurringPatterns(
+      PaperExampleDb(), PaperExampleParams(), options);
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(count, 8u);
+  EXPECT_EQ(result.stats.patterns_emitted, 8u);
+}
+
+TEST(RpGrowthSinkTest, StorePatternsFalseWithoutSinkStillCounts) {
+  RpGrowthOptions options;
+  options.store_patterns = false;
+  RpGrowthResult result = MineRecurringPatterns(
+      PaperExampleDb(), PaperExampleParams(), options);
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(result.stats.patterns_emitted, 8u);
+}
+
+TEST(RpGrowthSinkTest, SinkSeesVerifiablePatterns) {
+  RandomDbSpec spec;
+  spec.num_items = 7;
+  spec.num_timestamps = 70;
+  TransactionDatabase db = MakeRandomDb(spec, 17);
+  RpParams params;
+  params.period = 3;
+  params.min_ps = 3;
+  params.min_rec = 1;
+  RpGrowthOptions options;
+  options.store_patterns = false;
+  size_t checked = 0;
+  options.sink = [&](const RecurringPattern& p) {
+    EXPECT_EQ(rpm::testing::VerifyPatternAgainstDb(db, params, p), "")
+        << p.ToString();
+    ++checked;
+  };
+  RpGrowthResult result = MineRecurringPatterns(db, params, options);
+  EXPECT_EQ(checked, result.stats.patterns_emitted);
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(RpGrowthSinkTest, SinkCountsMatchAcrossModes) {
+  for (uint64_t seed = 81; seed <= 84; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 60;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    RpParams params;
+    params.period = 2;
+    params.min_ps = 2;
+    params.min_rec = 2;
+    RpGrowthResult stored = MineRecurringPatterns(db, params);
+    RpGrowthOptions options;
+    options.store_patterns = false;
+    RpGrowthResult counted = MineRecurringPatterns(db, params, options);
+    EXPECT_EQ(counted.stats.patterns_emitted, stored.patterns.size());
+  }
+}
+
+}  // namespace
+}  // namespace rpm

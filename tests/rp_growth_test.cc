@@ -1,0 +1,185 @@
+#include "rpm/core/rp_growth.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::C;
+using ::rpm::testing::D;
+using ::rpm::testing::G;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::PaperExampleParams;
+using ::rpm::testing::PaperExamplePatterns;
+
+TEST(RpGrowthTest, ReproducesTable2Exactly) {
+  RpGrowthResult result =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams());
+  std::vector<RecurringPattern> expected = PaperExamplePatterns();
+  ASSERT_EQ(result.patterns.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.patterns[i], expected[i])
+        << "mined: " << result.patterns[i].ToString()
+        << "\nexpected: " << expected[i].ToString();
+  }
+}
+
+TEST(RpGrowthTest, Example10CNotRecurringButCdIs) {
+  RpGrowthResult result =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams());
+  bool has_c = false, has_cd = false;
+  for (const RecurringPattern& p : result.patterns) {
+    if (p.items == Itemset{C}) has_c = true;
+    if (p.items == Itemset{C, D}) has_cd = true;
+  }
+  EXPECT_FALSE(has_c);  // Anti-monotonicity violation the paper highlights.
+  EXPECT_TRUE(has_cd);
+}
+
+TEST(RpGrowthTest, PrunedItemGAppearsInNoPattern) {
+  RpGrowthResult result =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams());
+  for (const RecurringPattern& p : result.patterns) {
+    for (ItemId item : p.items) EXPECT_NE(item, G);
+  }
+}
+
+TEST(RpGrowthTest, StatsReflectRun) {
+  RpGrowthResult result =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams());
+  EXPECT_EQ(result.stats.num_items, 7u);
+  EXPECT_EQ(result.stats.num_candidate_items, 6u);
+  EXPECT_EQ(result.stats.initial_tree_nodes, 16u);  // Figure 5(b).
+  EXPECT_EQ(result.stats.patterns_emitted, 8u);
+  EXPECT_GE(result.stats.patterns_examined, 8u);
+  EXPECT_GE(result.stats.total_seconds, 0.0);
+}
+
+TEST(RpGrowthTest, SupportOnlyPruningGivesSameAnswer) {
+  RpGrowthOptions naive;
+  naive.pruning = PruningMode::kSupportOnly;
+  RpGrowthResult with_erec =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams());
+  RpGrowthResult without =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams(), naive);
+  EXPECT_TRUE(SamePatternSets(with_erec.patterns, without.patterns));
+}
+
+TEST(RpGrowthTest, MaxPatternLengthOneYieldsOnlyItems) {
+  RpGrowthOptions options;
+  options.max_pattern_length = 1;
+  RpGrowthResult result = MineRecurringPatterns(
+      PaperExampleDb(), PaperExampleParams(), options);
+  ASSERT_EQ(result.patterns.size(), 5u);  // a, b, d, e, f.
+  for (const RecurringPattern& p : result.patterns) {
+    EXPECT_EQ(p.items.size(), 1u);
+  }
+}
+
+TEST(RpGrowthTest, MaxPatternLengthTwoMatchesFullRunHere) {
+  // Table 2's longest pattern is length 2, so capping at 2 changes nothing.
+  RpGrowthOptions options;
+  options.max_pattern_length = 2;
+  RpGrowthResult capped = MineRecurringPatterns(
+      PaperExampleDb(), PaperExampleParams(), options);
+  EXPECT_TRUE(SamePatternSets(capped.patterns, PaperExamplePatterns()));
+}
+
+TEST(RpGrowthTest, EmptyDatabaseYieldsNothing) {
+  RpGrowthResult result =
+      MineRecurringPatterns(TransactionDatabase{}, PaperExampleParams());
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(RpGrowthTest, SingleTransactionMinPsOne) {
+  TransactionDatabase db = MakeDatabase({{5, {A, B}}});
+  RpParams params;
+  params.period = 1;
+  params.min_ps = 1;
+  params.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  // {a}, {b}, {ab} each have one interval [5,5] with ps=1.
+  ASSERT_EQ(result.patterns.size(), 3u);
+  for (const RecurringPattern& p : result.patterns) {
+    EXPECT_EQ(p.support, 1u);
+    ASSERT_EQ(p.intervals.size(), 1u);
+    EXPECT_EQ(p.intervals[0], (PeriodicInterval{5, 5, 1}));
+  }
+}
+
+TEST(RpGrowthTest, MinRecOneFindsCAsSingleInterval) {
+  RpParams params = PaperExampleParams();
+  params.min_rec = 1;
+  RpGrowthResult result = MineRecurringPatterns(PaperExampleDb(), params);
+  const RecurringPattern* c = nullptr;
+  for (const RecurringPattern& p : result.patterns) {
+    if (p.items == Itemset{C}) c = &p;
+  }
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->support, 7u);
+  ASSERT_EQ(c->intervals.size(), 1u);
+  EXPECT_EQ(c->intervals[0], (PeriodicInterval{2, 12, 7}));
+}
+
+TEST(RpGrowthTest, LargePeriodMergesEverything) {
+  RpParams params;
+  params.period = 100;
+  params.min_ps = 3;
+  params.min_rec = 2;
+  // With per covering the whole span, nothing can recur twice.
+  RpGrowthResult result = MineRecurringPatterns(PaperExampleDb(), params);
+  EXPECT_TRUE(result.patterns.empty());
+}
+
+TEST(RpGrowthTest, EveryEmittedPatternVerifiesAgainstDefinitions) {
+  TransactionDatabase db = PaperExampleDb();
+  RpParams params = PaperExampleParams();
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  for (const RecurringPattern& p : result.patterns) {
+    EXPECT_EQ(rpm::testing::VerifyPatternAgainstDb(db, params, p), "")
+        << p.ToString();
+  }
+}
+
+TEST(RpGrowthTest, ResultsAreInCanonicalOrder) {
+  RpGrowthResult result =
+      MineRecurringPatterns(PaperExampleDb(), PaperExampleParams());
+  for (size_t i = 1; i < result.patterns.size(); ++i) {
+    EXPECT_LT(result.patterns[i - 1].items, result.patterns[i].items);
+  }
+}
+
+TEST(RpGrowthTest, NoiseTolerantModeBridgesPlantedGap) {
+  // Item X fires every timestamp 1..6 and 9..14 with a single hole; with
+  // per=1 and one allowed violation the two runs merge.
+  std::vector<std::pair<Timestamp, Itemset>> rows;
+  for (Timestamp ts : {1, 2, 3, 4, 5, 6, 9, 10, 11, 12, 13, 14}) {
+    rows.push_back({ts, {A}});
+  }
+  TransactionDatabase db = MakeDatabase(rows);
+  RpParams strict;
+  strict.period = 1;
+  strict.min_ps = 10;
+  strict.min_rec = 1;
+  EXPECT_TRUE(MineRecurringPatterns(db, strict).patterns.empty());
+
+  RpParams tolerant = strict;
+  tolerant.max_gap_violations = 1;
+  RpGrowthResult result = MineRecurringPatterns(db, tolerant);
+  ASSERT_EQ(result.patterns.size(), 1u);
+  EXPECT_EQ(result.patterns[0].intervals.size(), 1u);
+  EXPECT_EQ(result.patterns[0].intervals[0], (PeriodicInterval{1, 14, 12}));
+}
+
+TEST(RpGrowthDeathTest, InvalidParamsAbort) {
+  RpParams bad;
+  bad.min_ps = 0;
+  EXPECT_DEATH(MineRecurringPatterns(PaperExampleDb(), bad), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm

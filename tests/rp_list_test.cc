@@ -1,0 +1,131 @@
+#include "rpm/core/rp_list.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::C;
+using ::rpm::testing::D;
+using ::rpm::testing::E;
+using ::rpm::testing::F;
+using ::rpm::testing::G;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::PaperExampleParams;
+
+const RpListEntry* FindEntry(const RpList& list, ItemId item) {
+  for (const RpListEntry& e : list.entries()) {
+    if (e.item == item) return &e;
+  }
+  return nullptr;
+}
+
+TEST(RpListTest, Figure4eSupports) {
+  RpList list = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  // Figure 4(e): a:8, b:7, c:7, d:6, e:6, f:6, g:6.
+  const uint64_t expected_support[7] = {8, 7, 7, 6, 6, 6, 6};
+  for (ItemId i = 0; i < 7; ++i) {
+    const RpListEntry* e = FindEntry(list, i);
+    ASSERT_NE(e, nullptr) << "item " << i;
+    EXPECT_EQ(e->support, expected_support[i]) << "item " << i;
+  }
+}
+
+TEST(RpListTest, Figure4eErecValues) {
+  RpList list = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  // Figure 4(e): erec a:2, b:2, c:2, d:2, e:2, f:2, g:1.
+  const uint64_t expected_erec[7] = {2, 2, 2, 2, 2, 2, 1};
+  for (ItemId i = 0; i < 7; ++i) {
+    const RpListEntry* e = FindEntry(list, i);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->erec, expected_erec[i]) << "item " << i;
+  }
+}
+
+TEST(RpListTest, Figure4fPrunesGAndSortsBySupport) {
+  RpList list = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  // g has erec=1 < minRec=2: pruned. Candidate order (support desc):
+  // a(8), b(7), c(7), d(6), e(6), f(6).
+  ASSERT_EQ(list.num_candidates(), 6u);
+  EXPECT_EQ(list.candidates()[0].item, A);
+  EXPECT_EQ(list.candidates()[1].item, B);
+  EXPECT_EQ(list.candidates()[2].item, C);
+  EXPECT_EQ(list.candidates()[3].item, D);
+  EXPECT_EQ(list.candidates()[4].item, E);
+  EXPECT_EQ(list.candidates()[5].item, F);
+  EXPECT_FALSE(list.IsCandidate(G));
+}
+
+TEST(RpListTest, RanksAreConsistent) {
+  RpList list = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  for (uint32_t rank = 0; rank < list.num_candidates(); ++rank) {
+    EXPECT_EQ(list.RankOf(list.candidates()[rank].item), rank);
+  }
+  EXPECT_EQ(list.RankOf(G), kNotCandidate);
+  EXPECT_EQ(list.RankOf(999), kNotCandidate);
+}
+
+TEST(RpListTest, ErecMatchesMeasureOnPointSequences) {
+  // The streaming per-item erec must equal ComputeErec on the item's
+  // extracted point sequence.
+  TransactionDatabase db = PaperExampleDb();
+  RpParams params = PaperExampleParams();
+  RpList list = BuildRpList(db, params);
+  for (const RpListEntry& e : list.entries()) {
+    TimestampList ts = db.TimestampsOf({e.item});
+    EXPECT_EQ(e.erec, ComputeErec(ts, params.period, params.min_ps))
+        << "item " << e.item;
+    EXPECT_EQ(e.support, ts.size());
+  }
+}
+
+TEST(RpListTest, MinRecOneKeepsEverything) {
+  RpParams params = PaperExampleParams();
+  params.min_rec = 1;
+  RpList list = BuildRpList(PaperExampleDb(), params);
+  EXPECT_EQ(list.num_candidates(), 7u);  // Even g (erec=1) survives.
+}
+
+TEST(RpListTest, HugeMinPsPrunesAll) {
+  RpParams params = PaperExampleParams();
+  params.min_ps = 100;
+  RpList list = BuildRpList(PaperExampleDb(), params);
+  EXPECT_EQ(list.num_candidates(), 0u);
+}
+
+TEST(RpListTest, EmptyDatabase) {
+  RpList list = BuildRpList(TransactionDatabase{}, PaperExampleParams());
+  EXPECT_TRUE(list.entries().empty());
+  EXPECT_EQ(list.num_candidates(), 0u);
+}
+
+TEST(RpListTest, TolerantModeUsesSupportBound) {
+  RpParams params = PaperExampleParams();
+  params.max_gap_violations = 1;
+  RpList list = BuildRpList(PaperExampleDb(), params);
+  // Bound = floor(support / minPS): g has floor(6/3) = 2 >= minRec.
+  EXPECT_TRUE(list.IsCandidate(G));
+  const RpListEntry* g = FindEntry(list, G);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->erec, 2u);
+}
+
+TEST(RpListTest, ToStringListsCandidates) {
+  RpList list = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  std::string s = list.ToString();
+  EXPECT_NE(s.find("RP-list["), std::string::npos);
+  EXPECT_NE(s.find("s=8"), std::string::npos);
+}
+
+TEST(RpListDeathTest, InvalidParamsAreABug) {
+  RpParams bad;
+  bad.period = 0;
+  EXPECT_DEATH(BuildRpList(PaperExampleDb(), bad), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm

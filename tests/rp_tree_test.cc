@@ -1,0 +1,175 @@
+#include "rpm/core/rp_tree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+using ::rpm::testing::C;
+using ::rpm::testing::D;
+using ::rpm::testing::E;
+using ::rpm::testing::F;
+
+/// Builds the paper's RP-tree (Figure 5(b)): candidate order a,b,c,d,e,f
+/// (ranks 0..5), inserting the Table 1 transactions' candidate projections.
+TsPrefixTree BuildPaperTree() {
+  TsPrefixTree tree({A, B, C, D, E, F});
+  const std::vector<std::pair<Timestamp, std::vector<uint32_t>>> rows = {
+      {1, {0, 1}},           {2, {0, 2, 3}},    {3, {0, 1, 4, 5}},
+      {4, {0, 1, 2, 3}},     {5, {2, 3, 4, 5}}, {6, {4, 5}},
+      {7, {0, 1, 2}},        {9, {2, 3}},       {10, {2, 3, 4, 5}},
+      {11, {0, 1, 4, 5}},    {12, {0, 1, 2, 3, 4, 5}},
+      {14, {0, 1}},
+  };
+  for (const auto& [ts, ranks] : rows) tree.InsertTransaction(ranks, ts);
+  return tree;
+}
+
+TEST(TsPrefixTreeTest, Figure5bNodeCount) {
+  TsPrefixTree tree = BuildPaperTree();
+  // Distinct candidate-projection prefixes of Table 1: 16 nodes.
+  EXPECT_EQ(tree.NodeCount(), 16u);
+}
+
+TEST(TsPrefixTreeTest, Lemma2SizeBound) {
+  TsPrefixTree tree = BuildPaperTree();
+  // Sum of |CI(t)| over Table 1 = 46 total occurrences - 6 of pruned 'g'.
+  EXPECT_LE(tree.NodeCount(), 40u);
+}
+
+TEST(TsPrefixTreeTest, TailTsListsMatchFigure5b) {
+  TsPrefixTree tree = BuildPaperTree();
+  // Collect (path+rank -> ts_list) for every rank.
+  std::map<std::vector<uint32_t>, TimestampList> tails;
+  for (size_t rank = 0; rank < tree.num_ranks(); ++rank) {
+    tree.ForEachNodeOfRank(
+        rank,
+        [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
+          if (ts.empty()) return;
+          std::vector<uint32_t> key = path;
+          key.push_back(static_cast<uint32_t>(rank));
+          tails[key] = ts;
+        });
+  }
+  const std::map<std::vector<uint32_t>, TimestampList> expected = {
+      {{0, 1}, {1, 14}},
+      {{0, 2, 3}, {2}},
+      {{0, 1, 4, 5}, {3, 11}},
+      {{0, 1, 2, 3}, {4}},
+      {{2, 3, 4, 5}, {5, 10}},
+      {{4, 5}, {6}},
+      {{0, 1, 2}, {7}},
+      {{2, 3}, {9}},
+      {{0, 1, 2, 3, 4, 5}, {12}},
+  };
+  EXPECT_EQ(tails, expected);
+}
+
+TEST(TsPrefixTreeTest, PrefixTreeForItemFMatchesFigure6a) {
+  TsPrefixTree tree = BuildPaperTree();
+  // Rank 5 = item 'f'. Its prefix paths and ts-lists are Figure 6(a).
+  std::map<std::vector<uint32_t>, TimestampList> collected;
+  tree.ForEachNodeOfRank(
+      5, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
+        collected[path] = ts;
+      });
+  const std::map<std::vector<uint32_t>, TimestampList> expected = {
+      {{0, 1, 4}, {3, 11}},
+      {{2, 3, 4}, {5, 10}},
+      {{4}, {6}},
+      {{0, 1, 2, 3, 4}, {12}},
+  };
+  EXPECT_EQ(collected, expected);
+}
+
+TEST(TsPrefixTreeTest, PushUpMovesListsToParents) {
+  TsPrefixTree tree = BuildPaperTree();
+  tree.PushUpAndRemove(5);
+  EXPECT_EQ(tree.HeadOfRank(5), nullptr);
+  EXPECT_EQ(tree.NodeCount(), 12u);  // Four 'f' nodes removed.
+
+  // Figure 6(c): the 'e' nodes now hold the ts-lists f carried.
+  std::multiset<TimestampList> e_lists;
+  std::multiset<TimestampList> expected = {{3, 11}, {5, 10}, {6}, {12}};
+  tree.ForEachNodeOfRank(
+      4, [&](const std::vector<uint32_t>&, const TimestampList& ts) {
+        TimestampList sorted = ts;
+        std::sort(sorted.begin(), sorted.end());
+        e_lists.insert(sorted);
+      });
+  EXPECT_EQ(e_lists, expected);
+}
+
+TEST(TsPrefixTreeTest, FullBottomUpConsumesTree) {
+  TsPrefixTree tree = BuildPaperTree();
+  for (size_t rank = tree.num_ranks(); rank-- > 0;) {
+    tree.PushUpAndRemove(rank);
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.NodeCount(), 0u);
+}
+
+TEST(TsPrefixTreeTest, CollectedTimestampsCoverEachTransactionOnce) {
+  // Property 3: each transaction's projection appears exactly once. The
+  // total of all ts-list lengths collected at each rank, bottom-up, must
+  // be the number of transactions containing that rank's item.
+  TsPrefixTree tree = BuildPaperTree();
+  const size_t expected_support[6] = {8, 7, 7, 6, 6, 6};
+  for (size_t rank = tree.num_ranks(); rank-- > 0;) {
+    size_t total = 0;
+    tree.ForEachNodeOfRank(
+        rank, [&](const std::vector<uint32_t>&, const TimestampList& ts) {
+          total += ts.size();
+        });
+    EXPECT_EQ(total, expected_support[rank]) << "rank " << rank;
+    tree.PushUpAndRemove(rank);
+  }
+}
+
+TEST(TsPrefixTreeTest, InsertPathMergesIdenticalPaths) {
+  TsPrefixTree tree({10, 20});
+  tree.InsertPath({0, 1}, {5, 7});
+  tree.InsertPath({0, 1}, {9});
+  EXPECT_EQ(tree.NodeCount(), 2u);
+  size_t calls = 0;
+  tree.ForEachNodeOfRank(
+      1, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
+        ++calls;
+        EXPECT_EQ(path, (std::vector<uint32_t>{0}));
+        EXPECT_EQ(ts, (TimestampList{5, 7, 9}));
+      });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(TsPrefixTreeTest, EmptyInsertIsNoOp) {
+  TsPrefixTree tree({10});
+  tree.InsertTransaction({}, 1);
+  tree.InsertPath({}, {1, 2});
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(TsPrefixTreeTest, ItemAtRankMapsBack) {
+  TsPrefixTree tree({42, 17, 5});
+  EXPECT_EQ(tree.num_ranks(), 3u);
+  EXPECT_EQ(tree.ItemAtRank(0), 42u);
+  EXPECT_EQ(tree.ItemAtRank(2), 5u);
+}
+
+TEST(TsPrefixTreeTest, SharedPrefixesCompress) {
+  TsPrefixTree tree({1, 2, 3});
+  tree.InsertTransaction({0, 1, 2}, 1);
+  tree.InsertTransaction({0, 1, 2}, 2);
+  tree.InsertTransaction({0, 1}, 3);
+  EXPECT_EQ(tree.NodeCount(), 3u);  // One path, shared.
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,125 @@
+#include "rpm/common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad per");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad per");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad per");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::NotFound("item x");
+  EXPECT_EQ(os.str(), "NotFound: item x");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusDegradesToUnknown) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknown);
+}
+
+Status Fails() { return Status::IOError("disk"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnNotOk(bool fail, int* reached) {
+  RPM_RETURN_NOT_OK(fail ? Fails() : Succeeds());
+  *reached = 1;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  int reached = 0;
+  EXPECT_TRUE(UseReturnNotOk(true, &reached).IsIOError());
+  EXPECT_EQ(reached, 0);
+  EXPECT_TRUE(UseReturnNotOk(false, &reached).ok());
+  EXPECT_EQ(reached, 1);
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return Status::OutOfRange("too big");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  RPM_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(true, &out).IsOutOfRange());
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+}  // namespace
+}  // namespace rpm

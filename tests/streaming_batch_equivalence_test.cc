@@ -1,0 +1,85 @@
+// Differential testing: the incremental RP-list must agree with the batch
+// Algorithm 1 on the scaled paper datasets, and its candidate sets must
+// make a subsequent RP-growth run complete (no pattern's item missing).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_growth.h"
+#include "rpm/core/rp_list.h"
+#include "rpm/core/streaming_rp_list.h"
+#include "rpm/gen/paper_datasets.h"
+
+namespace rpm {
+namespace {
+
+void ExpectStreamingMatchesBatch(const TransactionDatabase& db,
+                                 const RpParams& params) {
+  StreamingRpList streaming(params.period, params.min_ps);
+  for (const Transaction& tr : db.transactions()) {
+    ASSERT_TRUE(streaming.ObserveTransaction(tr.ts, tr.items).ok());
+  }
+  RpList batch = BuildRpList(db, params);
+  for (const RpListEntry& e : batch.entries()) {
+    EXPECT_EQ(streaming.SupportOf(e.item), e.support) << "item " << e.item;
+    EXPECT_EQ(streaming.ErecOf(e.item), e.erec) << "item " << e.item;
+  }
+  std::vector<ItemId> batch_candidates;
+  for (const RpListEntry& e : batch.candidates()) {
+    batch_candidates.push_back(e.item);
+  }
+  std::sort(batch_candidates.begin(), batch_candidates.end());
+  EXPECT_EQ(streaming.CandidateItems(params.min_rec), batch_candidates);
+}
+
+TEST(StreamingBatchEquivalenceTest, QuestMini) {
+  TransactionDatabase db = gen::MakeT10I4D100K(0.02, 3);
+  RpParams params;
+  params.period = 40;
+  params.min_ps = 5;
+  params.min_rec = 2;
+  ExpectStreamingMatchesBatch(db, params);
+}
+
+TEST(StreamingBatchEquivalenceTest, Shop14Mini) {
+  gen::GeneratedClickstream shop = gen::MakeShop14(0.03, 4);
+  RpParams params;
+  params.period = 90;
+  params.min_ps = 15;
+  params.min_rec = 1;
+  ExpectStreamingMatchesBatch(shop.db, params);
+}
+
+TEST(StreamingBatchEquivalenceTest, TwitterMini) {
+  gen::GeneratedHashtagStream tw = gen::MakeTwitter(0.02, 5);
+  RpParams params;
+  params.period = 60;
+  params.min_ps = 30;
+  params.min_rec = 1;
+  ExpectStreamingMatchesBatch(tw.db, params);
+}
+
+TEST(StreamingBatchEquivalenceTest, CandidatesCoverEveryMinedPattern) {
+  gen::GeneratedHashtagStream tw = gen::MakeTwitter(0.02, 6);
+  RpParams params;
+  params.period = 60;
+  params.min_ps = 25;
+  params.min_rec = 1;
+  StreamingRpList streaming(params.period, params.min_ps);
+  for (const Transaction& tr : tw.db.transactions()) {
+    ASSERT_TRUE(streaming.ObserveTransaction(tr.ts, tr.items).ok());
+  }
+  std::vector<ItemId> candidates = streaming.CandidateItems(params.min_rec);
+  RpGrowthResult mined = MineRecurringPatterns(tw.db, params);
+  for (const RecurringPattern& p : mined.patterns) {
+    for (ItemId item : p.items) {
+      EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                     item))
+          << "item " << item << " missing from streaming candidates";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,176 @@
+#include "rpm/core/streaming_rp_list.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_list.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::G;
+using ::rpm::testing::MakeRandomDb;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::PaperExampleParams;
+using ::rpm::testing::RandomDbSpec;
+
+StreamingRpList FeedPaperExample() {
+  StreamingRpList list(/*period=*/2, /*min_ps=*/3);
+  const TransactionDatabase db = PaperExampleDb();
+  for (const Transaction& tr : db.transactions()) {
+    EXPECT_TRUE(list.ObserveTransaction(tr.ts, tr.items).ok());
+  }
+  return list;
+}
+
+TEST(StreamingRpListTest, MatchesBatchRpListOnPaperExample) {
+  StreamingRpList streaming = FeedPaperExample();
+  RpList batch = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  for (const RpListEntry& e : batch.entries()) {
+    EXPECT_EQ(streaming.SupportOf(e.item), e.support) << "item " << e.item;
+    EXPECT_EQ(streaming.ErecOf(e.item), e.erec) << "item " << e.item;
+  }
+}
+
+TEST(StreamingRpListTest, CandidatesMatchBatch) {
+  StreamingRpList streaming = FeedPaperExample();
+  RpList batch = BuildRpList(PaperExampleDb(), PaperExampleParams());
+  std::vector<ItemId> expected;
+  for (const RpListEntry& e : batch.candidates()) expected.push_back(e.item);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(streaming.CandidateItems(2), expected);
+}
+
+TEST(StreamingRpListTest, ClosedIntervalsOfItemG) {
+  // TS^g = {1,5,6,7,12,14}: runs {1}, {5,6,7}, {12,14}. The first two are
+  // closed by later gaps; only {5,6,7} is interesting at minPS=3. The run
+  // {12,14} is still open at stream end.
+  StreamingRpList list = FeedPaperExample();
+  const auto& closed = list.ClosedIntervalsOf(G);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0], (PeriodicInterval{5, 7, 3}));
+  EXPECT_EQ(list.OpenRunOf(G), (PeriodicInterval{12, 14, 2}));
+  EXPECT_EQ(list.RecurrenceOf(G), 1u);
+}
+
+TEST(StreamingRpListTest, OpenRunCountsTowardRecurrenceWhenQualifying) {
+  StreamingRpList list(2, 2);
+  for (Timestamp ts : {1, 2, 10, 11, 12}) {
+    ASSERT_TRUE(list.Observe(0, ts).ok());
+  }
+  // Closed run {1,2} (ps 2, interesting) + open run {10,11,12} (ps 3).
+  EXPECT_EQ(list.RecurrenceOf(0), 2u);
+  EXPECT_EQ(list.ErecOf(0), 2u);
+}
+
+TEST(StreamingRpListTest, RejectsOutOfOrderEvents) {
+  StreamingRpList list(2, 2);
+  ASSERT_TRUE(list.Observe(0, 10).ok());
+  Status s = list.Observe(0, 9);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  // Equal timestamps are fine (same transaction, different items).
+  EXPECT_TRUE(list.Observe(1, 10).ok());
+}
+
+TEST(StreamingRpListTest, DuplicateItemInSameTimestampIgnored) {
+  StreamingRpList list(2, 2);
+  ASSERT_TRUE(list.Observe(0, 5).ok());
+  ASSERT_TRUE(list.Observe(0, 5).ok());
+  EXPECT_EQ(list.SupportOf(0), 1u);
+}
+
+TEST(StreamingRpListTest, UnseenItemIsZeroEverything) {
+  StreamingRpList list(2, 2);
+  EXPECT_EQ(list.SupportOf(42), 0u);
+  EXPECT_EQ(list.ErecOf(42), 0u);
+  EXPECT_EQ(list.RecurrenceOf(42), 0u);
+  EXPECT_TRUE(list.ClosedIntervalsOf(42).empty());
+  EXPECT_EQ(list.OpenRunOf(42).periodic_support, 0u);
+}
+
+TEST(StreamingRpListTest, EventCountersAdvance) {
+  StreamingRpList list = FeedPaperExample();
+  EXPECT_EQ(list.events_observed(), 46u);
+  EXPECT_EQ(list.last_timestamp(), 14);
+  EXPECT_EQ(list.ItemUniverseSize(), 7u);
+}
+
+TEST(StreamingRpListTest, MatchesBatchOnRandomStreams) {
+  for (uint64_t seed = 71; seed <= 76; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 8;
+    spec.num_timestamps = 80;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    RpParams params;
+    params.period = 3;
+    params.min_ps = 2;
+    params.min_rec = 1;
+    StreamingRpList streaming(params.period, params.min_ps);
+    for (const Transaction& tr : db.transactions()) {
+      ASSERT_TRUE(streaming.ObserveTransaction(tr.ts, tr.items).ok());
+    }
+    RpList batch = BuildRpList(db, params);
+    for (const RpListEntry& e : batch.entries()) {
+      EXPECT_EQ(streaming.SupportOf(e.item), e.support)
+          << "seed " << seed << " item " << e.item;
+      EXPECT_EQ(streaming.ErecOf(e.item), e.erec)
+          << "seed " << seed << " item " << e.item;
+    }
+  }
+}
+
+TEST(StreamingRpListTest, Figure4IntermediateStates) {
+  // Algorithm 1's trace (Figure 4(a)-(c)), checkable because the
+  // streaming list exposes state after every transaction.
+  using rpm::testing::A;
+  using rpm::testing::B;
+  using rpm::testing::C;
+  using rpm::testing::D;
+  using rpm::testing::E;
+  using rpm::testing::F;
+  StreamingRpList list(2, 3);
+  const TransactionDatabase db = PaperExampleDb();
+
+  // (a) After the first transaction {1: a,b,g}.
+  ASSERT_TRUE(list.ObserveTransaction(1, db.transaction(0).items).ok());
+  for (ItemId item : {A, B, G}) {
+    EXPECT_EQ(list.SupportOf(item), 1u);
+    EXPECT_EQ(list.OpenRunOf(item), (PeriodicInterval{1, 1, 1}));
+  }
+
+  // (b) After the second transaction {2: a,c,d}.
+  ASSERT_TRUE(list.ObserveTransaction(2, db.transaction(1).items).ok());
+  EXPECT_EQ(list.SupportOf(A), 2u);
+  EXPECT_EQ(list.OpenRunOf(A).periodic_support, 2u);
+  EXPECT_EQ(list.SupportOf(C), 1u);
+  EXPECT_EQ(list.SupportOf(D), 1u);
+
+  // (c) After the seventh transaction {7: a,b,c,g}: the text notes erec of
+  // 'a' and 'b' ticked from 0 to 1 and their run restarted.
+  for (size_t i = 2; i < 7; ++i) {
+    ASSERT_TRUE(
+        list.ObserveTransaction(db.transaction(i).ts, db.transaction(i).items)
+            .ok());
+  }
+  EXPECT_EQ(list.SupportOf(A), 5u);
+  EXPECT_EQ(list.ErecOf(A), 1u);  // Closed run {1,2,3,4} gave floor(4/3).
+  EXPECT_EQ(list.OpenRunOf(A), (PeriodicInterval{7, 7, 1}));
+  EXPECT_EQ(list.SupportOf(B), 4u);
+  EXPECT_EQ(list.ErecOf(B), 1u);  // Closed run {1,3,4}.
+  EXPECT_EQ(list.OpenRunOf(B), (PeriodicInterval{7, 7, 1}));
+  EXPECT_EQ(list.SupportOf(G), 4u);
+  EXPECT_EQ(list.OpenRunOf(G), (PeriodicInterval{5, 7, 3}));
+  EXPECT_EQ(list.SupportOf(C), 4u);
+  EXPECT_EQ(list.OpenRunOf(C), (PeriodicInterval{2, 7, 4}));
+  EXPECT_EQ(list.SupportOf(E), 3u);
+  EXPECT_EQ(list.OpenRunOf(E), (PeriodicInterval{3, 6, 3}));
+}
+
+TEST(StreamingRpListDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(StreamingRpList(0, 1), "Check failed");
+  EXPECT_DEATH(StreamingRpList(1, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,120 @@
+#include "rpm/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, AdjacentDelimitersYieldEmptyFields) {
+  auto parts = Split("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, EmptyInputIsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiter) {
+  auto parts = Split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceIsEmpty) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(ParseInt64Test, ValidValues) {
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("-42"), -42);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsJunk) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());  // Overflow.
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseUint32Test, ValidAndInvalid) {
+  EXPECT_EQ(*ParseUint32("4294967295"), 4294967295u);
+  EXPECT_FALSE(ParseUint32("4294967296").ok());
+  EXPECT_FALSE(ParseUint32("-1").ok());
+  EXPECT_FALSE(ParseUint32("").ok());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5z").ok());
+}
+
+TEST(JoinTest, JoinsStrings) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(Join(v, ", "), "a, b, c");
+}
+
+TEST(JoinTest, JoinsNumbers) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(Join(v, "-"), "1-2-3");
+}
+
+TEST(JoinTest, EmptyContainer) {
+  std::vector<std::string> v;
+  EXPECT_EQ(Join(v, ","), "");
+}
+
+TEST(FormatWithThousandsTest, GroupsDigits) {
+  EXPECT_EQ(FormatWithThousands(0), "0");
+  EXPECT_EQ(FormatWithThousands(999), "999");
+  EXPECT_EQ(FormatWithThousands(1000), "1,000");
+  EXPECT_EQ(FormatWithThousands(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithThousands(-1234567), "-1,234,567");
+  EXPECT_EQ(FormatWithThousands(100000), "100,000");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,62 @@
+#include "rpm/analysis/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rpm::analysis {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  std::ostringstream out;
+  table.Print(&out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // Numeric column right-aligned: "    1" has leading spaces.
+  EXPECT_NE(text.find("    1\n"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HeaderRuleIsPresent) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  std::ostringstream out;
+  table.Print(&out);
+  EXPECT_NE(out.str().find("-"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RuleInsertsSeparator) {
+  TablePrinter table({"x"});
+  table.AddRow({"1"});
+  table.AddRule();
+  table.AddRow({"2"});
+  std::ostringstream out;
+  table.Print(&out);
+  std::string text = out.str();
+  size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 5u);  // Header + rule + row + rule + row.
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(&out);  // Must not crash; trailing cells empty.
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, TextColumnLeftAligned) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"longtext", "1"});
+  table.AddRow({"s", "2"});
+  std::ostringstream out;
+  table.Print(&out);
+  EXPECT_NE(out.str().find("s       "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpm::analysis

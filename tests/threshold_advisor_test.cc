@@ -1,0 +1,94 @@
+#include "rpm/analysis/threshold_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/rp_growth.h"
+#include "rpm/timeseries/tdb_builder.h"
+#include "test_util.h"
+
+namespace rpm::analysis {
+namespace {
+
+using ::rpm::testing::A;
+using ::rpm::testing::B;
+
+TEST(IatStatsTest, KnownQuantiles) {
+  // IATs of {0,1,3,6,10,15,21,28,36,45,55}: 1..10.
+  TimestampList ts = {0, 1, 3, 6, 10, 15, 21, 28, 36, 45, 55};
+  IatStats stats = ComputeIatStats(ts);
+  EXPECT_EQ(stats.count, 10u);
+  EXPECT_EQ(stats.min, 1);
+  EXPECT_EQ(stats.median, 6);  // Nearest-rank at index round(0.5*9)=5.
+  EXPECT_EQ(stats.p90, 9);     // Index round(0.9*9)=8.
+  EXPECT_EQ(stats.max, 10);
+}
+
+TEST(IatStatsTest, DegenerateInputs) {
+  EXPECT_EQ(ComputeIatStats({}).count, 0u);
+  EXPECT_EQ(ComputeIatStats({7}).count, 0u);
+  IatStats pair = ComputeIatStats({3, 8});
+  EXPECT_EQ(pair.count, 1u);
+  EXPECT_EQ(pair.min, 5);
+  EXPECT_EQ(pair.max, 5);
+  EXPECT_EQ(pair.median, 5);
+}
+
+TEST(AdvisorTest, RegularItemYieldsItsGap) {
+  // Item every 10 units, 50 times: suggested per should be 10.
+  TdbBuilder builder;
+  for (Timestamp ts = 0; ts < 500; ts += 10) builder.AddEvent(A, ts);
+  TransactionDatabase db = builder.Build();
+  ThresholdAdvice advice = AdviseThresholds(db);
+  EXPECT_EQ(advice.items_considered, 1u);
+  EXPECT_EQ(advice.suggested_period, 10);
+  EXPECT_GE(advice.suggested_min_ps, 2u);
+  EXPECT_NE(advice.rationale.find("1 items"), std::string::npos);
+}
+
+TEST(AdvisorTest, MinPsScalesWithSupport) {
+  TdbBuilder builder;
+  for (Timestamp ts = 0; ts < 1000; ++ts) builder.AddEvent(A, ts);
+  TransactionDatabase db = builder.Build();
+  AdvisorOptions options;
+  options.min_ps_support_fraction = 0.10;
+  ThresholdAdvice advice = AdviseThresholds(db, options);
+  EXPECT_EQ(advice.suggested_min_ps, 100u);  // 10% of support 1000.
+}
+
+TEST(AdvisorTest, FallbackWhenNothingInformative) {
+  TdbBuilder builder;
+  builder.AddEvent(A, 0);
+  builder.AddEvent(B, 10);
+  builder.AddEvent(A, 20);
+  TransactionDatabase db = builder.Build();
+  ThresholdAdvice advice = AdviseThresholds(db);
+  EXPECT_EQ(advice.items_considered, 0u);
+  EXPECT_EQ(advice.suggested_period, 10);  // Median transaction gap.
+  EXPECT_EQ(advice.suggested_min_ps, 2u);
+  EXPECT_NE(advice.rationale.find("support floor"), std::string::npos);
+}
+
+TEST(AdvisorTest, EmptyDatabaseDefaults) {
+  ThresholdAdvice advice = AdviseThresholds(TransactionDatabase{});
+  EXPECT_EQ(advice.suggested_period, 1);
+  EXPECT_EQ(advice.suggested_min_ps, 1u);
+}
+
+TEST(AdvisorTest, AdviceIsUsableOnPaperExample) {
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  AdvisorOptions options;
+  options.min_item_support = 5;
+  ThresholdAdvice advice = AdviseThresholds(db, options);
+  ASSERT_GT(advice.items_considered, 0u);
+  // The advice must be valid params that mine without issues.
+  RpParams params;
+  params.period = advice.suggested_period;
+  params.min_ps = advice.suggested_min_ps;
+  params.min_rec = advice.suggested_min_rec;
+  ASSERT_TRUE(params.Validate().ok());
+  RpGrowthResult result = MineRecurringPatterns(db, params);
+  EXPECT_GE(result.patterns.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rpm::analysis

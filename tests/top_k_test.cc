@@ -1,0 +1,119 @@
+#include "rpm/core/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include "rpm/core/brute_force.h"
+#include "test_util.h"
+
+namespace rpm {
+namespace {
+
+using ::rpm::testing::MakeRandomDb;
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::RandomDbSpec;
+
+TEST(TopKTest, KOneReturnsAMostRecurringPattern) {
+  TransactionDatabase db = PaperExampleDb();
+  TopKResult result = MineTopKByRecurrence(db, 2, 3, 1);
+  ASSERT_EQ(result.patterns.size(), 1u);
+  // Every Table 2 pattern has recurrence 2; the top-1 must too.
+  EXPECT_EQ(result.patterns[0].recurrence(), 2u);
+}
+
+TEST(TopKTest, ReturnsKPatternsWhenAvailable) {
+  TransactionDatabase db = PaperExampleDb();
+  TopKResult result = MineTopKByRecurrence(db, 2, 3, 5);
+  EXPECT_EQ(result.patterns.size(), 5u);
+}
+
+TEST(TopKTest, FewerThanKWhenDatabaseIsSmall) {
+  TransactionDatabase db = PaperExampleDb();
+  // Only 8 recurring patterns exist even at minRec=1... actually more at
+  // minRec=1; ask for far more than can exist.
+  TopKResult result = MineTopKByRecurrence(db, 2, 3, 1000);
+  EXPECT_LT(result.patterns.size(), 1000u);
+  EXPECT_EQ(result.final_min_rec, 1u);
+}
+
+TEST(TopKTest, ResultsSortedByRecurrenceThenSupport) {
+  RandomDbSpec spec;
+  spec.num_items = 7;
+  spec.num_timestamps = 90;
+  TransactionDatabase db = MakeRandomDb(spec, 5);
+  TopKResult result = MineTopKByRecurrence(db, 2, 2, 10);
+  for (size_t i = 1; i < result.patterns.size(); ++i) {
+    const auto& prev = result.patterns[i - 1];
+    const auto& cur = result.patterns[i];
+    EXPECT_TRUE(prev.recurrence() > cur.recurrence() ||
+                (prev.recurrence() == cur.recurrence() &&
+                 prev.support >= cur.support));
+  }
+}
+
+TEST(TopKTest, AgreesWithExhaustiveSelection) {
+  // The top-k patterns must be exactly the k best from a full minRec=1
+  // mining run (under the same ordering).
+  for (uint64_t seed = 41; seed <= 44; ++seed) {
+    RandomDbSpec spec;
+    spec.num_items = 6;
+    spec.num_timestamps = 60;
+    TransactionDatabase db = MakeRandomDb(spec, seed);
+    const size_t k = 7;
+    TopKResult top = MineTopKByRecurrence(db, 3, 2, k);
+
+    RpParams params;
+    params.period = 3;
+    params.min_ps = 2;
+    params.min_rec = 1;
+    std::vector<RecurringPattern> all = MineByDefinition(db, params);
+    std::sort(all.begin(), all.end(),
+              [](const RecurringPattern& a, const RecurringPattern& b) {
+                if (a.recurrence() != b.recurrence()) {
+                  return a.recurrence() > b.recurrence();
+                }
+                if (a.support != b.support) return a.support > b.support;
+                return a.items < b.items;
+              });
+    if (all.size() > k) all.resize(k);
+    ASSERT_EQ(top.patterns.size(), all.size()) << "seed " << seed;
+    for (size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(top.patterns[i], all[i]) << "seed " << seed << " i " << i;
+    }
+  }
+}
+
+TEST(TopKTest, EmptyDatabase) {
+  TopKResult result = MineTopKByRecurrence(TransactionDatabase{}, 2, 3, 5);
+  EXPECT_TRUE(result.patterns.empty());
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(TopKTest, FloorMinRecIsRespected) {
+  TransactionDatabase db = PaperExampleDb();
+  TopKOptions options;
+  options.floor_min_rec = 2;
+  TopKResult result = MineTopKByRecurrence(db, 2, 3, 1000, options);
+  EXPECT_EQ(result.final_min_rec, 2u);
+  EXPECT_EQ(result.patterns.size(), 8u);  // The Table 2 set.
+  for (const RecurringPattern& p : result.patterns) {
+    EXPECT_GE(p.recurrence(), 2u);
+  }
+}
+
+TEST(TopKTest, MaxLengthForwarded) {
+  TransactionDatabase db = PaperExampleDb();
+  TopKOptions options;
+  options.max_pattern_length = 1;
+  TopKResult result = MineTopKByRecurrence(db, 2, 3, 20, options);
+  for (const RecurringPattern& p : result.patterns) {
+    EXPECT_EQ(p.items.size(), 1u);
+  }
+}
+
+TEST(TopKDeathTest, KZeroIsABug) {
+  EXPECT_DEATH(MineTopKByRecurrence(PaperExampleDb(), 2, 3, 0),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,72 @@
+#include "rpm/common/zipf.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace rpm {
+namespace {
+
+TEST(ZipfWeightsTest, FirstRankIsOne) {
+  std::vector<double> w = ZipfWeights(5, 1.0);
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[4], 0.2);
+}
+
+TEST(ZipfWeightsTest, ExponentZeroIsUniform) {
+  std::vector<double> w = ZipfWeights(4, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(ZipfWeightsTest, WeightsDecreaseMonotonically) {
+  std::vector<double> w = ZipfWeights(100, 1.3);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler sampler(50, 1.1);
+  double total = 0.0;
+  for (size_t r = 0; r < 50; ++r) total += sampler.ProbabilityOf(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSamplerTest, SampleFrequenciesMatchPmf) {
+  ZipfSampler sampler(10, 1.0);
+  Rng rng(77);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler.Sample(&rng)];
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kN),
+                sampler.ProbabilityOf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfSamplerTest, HeavySkewConcentratesOnHead) {
+  ZipfSampler sampler(1000, 2.0);
+  Rng rng(78);
+  int head = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) head += sampler.Sample(&rng) < 10 ? 1 : 0;
+  EXPECT_GT(head, kN * 8 / 10);
+}
+
+TEST(ZipfSamplerTest, SizeReported) {
+  ZipfSampler sampler(17, 1.0);
+  EXPECT_EQ(sampler.size(), 17u);
+}
+
+TEST(ZipfSamplerDeathTest, RejectsZeroItems) {
+  EXPECT_DEATH(ZipfWeights(0, 1.0), "Check failed");
+}
+
+TEST(ZipfSamplerDeathTest, RejectsNegativeExponent) {
+  EXPECT_DEATH(ZipfWeights(5, -0.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace rpm
