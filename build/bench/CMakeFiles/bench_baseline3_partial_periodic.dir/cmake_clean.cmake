@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline3_partial_periodic.dir/bench_baseline3_partial_periodic.cc.o"
+  "CMakeFiles/bench_baseline3_partial_periodic.dir/bench_baseline3_partial_periodic.cc.o.d"
+  "bench_baseline3_partial_periodic"
+  "bench_baseline3_partial_periodic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline3_partial_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

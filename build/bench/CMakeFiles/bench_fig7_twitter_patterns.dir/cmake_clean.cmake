@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_twitter_patterns.dir/bench_fig7_twitter_patterns.cc.o"
+  "CMakeFiles/bench_fig7_twitter_patterns.dir/bench_fig7_twitter_patterns.cc.o.d"
+  "bench_fig7_twitter_patterns"
+  "bench_fig7_twitter_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_twitter_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hashtag_frequency.dir/bench_fig8_hashtag_frequency.cc.o"
+  "CMakeFiles/bench_fig8_hashtag_frequency.dir/bench_fig8_hashtag_frequency.cc.o.d"
+  "bench_fig8_hashtag_frequency"
+  "bench_fig8_hashtag_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hashtag_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

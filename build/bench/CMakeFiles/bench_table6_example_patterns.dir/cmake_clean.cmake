@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_example_patterns.dir/bench_table6_example_patterns.cc.o"
+  "CMakeFiles/bench_table6_example_patterns.dir/bench_table6_example_patterns.cc.o.d"
+  "bench_table6_example_patterns"
+  "bench_table6_example_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_example_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

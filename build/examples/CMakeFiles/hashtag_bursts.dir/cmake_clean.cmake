@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtag_bursts.dir/hashtag_bursts.cc.o"
+  "CMakeFiles/hashtag_bursts.dir/hashtag_bursts.cc.o.d"
+  "hashtag_bursts"
+  "hashtag_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtag_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_seasonality.dir/retail_seasonality.cc.o"
+  "CMakeFiles/retail_seasonality.dir/retail_seasonality.cc.o.d"
+  "retail_seasonality"
+  "retail_seasonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_seasonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

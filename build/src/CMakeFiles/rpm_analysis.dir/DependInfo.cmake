@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/analysis/export.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/export.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/export.cc.o.d"
+  "/root/repo/src/rpm/analysis/frequency_series.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/frequency_series.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/frequency_series.cc.o.d"
+  "/root/repo/src/rpm/analysis/interval_metrics.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/interval_metrics.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/interval_metrics.cc.o.d"
+  "/root/repo/src/rpm/analysis/pattern_report.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_report.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_report.cc.o.d"
+  "/root/repo/src/rpm/analysis/pattern_set.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_set.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_set.cc.o.d"
+  "/root/repo/src/rpm/analysis/pattern_stats.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_stats.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_stats.cc.o.d"
+  "/root/repo/src/rpm/analysis/table_printer.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/table_printer.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/table_printer.cc.o.d"
+  "/root/repo/src/rpm/analysis/threshold_advisor.cc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/threshold_advisor.cc.o" "gcc" "src/CMakeFiles/rpm_analysis.dir/rpm/analysis/threshold_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/export.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/export.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/frequency_series.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/frequency_series.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/interval_metrics.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/interval_metrics.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_report.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_report.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_set.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_set.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_stats.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/pattern_stats.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/table_printer.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/table_printer.cc.o.d"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/threshold_advisor.cc.o"
+  "CMakeFiles/rpm_analysis.dir/rpm/analysis/threshold_advisor.cc.o.d"
+  "librpm_analysis.a"
+  "librpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/baselines/async_periodic.cc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/async_periodic.cc.o" "gcc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/async_periodic.cc.o.d"
+  "/root/repo/src/rpm/baselines/partial_periodic.cc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/partial_periodic.cc.o" "gcc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/partial_periodic.cc.o.d"
+  "/root/repo/src/rpm/baselines/pf_growth.cc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/pf_growth.cc.o" "gcc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/pf_growth.cc.o.d"
+  "/root/repo/src/rpm/baselines/ppattern.cc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/ppattern.cc.o" "gcc" "src/CMakeFiles/rpm_baselines.dir/rpm/baselines/ppattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rpm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

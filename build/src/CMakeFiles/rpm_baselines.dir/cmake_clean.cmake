@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/async_periodic.cc.o"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/async_periodic.cc.o.d"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/partial_periodic.cc.o"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/partial_periodic.cc.o.d"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/pf_growth.cc.o"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/pf_growth.cc.o.d"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/ppattern.cc.o"
+  "CMakeFiles/rpm_baselines.dir/rpm/baselines/ppattern.cc.o.d"
+  "librpm_baselines.a"
+  "librpm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/common/civil_time.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/civil_time.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/civil_time.cc.o.d"
+  "/root/repo/src/rpm/common/csv.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/csv.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/csv.cc.o.d"
+  "/root/repo/src/rpm/common/flags.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/flags.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/flags.cc.o.d"
+  "/root/repo/src/rpm/common/logging.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/logging.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/logging.cc.o.d"
+  "/root/repo/src/rpm/common/random.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/random.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/random.cc.o.d"
+  "/root/repo/src/rpm/common/status.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/status.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/status.cc.o.d"
+  "/root/repo/src/rpm/common/stopwatch.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/stopwatch.cc.o.d"
+  "/root/repo/src/rpm/common/string_util.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/string_util.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/string_util.cc.o.d"
+  "/root/repo/src/rpm/common/zipf.cc" "src/CMakeFiles/rpm_common.dir/rpm/common/zipf.cc.o" "gcc" "src/CMakeFiles/rpm_common.dir/rpm/common/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_common.dir/rpm/common/civil_time.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/civil_time.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/csv.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/csv.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/flags.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/flags.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/logging.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/logging.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/random.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/random.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/status.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/status.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/stopwatch.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/stopwatch.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/string_util.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/string_util.cc.o.d"
+  "CMakeFiles/rpm_common.dir/rpm/common/zipf.cc.o"
+  "CMakeFiles/rpm_common.dir/rpm/common/zipf.cc.o.d"
+  "librpm_common.a"
+  "librpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/core/brute_force.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/brute_force.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/brute_force.cc.o.d"
+  "/root/repo/src/rpm/core/measures.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/measures.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/measures.cc.o.d"
+  "/root/repo/src/rpm/core/mining_params.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/mining_params.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/mining_params.cc.o.d"
+  "/root/repo/src/rpm/core/pattern.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/pattern.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/pattern.cc.o.d"
+  "/root/repo/src/rpm/core/pattern_filters.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/pattern_filters.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/pattern_filters.cc.o.d"
+  "/root/repo/src/rpm/core/rp_growth.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/rp_growth.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/rp_growth.cc.o.d"
+  "/root/repo/src/rpm/core/rp_list.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/rp_list.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/rp_list.cc.o.d"
+  "/root/repo/src/rpm/core/rp_tree.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/rp_tree.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/rp_tree.cc.o.d"
+  "/root/repo/src/rpm/core/streaming_rp_list.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/streaming_rp_list.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/streaming_rp_list.cc.o.d"
+  "/root/repo/src/rpm/core/top_k.cc" "src/CMakeFiles/rpm_core.dir/rpm/core/top_k.cc.o" "gcc" "src/CMakeFiles/rpm_core.dir/rpm/core/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rpm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

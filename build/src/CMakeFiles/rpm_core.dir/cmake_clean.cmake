@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_core.dir/rpm/core/brute_force.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/brute_force.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/measures.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/measures.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/mining_params.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/mining_params.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/pattern.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/pattern.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/pattern_filters.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/pattern_filters.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/rp_growth.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/rp_growth.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/rp_list.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/rp_list.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/rp_tree.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/rp_tree.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/streaming_rp_list.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/streaming_rp_list.cc.o.d"
+  "CMakeFiles/rpm_core.dir/rpm/core/top_k.cc.o"
+  "CMakeFiles/rpm_core.dir/rpm/core/top_k.cc.o.d"
+  "librpm_core.a"
+  "librpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

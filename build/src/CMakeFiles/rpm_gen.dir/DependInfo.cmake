@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/gen/clickstream_generator.cc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/clickstream_generator.cc.o" "gcc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/clickstream_generator.cc.o.d"
+  "/root/repo/src/rpm/gen/hashtag_generator.cc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/hashtag_generator.cc.o" "gcc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/hashtag_generator.cc.o.d"
+  "/root/repo/src/rpm/gen/paper_datasets.cc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/paper_datasets.cc.o" "gcc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/paper_datasets.cc.o.d"
+  "/root/repo/src/rpm/gen/quest_generator.cc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/quest_generator.cc.o" "gcc" "src/CMakeFiles/rpm_gen.dir/rpm/gen/quest_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rpm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_gen.dir/rpm/gen/clickstream_generator.cc.o"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/clickstream_generator.cc.o.d"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/hashtag_generator.cc.o"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/hashtag_generator.cc.o.d"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/paper_datasets.cc.o"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/paper_datasets.cc.o.d"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/quest_generator.cc.o"
+  "CMakeFiles/rpm_gen.dir/rpm/gen/quest_generator.cc.o.d"
+  "librpm_gen.a"
+  "librpm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpm/timeseries/database_stats.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/database_stats.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/database_stats.cc.o.d"
+  "/root/repo/src/rpm/timeseries/event_sequence.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/event_sequence.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/event_sequence.cc.o.d"
+  "/root/repo/src/rpm/timeseries/io/spmf_io.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/spmf_io.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/spmf_io.cc.o.d"
+  "/root/repo/src/rpm/timeseries/io/timestamped_csv_io.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/timestamped_csv_io.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/timestamped_csv_io.cc.o.d"
+  "/root/repo/src/rpm/timeseries/item_dictionary.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/item_dictionary.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/item_dictionary.cc.o.d"
+  "/root/repo/src/rpm/timeseries/tdb_builder.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/tdb_builder.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/tdb_builder.cc.o.d"
+  "/root/repo/src/rpm/timeseries/transaction_database.cc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/transaction_database.cc.o" "gcc" "src/CMakeFiles/rpm_timeseries.dir/rpm/timeseries/transaction_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

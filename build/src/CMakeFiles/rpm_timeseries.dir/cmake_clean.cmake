@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/database_stats.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/database_stats.cc.o.d"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/event_sequence.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/event_sequence.cc.o.d"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/spmf_io.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/spmf_io.cc.o.d"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/timestamped_csv_io.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/io/timestamped_csv_io.cc.o.d"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/item_dictionary.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/item_dictionary.cc.o.d"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/tdb_builder.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/tdb_builder.cc.o.d"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/transaction_database.cc.o"
+  "CMakeFiles/rpm_timeseries.dir/rpm/timeseries/transaction_database.cc.o.d"
+  "librpm_timeseries.a"
+  "librpm_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

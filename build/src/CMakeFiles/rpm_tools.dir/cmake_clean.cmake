@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpm_tools.dir/rpm/tools/commands.cc.o"
+  "CMakeFiles/rpm_tools.dir/rpm/tools/commands.cc.o.d"
+  "librpm_tools.a"
+  "librpm_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpm_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpminer.dir/rpm/tools/rpminer_main.cc.o"
+  "CMakeFiles/rpminer.dir/rpm/tools/rpminer_main.cc.o.d"
+  "rpminer"
+  "rpminer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpminer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_periodic_test.dir/async_periodic_test.cc.o"
+  "CMakeFiles/async_periodic_test.dir/async_periodic_test.cc.o.d"
+  "CMakeFiles/async_periodic_test.dir/test_util.cc.o"
+  "CMakeFiles/async_periodic_test.dir/test_util.cc.o.d"
+  "async_periodic_test"
+  "async_periodic_test.pdb"
+  "async_periodic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_periodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/civil_time_test.dir/civil_time_test.cc.o"
+  "CMakeFiles/civil_time_test.dir/civil_time_test.cc.o.d"
+  "CMakeFiles/civil_time_test.dir/test_util.cc.o"
+  "CMakeFiles/civil_time_test.dir/test_util.cc.o.d"
+  "civil_time_test"
+  "civil_time_test.pdb"
+  "civil_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/civil_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_generator_test.dir/clickstream_generator_test.cc.o"
+  "CMakeFiles/clickstream_generator_test.dir/clickstream_generator_test.cc.o.d"
+  "CMakeFiles/clickstream_generator_test.dir/test_util.cc.o"
+  "CMakeFiles/clickstream_generator_test.dir/test_util.cc.o.d"
+  "clickstream_generator_test"
+  "clickstream_generator_test.pdb"
+  "clickstream_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_stats_test.dir/database_stats_test.cc.o"
+  "CMakeFiles/database_stats_test.dir/database_stats_test.cc.o.d"
+  "CMakeFiles/database_stats_test.dir/test_util.cc.o"
+  "CMakeFiles/database_stats_test.dir/test_util.cc.o.d"
+  "database_stats_test"
+  "database_stats_test.pdb"
+  "database_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_sequence_test.dir/event_sequence_test.cc.o"
+  "CMakeFiles/event_sequence_test.dir/event_sequence_test.cc.o.d"
+  "CMakeFiles/event_sequence_test.dir/test_util.cc.o"
+  "CMakeFiles/event_sequence_test.dir/test_util.cc.o.d"
+  "event_sequence_test"
+  "event_sequence_test.pdb"
+  "event_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

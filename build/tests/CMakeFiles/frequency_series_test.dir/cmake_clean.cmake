@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_series_test.dir/frequency_series_test.cc.o"
+  "CMakeFiles/frequency_series_test.dir/frequency_series_test.cc.o.d"
+  "CMakeFiles/frequency_series_test.dir/test_util.cc.o"
+  "CMakeFiles/frequency_series_test.dir/test_util.cc.o.d"
+  "frequency_series_test"
+  "frequency_series_test.pdb"
+  "frequency_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashtag_generator_test.dir/hashtag_generator_test.cc.o"
+  "CMakeFiles/hashtag_generator_test.dir/hashtag_generator_test.cc.o.d"
+  "CMakeFiles/hashtag_generator_test.dir/test_util.cc.o"
+  "CMakeFiles/hashtag_generator_test.dir/test_util.cc.o.d"
+  "hashtag_generator_test"
+  "hashtag_generator_test.pdb"
+  "hashtag_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashtag_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_metrics_test.dir/interval_metrics_test.cc.o"
+  "CMakeFiles/interval_metrics_test.dir/interval_metrics_test.cc.o.d"
+  "CMakeFiles/interval_metrics_test.dir/test_util.cc.o"
+  "CMakeFiles/interval_metrics_test.dir/test_util.cc.o.d"
+  "interval_metrics_test"
+  "interval_metrics_test.pdb"
+  "interval_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_params_test.dir/mining_params_test.cc.o"
+  "CMakeFiles/mining_params_test.dir/mining_params_test.cc.o.d"
+  "CMakeFiles/mining_params_test.dir/test_util.cc.o"
+  "CMakeFiles/mining_params_test.dir/test_util.cc.o.d"
+  "mining_params_test"
+  "mining_params_test.pdb"
+  "mining_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_datasets_test.dir/paper_datasets_test.cc.o"
+  "CMakeFiles/paper_datasets_test.dir/paper_datasets_test.cc.o.d"
+  "CMakeFiles/paper_datasets_test.dir/test_util.cc.o"
+  "CMakeFiles/paper_datasets_test.dir/test_util.cc.o.d"
+  "paper_datasets_test"
+  "paper_datasets_test.pdb"
+  "paper_datasets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

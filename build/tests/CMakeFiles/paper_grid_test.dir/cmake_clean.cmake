@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_grid_test.dir/paper_grid_test.cc.o"
+  "CMakeFiles/paper_grid_test.dir/paper_grid_test.cc.o.d"
+  "CMakeFiles/paper_grid_test.dir/test_util.cc.o"
+  "CMakeFiles/paper_grid_test.dir/test_util.cc.o.d"
+  "paper_grid_test"
+  "paper_grid_test.pdb"
+  "paper_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_periodic_test.dir/partial_periodic_test.cc.o"
+  "CMakeFiles/partial_periodic_test.dir/partial_periodic_test.cc.o.d"
+  "CMakeFiles/partial_periodic_test.dir/test_util.cc.o"
+  "CMakeFiles/partial_periodic_test.dir/test_util.cc.o.d"
+  "partial_periodic_test"
+  "partial_periodic_test.pdb"
+  "partial_periodic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_periodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

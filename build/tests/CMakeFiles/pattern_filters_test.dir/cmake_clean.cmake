@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_filters_test.dir/pattern_filters_test.cc.o"
+  "CMakeFiles/pattern_filters_test.dir/pattern_filters_test.cc.o.d"
+  "CMakeFiles/pattern_filters_test.dir/test_util.cc.o"
+  "CMakeFiles/pattern_filters_test.dir/test_util.cc.o.d"
+  "pattern_filters_test"
+  "pattern_filters_test.pdb"
+  "pattern_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

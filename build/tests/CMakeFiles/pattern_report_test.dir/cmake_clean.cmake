@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_report_test.dir/pattern_report_test.cc.o"
+  "CMakeFiles/pattern_report_test.dir/pattern_report_test.cc.o.d"
+  "CMakeFiles/pattern_report_test.dir/test_util.cc.o"
+  "CMakeFiles/pattern_report_test.dir/test_util.cc.o.d"
+  "pattern_report_test"
+  "pattern_report_test.pdb"
+  "pattern_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

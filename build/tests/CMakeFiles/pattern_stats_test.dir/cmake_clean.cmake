@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_stats_test.dir/pattern_stats_test.cc.o"
+  "CMakeFiles/pattern_stats_test.dir/pattern_stats_test.cc.o.d"
+  "CMakeFiles/pattern_stats_test.dir/test_util.cc.o"
+  "CMakeFiles/pattern_stats_test.dir/test_util.cc.o.d"
+  "pattern_stats_test"
+  "pattern_stats_test.pdb"
+  "pattern_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

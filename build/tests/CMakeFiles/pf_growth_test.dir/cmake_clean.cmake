@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pf_growth_test.dir/pf_growth_test.cc.o"
+  "CMakeFiles/pf_growth_test.dir/pf_growth_test.cc.o.d"
+  "CMakeFiles/pf_growth_test.dir/test_util.cc.o"
+  "CMakeFiles/pf_growth_test.dir/test_util.cc.o.d"
+  "pf_growth_test"
+  "pf_growth_test.pdb"
+  "pf_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pf_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

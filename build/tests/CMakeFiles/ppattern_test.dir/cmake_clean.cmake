@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppattern_test.dir/ppattern_test.cc.o"
+  "CMakeFiles/ppattern_test.dir/ppattern_test.cc.o.d"
+  "CMakeFiles/ppattern_test.dir/test_util.cc.o"
+  "CMakeFiles/ppattern_test.dir/test_util.cc.o.d"
+  "ppattern_test"
+  "ppattern_test.pdb"
+  "ppattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

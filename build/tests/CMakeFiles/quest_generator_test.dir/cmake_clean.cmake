@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quest_generator_test.dir/quest_generator_test.cc.o"
+  "CMakeFiles/quest_generator_test.dir/quest_generator_test.cc.o.d"
+  "CMakeFiles/quest_generator_test.dir/test_util.cc.o"
+  "CMakeFiles/quest_generator_test.dir/test_util.cc.o.d"
+  "quest_generator_test"
+  "quest_generator_test.pdb"
+  "quest_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quest_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

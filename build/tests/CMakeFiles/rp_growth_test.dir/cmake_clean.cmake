@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_growth_test.dir/rp_growth_test.cc.o"
+  "CMakeFiles/rp_growth_test.dir/rp_growth_test.cc.o.d"
+  "CMakeFiles/rp_growth_test.dir/test_util.cc.o"
+  "CMakeFiles/rp_growth_test.dir/test_util.cc.o.d"
+  "rp_growth_test"
+  "rp_growth_test.pdb"
+  "rp_growth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_growth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_list_test.dir/rp_list_test.cc.o"
+  "CMakeFiles/rp_list_test.dir/rp_list_test.cc.o.d"
+  "CMakeFiles/rp_list_test.dir/test_util.cc.o"
+  "CMakeFiles/rp_list_test.dir/test_util.cc.o.d"
+  "rp_list_test"
+  "rp_list_test.pdb"
+  "rp_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

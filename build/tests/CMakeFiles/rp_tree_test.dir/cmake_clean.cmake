@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_tree_test.dir/rp_tree_test.cc.o"
+  "CMakeFiles/rp_tree_test.dir/rp_tree_test.cc.o.d"
+  "CMakeFiles/rp_tree_test.dir/test_util.cc.o"
+  "CMakeFiles/rp_tree_test.dir/test_util.cc.o.d"
+  "rp_tree_test"
+  "rp_tree_test.pdb"
+  "rp_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_batch_equivalence_test.dir/streaming_batch_equivalence_test.cc.o"
+  "CMakeFiles/streaming_batch_equivalence_test.dir/streaming_batch_equivalence_test.cc.o.d"
+  "CMakeFiles/streaming_batch_equivalence_test.dir/test_util.cc.o"
+  "CMakeFiles/streaming_batch_equivalence_test.dir/test_util.cc.o.d"
+  "streaming_batch_equivalence_test"
+  "streaming_batch_equivalence_test.pdb"
+  "streaming_batch_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_batch_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

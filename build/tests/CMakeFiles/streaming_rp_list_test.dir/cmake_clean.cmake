@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_rp_list_test.dir/streaming_rp_list_test.cc.o"
+  "CMakeFiles/streaming_rp_list_test.dir/streaming_rp_list_test.cc.o.d"
+  "CMakeFiles/streaming_rp_list_test.dir/test_util.cc.o"
+  "CMakeFiles/streaming_rp_list_test.dir/test_util.cc.o.d"
+  "streaming_rp_list_test"
+  "streaming_rp_list_test.pdb"
+  "streaming_rp_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_rp_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

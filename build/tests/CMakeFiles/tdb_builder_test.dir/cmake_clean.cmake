@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_builder_test.dir/tdb_builder_test.cc.o"
+  "CMakeFiles/tdb_builder_test.dir/tdb_builder_test.cc.o.d"
+  "CMakeFiles/tdb_builder_test.dir/test_util.cc.o"
+  "CMakeFiles/tdb_builder_test.dir/test_util.cc.o.d"
+  "tdb_builder_test"
+  "tdb_builder_test.pdb"
+  "tdb_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

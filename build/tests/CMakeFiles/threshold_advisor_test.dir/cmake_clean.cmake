@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_advisor_test.dir/test_util.cc.o"
+  "CMakeFiles/threshold_advisor_test.dir/test_util.cc.o.d"
+  "CMakeFiles/threshold_advisor_test.dir/threshold_advisor_test.cc.o"
+  "CMakeFiles/threshold_advisor_test.dir/threshold_advisor_test.cc.o.d"
+  "threshold_advisor_test"
+  "threshold_advisor_test.pdb"
+  "threshold_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_database_test.dir/test_util.cc.o"
+  "CMakeFiles/transaction_database_test.dir/test_util.cc.o.d"
+  "CMakeFiles/transaction_database_test.dir/transaction_database_test.cc.o"
+  "CMakeFiles/transaction_database_test.dir/transaction_database_test.cc.o.d"
+  "transaction_database_test"
+  "transaction_database_test.pdb"
+  "transaction_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
