@@ -9,11 +9,16 @@
 #ifndef RPM_BENCH_BENCH_UTIL_H_
 #define RPM_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "rpm/common/string_util.h"
 #include "rpm/gen/paper_datasets.h"
 #include "rpm/timeseries/database_stats.h"
 
@@ -73,6 +78,120 @@ inline std::string FracLabel(double frac) {
     std::snprintf(buf, sizeof(buf), "%.0f%%", frac * 100.0);
   }
   return buf;
+}
+
+// --- Machine-readable reports ------------------------------------------
+//
+// Benches historically emit console tables only (snapshotted as
+// bench_runs/*.txt); JsonRecords adds a structured twin (BENCH_*.json)
+// that scripts can diff across runs without scraping the tables.
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Flat array-of-records JSON document builder for bench reports:
+/// {"bench": <name>, "scale": <s>, "records": [{...}, ...]}.
+/// Values are rendered on Add, so records may mix field sets freely
+/// (they shouldn't — keep them uniform for easy loading).
+class JsonRecords {
+ public:
+  JsonRecords(std::string bench, double scale)
+      : bench_(std::move(bench)), scale_(scale) {}
+
+  void BeginRecord() { records_.emplace_back(); }
+  void Add(const std::string& key, const std::string& value) {
+    // Built with += (not chained operator+) to dodge GCC 12's spurious
+    // -Werror=restrict on literal + std::string&& (PR 105651).
+    std::string rendered = "\"";
+    rendered += JsonEscape(value);
+    rendered += '"';
+    AddRaw(key, std::move(rendered));
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, double value) {
+    AddRaw(key, rpm::FormatDouble(value, 6));
+  }
+  /// Any integer type (kept as one template so size_t / uint64_t /
+  /// Timestamp never collide as overloads across platforms).
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  void Add(const std::string& key, Int value) {
+    AddRaw(key, std::to_string(value));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"";
+    out += JsonEscape(bench_);
+    out += "\",\n  \"scale\": ";
+    out += rpm::FormatDouble(scale_, 4);
+    out += ",\n  \"records\": [\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out += "    {";
+      for (size_t f = 0; f < records_[r].size(); ++f) {
+        if (f > 0) out += ", ";
+        out += '"';
+        out += JsonEscape(records_[r][f].first);
+        out += "\": ";
+        out += records_[r][f].second;
+      }
+      out += r + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes the document; returns false (and prints to stderr) on failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson();
+    std::fprintf(stdout, "wrote %s (%zu records)\n", path.c_str(),
+                 records_.size());
+    return true;
+  }
+
+ private:
+  void AddRaw(const std::string& key, std::string rendered) {
+    records_.back().emplace_back(key, std::move(rendered));
+  }
+
+  std::string bench_;
+  double scale_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
+/// Output path for a bench's JSON twin: $RPM_BENCH_JSON_DIR/<name> when
+/// the env var is set (e.g. bench_runs/), else <name> in the cwd.
+inline std::string JsonReportPath(const std::string& name) {
+  const char* dir = std::getenv("RPM_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return name;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + name;
 }
 
 }  // namespace rpmbench

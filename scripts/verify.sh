@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the parallel miner.
+#
+#   scripts/verify.sh          # full: build, ctest, TSan parallel test
+#   scripts/verify.sh --fast   # skip the TSan build
+#
+# The TSan stage uses a separate build tree (build-tsan/) configured with
+# -DRPM_SANITIZE=thread so instrumented objects never mix with the
+# release build, and runs only the parallel-miner test there (the rest of
+# the suite is single-threaded and already covered by stage 1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "== stage 1: release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "verify: OK (TSan stage skipped)"
+  exit 0
+fi
+
+echo "== stage 2: ThreadSanitizer on the parallel miner =="
+cmake -B build-tsan -S . -DRPM_SANITIZE=thread \
+      -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test
+./build-tsan/tests/rp_growth_parallel_test
+
+echo "verify: OK"

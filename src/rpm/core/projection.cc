@@ -1,0 +1,30 @@
+#include "rpm/core/projection.h"
+
+#include <algorithm>
+
+namespace rpm {
+
+std::vector<SuffixProjection> ProjectSuffixItems(TsPrefixTree* tree) {
+  std::vector<SuffixProjection> projections;
+  for (size_t rank = tree->num_ranks(); rank-- > 0;) {
+    if (tree->HeadOfRank(rank) == nullptr) continue;
+    SuffixProjection projection;
+    projection.rank = static_cast<uint32_t>(rank);
+    // Same collection the sequential miner performs for this rank
+    // (rp_growth.cc), but into owned storage.
+    tree->ForEachNodeOfRank(
+        rank, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
+          if (ts.empty() && path.empty()) return;
+          projection.paths.push_back({path, ts});
+          projection.ts_beta.insert(projection.ts_beta.end(), ts.begin(),
+                                    ts.end());
+        });
+    tree->PushUpAndRemove(rank);
+    if (projection.ts_beta.empty()) continue;
+    std::sort(projection.ts_beta.begin(), projection.ts_beta.end());
+    projections.push_back(std::move(projection));
+  }
+  return projections;
+}
+
+}  // namespace rpm

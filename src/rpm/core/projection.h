@@ -1,0 +1,54 @@
+// Suffix-item projections: the unit of parallelism of RP-growth.
+//
+// After the RP-tree is built, the mining work for each candidate suffix
+// item ai is fully determined by ai's conditional pattern base — the
+// prefix paths of ai's nodes together with the accumulated ts-lists of
+// their subtrees (what sequential mining materializes incrementally via
+// ts-list push-up, Lemma 3). ProjectSuffixItems runs one bottom-up
+// collect-and-push-up sweep over the tree and snapshots each rank's base
+// into a self-contained SuffixProjection. Projections share no storage
+// with the tree or each other, so they can be mined on worker threads
+// with no synchronization; mining each projection with the standard
+// push-up recursion yields exactly the patterns the sequential miner
+// finds for that suffix item.
+
+#ifndef RPM_CORE_PROJECTION_H_
+#define RPM_CORE_PROJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rpm/core/rp_tree.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// One element of a conditional pattern base, with owned storage.
+struct ProjectedPath {
+  /// Ancestor ranks in the parent tree's order, ascending (root side
+  /// first), excluding the suffix rank itself.
+  std::vector<uint32_t> ranks;
+  /// Accumulated ts-list of the node's subtree. Unsorted.
+  TimestampList ts;
+};
+
+/// The independent mining subproblem of one suffix item.
+struct SuffixProjection {
+  /// Rank of the suffix item in the parent tree's order.
+  uint32_t rank = 0;
+  /// Conditional pattern base of the suffix item.
+  std::vector<ProjectedPath> paths;
+  /// TS^{item}: sorted union of all path ts-lists.
+  TimestampList ts_beta;
+};
+
+/// Decomposes `tree` into one projection per suffix rank that has nodes,
+/// in bottom-up (descending-rank) order — the sequential processing order.
+/// Consumes the tree exactly like sequential mining does (ts-lists pushed
+/// up, nodes detached); only the tree's rank->item mapping remains usable
+/// afterwards.
+std::vector<SuffixProjection> ProjectSuffixItems(TsPrefixTree* tree);
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_PROJECTION_H_

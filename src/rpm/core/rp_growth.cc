@@ -1,11 +1,16 @@
 #include "rpm/core/rp_growth.h"
 
 #include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <utility>
 
 #include "rpm/common/logging.h"
 #include "rpm/common/stopwatch.h"
 #include "rpm/core/measures.h"
+#include "rpm/core/projection.h"
 #include "rpm/core/rp_tree.h"
+#include "rpm/core/thread_pool.h"
 
 namespace rpm {
 namespace {
@@ -13,7 +18,7 @@ namespace {
 /// One (prefix path, ts-list) element of a conditional pattern base.
 struct PathRef {
   std::vector<uint32_t> ranks;  // Ancestor ranks, ascending.
-  const TimestampList* ts;      // Owned by the tree; valid until push-up.
+  const TimestampList* ts;      // Owned by the tree or a projection.
 };
 
 class Miner {
@@ -32,6 +37,21 @@ class Miner {
         tree->PushUpAndRemove(rank);
       }
     }
+  }
+
+  /// Mines one top-level projection: the independent subproblem of a
+  /// single suffix item, pre-collected by ProjectSuffixItems. Consumes the
+  /// projection's path ranks (moved into local PathRefs).
+  void MineProjection(const std::vector<ItemId>& items_by_rank,
+                      SuffixProjection* projection) {
+    std::vector<PathRef> paths;
+    paths.reserve(projection->paths.size());
+    for (ProjectedPath& p : projection->paths) {
+      paths.push_back({std::move(p.ranks), &p.ts});
+    }
+    Itemset suffix;
+    MineCollected(items_by_rank, paths, projection->ts_beta,
+                  items_by_rank[projection->rank], &suffix);
   }
 
  private:
@@ -58,11 +78,22 @@ class Miner {
         });
     if (ts_beta.empty()) return;
     std::sort(ts_beta.begin(), ts_beta.end());
+    MineCollected(tree->items_by_rank(), paths, ts_beta,
+                  tree->ItemAtRank(rank), suffix);
+  }
 
+  /// Common tail of ProcessRank / MineProjection: the gate, getRecurrence
+  /// (Algorithm 5) and the conditional recursion for suffix item `item`,
+  /// given its conditional pattern base `paths` (rank space
+  /// `items_by_rank`) and sorted, nonempty TS^beta.
+  void MineCollected(const std::vector<ItemId>& items_by_rank,
+                     const std::vector<PathRef>& paths,
+                     const TimestampList& ts_beta, ItemId item,
+                     Itemset* suffix) {
     ++result_->stats.patterns_examined;
     if (!PassesGate(ts_beta)) return;
 
-    suffix->push_back(tree->ItemAtRank(rank));
+    suffix->push_back(item);
 
     // getRecurrence (Algorithm 5): is beta itself recurring?
     std::vector<PeriodicInterval> intervals =
@@ -82,14 +113,14 @@ class Miner {
 
     const bool depth_ok = options_.max_pattern_length == 0 ||
                           suffix->size() < options_.max_pattern_length;
-    if (depth_ok) BuildConditionalAndRecurse(tree, paths, suffix);
+    if (depth_ok) BuildConditionalAndRecurse(items_by_rank, paths, suffix);
     suffix->pop_back();
   }
 
-  void BuildConditionalAndRecurse(TsPrefixTree* tree,
+  void BuildConditionalAndRecurse(const std::vector<ItemId>& items_by_rank,
                                   const std::vector<PathRef>& paths,
                                   Itemset* suffix) {
-    const size_t nranks = tree->num_ranks();
+    const size_t nranks = items_by_rank.size();
 
     // Map every node's ts-list onto all items of its path ("temporary
     // array, one for each item" in Sec. 4.2.3): acc[r] becomes
@@ -118,13 +149,13 @@ class Miner {
                                             : a < b;
     });
     std::vector<uint32_t> new_rank_of(nranks, kNotCandidate);
-    std::vector<ItemId> items_by_rank(kept.size());
+    std::vector<ItemId> cond_items_by_rank(kept.size());
     for (uint32_t nr = 0; nr < kept.size(); ++nr) {
       new_rank_of[kept[nr]] = nr;
-      items_by_rank[nr] = tree->ItemAtRank(kept[nr]);
+      cond_items_by_rank[nr] = items_by_rank[kept[nr]];
     }
 
-    TsPrefixTree cond(std::move(items_by_rank));
+    TsPrefixTree cond(std::move(cond_items_by_rank));
     std::vector<uint32_t> mapped;
     for (const PathRef& pr : paths) {
       mapped.clear();
@@ -143,6 +174,63 @@ class Miner {
   const RpGrowthOptions& options_;
   RpGrowthResult* result_;
 };
+
+/// Parallel mining phase: decompose the tree into per-suffix-item
+/// projections and mine them on `threads` workers with thread-local
+/// results, then merge. Counters sum to exactly the sequential values
+/// because every subproblem is counted once, on whichever worker runs it.
+void MineParallel(TsPrefixTree* tree, const RpParams& params,
+                  const RpGrowthOptions& options, size_t threads,
+                  RpGrowthResult* result) {
+  std::vector<SuffixProjection> projections = ProjectSuffixItems(tree);
+
+  // Heaviest projections first (LPT scheduling): with dynamic work
+  // pulling this bounds the makespan tail by the single largest
+  // subproblem. |TS^beta| is the cost proxy; ties keep bottom-up order,
+  // so the schedule is deterministic.
+  std::vector<size_t> order(projections.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return projections[a].ts_beta.size() > projections[b].ts_beta.size();
+  });
+
+  // Workers share one serialized sink; discovery order across workers is
+  // nondeterministic, but calls never overlap.
+  RpGrowthOptions worker_options = options;
+  std::mutex sink_mutex;
+  if (options.sink) {
+    worker_options.sink = [&](const RecurringPattern& pattern) {
+      std::lock_guard<std::mutex> lock(sink_mutex);
+      options.sink(pattern);
+    };
+  }
+
+  const size_t workers = std::min(threads, projections.size());
+  std::vector<RpGrowthResult> locals(std::max<size_t>(workers, 1));
+  std::vector<double> busy_seconds(locals.size(), 0.0);
+  const std::vector<ItemId>& items_by_rank = tree->items_by_rank();
+  ParallelFor(projections.size(), workers, [&](size_t worker, size_t i) {
+    Stopwatch stopwatch;
+    SuffixProjection& projection = projections[order[i]];
+    Miner miner(params, worker_options, &locals[worker]);
+    miner.MineProjection(items_by_rank, &projection);
+    projection = SuffixProjection();  // Release the snapshot eagerly.
+    busy_seconds[worker] += stopwatch.ElapsedSeconds();
+  });
+
+  for (size_t w = 0; w < locals.size(); ++w) {
+    RpGrowthStats& partial = locals[w].stats;
+    result->stats.conditional_trees += partial.conditional_trees;
+    result->stats.patterns_examined += partial.patterns_examined;
+    result->stats.patterns_emitted += partial.patterns_emitted;
+    result->stats.mine_cpu_seconds += busy_seconds[w];
+    result->patterns.insert(
+        result->patterns.end(),
+        std::make_move_iterator(locals[w].patterns.begin()),
+        std::make_move_iterator(locals[w].patterns.end()));
+  }
+  result->stats.threads_used = std::max<size_t>(workers, 1);
+}
 
 }  // namespace
 
@@ -201,12 +289,21 @@ RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
   result.stats.initial_tree_nodes = tree.NodeCount();
   result.stats.tree_seconds = phase.ElapsedSeconds();
 
-  // Bottom-up mining (Algorithm 4).
+  // Bottom-up mining (Algorithm 4): sequentially on this thread, or over
+  // per-suffix-item projections on a worker pool.
   phase.Restart();
-  Itemset suffix;
-  Miner miner(params, options, &result);
-  miner.MineTree(&tree, &suffix);
-  result.stats.mine_seconds = phase.ElapsedSeconds();
+  const size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads <= 1) {
+    Itemset suffix;
+    Miner miner(params, options, &result);
+    miner.MineTree(&tree, &suffix);
+    result.stats.mine_seconds = phase.ElapsedSeconds();
+    result.stats.mine_cpu_seconds = result.stats.mine_seconds;
+    result.stats.threads_used = 1;
+  } else {
+    MineParallel(&tree, params, options, threads, &result);
+    result.stats.mine_seconds = phase.ElapsedSeconds();
+  }
 
   SortPatternsCanonically(&result.patterns);
   result.stats.total_seconds = total.ElapsedSeconds();

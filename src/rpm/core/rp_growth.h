@@ -50,6 +50,15 @@ struct RpGrowthOptions {
   /// thresholds can produce 10^4-10^5 patterns (Table 5); combined with a
   /// sink this caps memory at O(tree).
   bool store_patterns = true;
+  /// Mining-phase worker threads: 1 = the sequential reference path,
+  /// 0 = one per hardware thread, N = exactly N. The RP-list and initial
+  /// RP-tree are always built sequentially; with N > 1 each suffix item's
+  /// conditional database is projected out of the tree and the projections
+  /// are mined concurrently. The pattern set, its canonical order and all
+  /// stats counters are identical for every value. `sink` callbacks are
+  /// serialized (never concurrent), but their *order* is only
+  /// deterministic at num_threads == 1.
+  size_t num_threads = 1;
 };
 
 /// Instrumentation for the performance study and the pruning ablation.
@@ -60,9 +69,18 @@ struct RpGrowthStats {
   size_t conditional_trees = 0;     ///< Trees built during mining.
   size_t patterns_examined = 0;     ///< Suffix growths whose gate was run.
   size_t patterns_emitted = 0;      ///< Recurring patterns found.
-  double list_seconds = 0.0;
-  double tree_seconds = 0.0;
+  size_t threads_used = 1;          ///< Mining-phase worker count.
+  double list_seconds = 0.0;        ///< Wall clock of the RP-list scan.
+  double tree_seconds = 0.0;        ///< Wall clock of RP-tree construction.
+  /// Wall clock of the mining phase (projection + workers when parallel).
   double mine_seconds = 0.0;
+  /// Mining time summed across workers. Equals mine_seconds on one
+  /// thread; exceeds it under parallelism (the ratio is the effective
+  /// mining-phase speedup).
+  double mine_cpu_seconds = 0.0;
+  /// End-to-end wall clock, measured on its own stopwatch — NOT the sum
+  /// of the phase timers, so parallel speedup stays visible even if
+  /// phases ever overlap.
   double total_seconds = 0.0;
 };
 

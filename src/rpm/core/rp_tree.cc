@@ -10,20 +10,19 @@ TsPrefixTree::TsPrefixTree(std::vector<ItemId> items_by_rank)
     : items_by_rank_(std::move(items_by_rank)),
       heads_(items_by_rank_.size(), nullptr),
       chain_tails_(items_by_rank_.size(), nullptr) {
-  arena_.emplace_back();  // Root ("null" label in Algorithm 2).
-  root_ = &arena_.front();
+  root_ = arena_.Create();  // Root ("null" label in Algorithm 2).
 }
 
 TsPrefixTree::Node* TsPrefixTree::GetOrCreateChild(Node* parent,
                                                    uint32_t rank) {
-  for (Node* c : parent->children) {
+  for (Node* c = parent->first_child; c != nullptr; c = c->next_sibling) {
     if (c->rank == rank) return c;
   }
-  arena_.emplace_back();
-  Node* node = &arena_.back();
+  Node* node = arena_.Create();
   node->rank = rank;
   node->parent = parent;
-  parent->children.push_back(node);
+  node->next_sibling = parent->first_child;
+  parent->first_child = node;
   // Append to the node-link chain for this rank.
   if (chain_tails_[rank] == nullptr) {
     heads_[rank] = node;
@@ -59,7 +58,7 @@ void TsPrefixTree::InsertPath(const std::vector<uint32_t>& ranks,
 
 void TsPrefixTree::PushUpAndRemove(size_t rank) {
   for (Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
-    RPM_DCHECK(n->children.empty())
+    RPM_DCHECK(n->first_child == nullptr)
         << "rank " << rank << " removed before deeper ranks";
     Node* parent = n->parent;
     if (parent != root_) {
@@ -72,10 +71,14 @@ void TsPrefixTree::PushUpAndRemove(size_t rank) {
     }
     n->ts_list.clear();
     n->ts_list.shrink_to_fit();
-    auto it = std::find(parent->children.begin(), parent->children.end(), n);
-    RPM_DCHECK(it != parent->children.end());
-    *it = parent->children.back();
-    parent->children.pop_back();
+    // Unlink from the parent's sibling list (the node itself stays in the
+    // arena until the tree dies).
+    Node** slot = &parent->first_child;
+    while (*slot != n) {
+      RPM_DCHECK(*slot != nullptr);
+      slot = &(*slot)->next_sibling;
+    }
+    *slot = n->next_sibling;
     --live_nodes_;
   }
   heads_[rank] = nullptr;

@@ -16,22 +16,26 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "rpm/core/arena.h"
 #include "rpm/timeseries/types.h"
 
 namespace rpm {
 
 /// Prefix tree keyed by item *rank* (0 = first item of the tree's order).
-/// Owns its nodes; not copyable (mining mutates it in place).
+/// Owns its nodes via an arena (bump-allocated, bulk-freed with the tree);
+/// not copyable (mining mutates it in place).
 class TsPrefixTree {
  public:
   struct Node {
     uint32_t rank = 0;
     Node* parent = nullptr;
     Node* next_link = nullptr;  // Chain of nodes with the same rank.
-    std::vector<Node*> children;
+    /// Children as an intrusive singly-linked sibling list (no per-node
+    /// child vector to allocate).
+    Node* first_child = nullptr;
+    Node* next_sibling = nullptr;
     /// Timestamps of transactions whose deepest item is this node
     /// (plus any lists pushed up from removed descendants). May be
     /// unsorted after push-up; consumers sort on collection.
@@ -93,7 +97,7 @@ class TsPrefixTree {
   Node* GetOrCreateChild(Node* parent, uint32_t rank);
 
   std::vector<ItemId> items_by_rank_;
-  std::deque<Node> arena_;  // Stable addresses; root_ is arena_[0].
+  Arena<Node> arena_;  // Stable addresses; owns root_ and all nodes.
   Node* root_ = nullptr;
   std::vector<Node*> heads_;
   std::vector<Node*> chain_tails_;  // O(1) chain append.

@@ -1,0 +1,63 @@
+// Minimal worker pool for projection-level mining parallelism.
+//
+// The miner's unit of work is one suffix-item projection; projections vary
+// wildly in cost (the heaviest conditional subtree can dominate the run),
+// so work is pulled from a shared atomic index rather than pre-sharded —
+// a finished worker immediately takes the next projection instead of
+// idling behind a static partition.
+
+#ifndef RPM_CORE_THREAD_POOL_H_
+#define RPM_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace rpm {
+
+/// Resolves a user-facing thread-count knob: 0 means "use the hardware",
+/// anything else is taken literally. Never returns 0.
+inline size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Runs fn(worker_id, item_index) for every item_index in [0, num_items),
+/// distributing indices dynamically over min(num_workers, num_items)
+/// threads. worker_id is in [0, num_workers) and lets callers keep
+/// per-worker accumulators without locking. Blocks until all items are
+/// done. With num_workers <= 1 everything runs on the calling thread (no
+/// threads are spawned).
+///
+/// fn must not throw: workers run under noexcept joins, and an exception
+/// escaping a worker terminates the process.
+inline void ParallelFor(size_t num_items, size_t num_workers,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (num_items == 0) return;
+  const size_t workers = std::min(ResolveThreadCount(num_workers), num_items);
+  if (workers <= 1) {
+    for (size_t i = 0; i < num_items; ++i) fn(0, i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto drain = [&](size_t worker_id) {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < num_items; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(worker_id, i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(drain, w);
+  }
+  drain(0);  // The calling thread is worker 0.
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_THREAD_POOL_H_

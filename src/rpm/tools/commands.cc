@@ -83,6 +83,7 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
   std::string input, format, output_format, epoch;
   int64_t per = 0;
   uint64_t min_ps = 0, min_rec = 1, tolerance = 0, top_k = 0, max_len = 0;
+  uint64_t threads = 1;
   double min_ps_pct = -1.0;
   bool closed = false, maximal = false;
   parser.AddString("input", "", "event file path", &input);
@@ -103,6 +104,10 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
                    &top_k);
   parser.AddUint64("max-length", 0, "pattern length cap (0 = unlimited)",
                    &max_len);
+  parser.AddUint64("threads", 1,
+                   "mining worker threads (0 = one per hardware thread, "
+                   "1 = sequential); results are identical either way",
+                   &threads);
   parser.AddBool("closed", false, "keep only closed patterns", &closed);
   parser.AddBool("maximal", false, "keep only maximal patterns", &maximal);
   bool with_stats = false;
@@ -156,10 +161,17 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
     if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
     RpGrowthOptions options;
     options.max_pattern_length = max_len;
+    options.num_threads = threads;
     RpGrowthResult result = MineRecurringPatterns(*db, params, options);
     err << result.patterns.size() << " recurring patterns ("
         << params.ToString() << ") in " << result.stats.total_seconds
-        << "s\n";
+        << "s";
+    if (result.stats.threads_used > 1) {
+      err << " [" << result.stats.threads_used << " threads, mine "
+          << result.stats.mine_seconds << "s wall / "
+          << result.stats.mine_cpu_seconds << "s cpu]";
+    }
+    err << "\n";
     patterns = std::move(result.patterns);
   }
   if (closed) patterns = FilterClosed(*db, std::move(patterns));
