@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "rpm/baselines/pf_growth.h"
 #include "rpm/baselines/ppattern.h"
 #include "rpm/common/random.h"
@@ -13,6 +15,7 @@
 #include "rpm/core/rp_growth.h"
 #include "rpm/core/rp_list.h"
 #include "rpm/core/rp_tree.h"
+#include "rpm/core/ts_merge.h"
 #include "rpm/gen/hashtag_generator.h"
 #include "rpm/gen/quest_generator.h"
 
@@ -52,6 +55,88 @@ const TransactionDatabase& MidTwitterDb() {
   }();
   return db;
 }
+
+/// `k` sorted runs of `run_len` timestamps each, interleaved over a
+/// shared range — the merge kernel's adversarial shape (every run
+/// contends at every step).
+std::vector<TimestampList> MakeInterleavedRuns(size_t k, size_t run_len,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimestampList> lists(k);
+  for (TimestampList& list : lists) {
+    Timestamp cur = static_cast<Timestamp>(rng.NextUint64(16));
+    list.reserve(run_len);
+    for (size_t i = 0; i < run_len; ++i) {
+      cur += 1 + static_cast<Timestamp>(rng.NextUint64(7));
+      list.push_back(cur);
+    }
+  }
+  return lists;
+}
+
+/// MergeSortedRuns on k interleaved runs (run length = range(0)) against
+/// BM_ConcatSortOracle below — the kernel must win as run length grows and
+/// match at run length ~2.
+void BM_MergeSortedRuns(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t run_len = static_cast<size_t>(state.range(1));
+  std::vector<TimestampList> lists = MakeInterleavedRuns(k, run_len, 11);
+  std::vector<TsRun> runs;
+  for (const TimestampList& list : lists) AppendSortedRuns(list, &runs);
+  MergeScratch scratch;
+  MergeCounters counters;
+  TimestampList out;
+  for (auto _ : state) {
+    MergeSortedRuns(runs.data(), runs.size(), &out, &scratch, &counters);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * run_len);
+}
+BENCHMARK(BM_MergeSortedRuns)
+    ->Args({64, 2})
+    ->Args({64, 16})
+    ->Args({64, 128})
+    ->Args({8, 1024})
+    ->Args({512, 16});
+
+/// The computation MergeSortedRuns replaced, on identical inputs.
+void BM_ConcatSortOracle(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const size_t run_len = static_cast<size_t>(state.range(1));
+  std::vector<TimestampList> lists = MakeInterleavedRuns(k, run_len, 11);
+  TimestampList out;
+  for (auto _ : state) {
+    out.clear();
+    for (const TimestampList& list : lists) {
+      out.insert(out.end(), list.begin(), list.end());
+    }
+    std::sort(out.begin(), out.end());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * k * run_len);
+}
+BENCHMARK(BM_ConcatSortOracle)
+    ->Args({64, 2})
+    ->Args({64, 16})
+    ->Args({64, 128})
+    ->Args({8, 1024})
+    ->Args({512, 16});
+
+/// Fused gate+intervals vs the two-pass formulation it replaced.
+void BM_FusedGateAndIntervals(benchmark::State& state) {
+  TimestampList ts = MakeTimestamps(static_cast<size_t>(state.range(0)), 2);
+  RpParams params;
+  params.period = 4;
+  params.min_ps = 3;
+  params.min_rec = 2;
+  std::vector<PeriodicInterval> intervals;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeGateAndIntervals(ts, params, &intervals).passes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FusedGateAndIntervals)->Range(1 << 10, 1 << 18);
 
 void BM_ComputeErec(benchmark::State& state) {
   TimestampList ts = MakeTimestamps(static_cast<size_t>(state.range(0)), 1);

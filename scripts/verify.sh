@@ -8,6 +8,11 @@
 # -DRPM_SANITIZE=thread so instrumented objects never mix with the
 # release build, and runs only the parallel-miner test there (the rest of
 # the suite is single-threaded and already covered by stage 1).
+#
+# The bench-smoke stage runs the hot-path benchmark at a tiny scale
+# (RPM_BENCH_SCALE set via the ctest "perf" label's environment) and
+# validates the JSON report it writes — catching both perf-pipeline rot
+# and cross-thread determinism violations, which the bench exits 1 on.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +21,17 @@ JOBS="$(nproc)"
 echo "== stage 1: release build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
-(cd build && ctest --output-on-failure -j"${JOBS}")
+(cd build && ctest --output-on-failure -j"${JOBS}" -LE perf)
+
+echo "== stage 2: bench smoke (hot-path kernel, perf label) =="
+(cd build && ctest --output-on-failure -L perf)
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool build/BENCH_hotpath.json >/dev/null \
+    && echo "BENCH_hotpath.json: valid JSON"
+else
+  grep -q '"bench": "hotpath"' build/BENCH_hotpath.json \
+    && echo "BENCH_hotpath.json: present (python3 unavailable, grep check)"
+fi
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "verify: OK (TSan stage skipped)"

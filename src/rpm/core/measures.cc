@@ -44,15 +44,16 @@ std::vector<PeriodicInterval> SelectInterestingIntervals(
   return out;
 }
 
-std::vector<PeriodicInterval> FindInterestingIntervals(
-    const TimestampList& ts, Timestamp period, uint64_t min_ps) {
+void FindInterestingIntervalsInto(const TimestampList& ts, Timestamp period,
+                                  uint64_t min_ps,
+                                  std::vector<PeriodicInterval>* out) {
   // Algorithm 5 (getRecurrence), kept as one pass: track the current run's
   // start and size; flush it as interesting when a gap > period (or the
   // end of the list) closes a run of size >= min_ps.
   RPM_DCHECK(period > 0);
   RPM_DCHECK(min_ps >= 1);
-  std::vector<PeriodicInterval> out;
-  if (ts.empty()) return out;
+  out->clear();
+  if (ts.empty()) return;
   Timestamp start_ts = ts[0];
   Timestamp idl = ts[0];
   uint64_t current_ps = 1;
@@ -61,13 +62,19 @@ std::vector<PeriodicInterval> FindInterestingIntervals(
     if (cur - idl <= period) {
       ++current_ps;
     } else {
-      if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+      if (current_ps >= min_ps) out->push_back({start_ts, idl, current_ps});
       current_ps = 1;
       start_ts = cur;
     }
     idl = cur;
   }
-  if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+  if (current_ps >= min_ps) out->push_back({start_ts, idl, current_ps});
+}
+
+std::vector<PeriodicInterval> FindInterestingIntervals(
+    const TimestampList& ts, Timestamp period, uint64_t min_ps) {
+  std::vector<PeriodicInterval> out;
+  FindInterestingIntervalsInto(ts, period, min_ps, &out);
   return out;
 }
 
@@ -95,15 +102,16 @@ uint64_t ComputeErec(const TimestampList& ts, Timestamp period,
   return erec;
 }
 
-std::vector<PeriodicInterval> FindInterestingIntervalsTolerant(
+void FindInterestingIntervalsTolerantInto(
     const TimestampList& ts, Timestamp period, uint64_t min_ps,
-    uint32_t max_violations) {
+    uint32_t max_violations, std::vector<PeriodicInterval>* out) {
   if (max_violations == 0) {
-    return FindInterestingIntervals(ts, period, min_ps);
+    FindInterestingIntervalsInto(ts, period, min_ps, out);
+    return;
   }
   RPM_DCHECK(period > 0);
-  std::vector<PeriodicInterval> out;
-  if (ts.empty()) return out;
+  out->clear();
+  if (ts.empty()) return;
   Timestamp start_ts = ts[0];
   Timestamp idl = ts[0];
   uint64_t current_ps = 1;
@@ -118,14 +126,22 @@ std::vector<PeriodicInterval> FindInterestingIntervalsTolerant(
       ++violations;
       ++current_ps;
     } else {
-      if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+      if (current_ps >= min_ps) out->push_back({start_ts, idl, current_ps});
       current_ps = 1;
       violations = 0;
       start_ts = cur;
     }
     idl = cur;
   }
-  if (current_ps >= min_ps) out.push_back({start_ts, idl, current_ps});
+  if (current_ps >= min_ps) out->push_back({start_ts, idl, current_ps});
+}
+
+std::vector<PeriodicInterval> FindInterestingIntervalsTolerant(
+    const TimestampList& ts, Timestamp period, uint64_t min_ps,
+    uint32_t max_violations) {
+  std::vector<PeriodicInterval> out;
+  FindInterestingIntervalsTolerantInto(ts, period, min_ps, max_violations,
+                                       &out);
   return out;
 }
 
@@ -140,12 +156,71 @@ std::vector<PeriodicInterval> FindInterestingIntervals(
                                           params.max_gap_violations);
 }
 
+void FindInterestingIntervalsInto(const TimestampList& ts,
+                                  const RpParams& params,
+                                  std::vector<PeriodicInterval>* out) {
+  FindInterestingIntervalsTolerantInto(ts, params.period, params.min_ps,
+                                       params.max_gap_violations, out);
+}
+
 uint64_t ComputeRecurrenceUpperBound(const TimestampList& ts,
                                      const RpParams& params) {
   if (params.max_gap_violations > 0) {
     return ComputeTolerantRecurrenceBound(ts.size(), params.min_ps);
   }
   return ComputeErec(ts, params.period, params.min_ps);
+}
+
+GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
+                                    const RpParams& params,
+                                    std::vector<PeriodicInterval>* intervals) {
+  GateOutcome outcome;
+  intervals->clear();
+
+  if (params.max_gap_violations > 0) {
+    // Tolerant model: the bound is O(1) in the support, so gate first and
+    // scan only survivors (exactly once).
+    outcome.recurrence_upper_bound =
+        ComputeTolerantRecurrenceBound(ts.size(), params.min_ps);
+    outcome.passes = outcome.recurrence_upper_bound >= params.min_rec;
+    if (outcome.passes) {
+      FindInterestingIntervalsTolerantInto(ts, params.period, params.min_ps,
+                                           params.max_gap_violations,
+                                           intervals);
+    }
+    return outcome;
+  }
+
+  // Exact model: Erec and Algorithm 5 walk the same maximal runs, so one
+  // scan produces both. Erec >= |IPI| always (each interesting interval
+  // contributes at least floor(ps/min_ps) >= 1), so a gated-out list
+  // collected at most min_rec - 1 intervals — discarding them is cheap.
+  RPM_DCHECK(params.period > 0);
+  RPM_DCHECK(params.min_ps >= 1);
+  if (ts.empty()) return outcome;
+  uint64_t erec = 0;
+  Timestamp start_ts = ts[0];
+  uint64_t current_ps = 1;
+  for (size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i] - ts[i - 1] <= params.period) {
+      ++current_ps;
+    } else {
+      erec += current_ps / params.min_ps;
+      if (current_ps >= params.min_ps) {
+        intervals->push_back({start_ts, ts[i - 1], current_ps});
+      }
+      current_ps = 1;
+      start_ts = ts[i];
+    }
+  }
+  erec += current_ps / params.min_ps;
+  if (current_ps >= params.min_ps) {
+    intervals->push_back({start_ts, ts.back(), current_ps});
+  }
+  outcome.recurrence_upper_bound = erec;
+  outcome.passes = erec >= params.min_rec;
+  if (!outcome.passes) intervals->clear();
+  return outcome;
 }
 
 }  // namespace rpm

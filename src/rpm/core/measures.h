@@ -39,6 +39,13 @@ std::vector<PeriodicInterval> SelectInterestingIntervals(
 std::vector<PeriodicInterval> FindInterestingIntervals(
     const TimestampList& ts, Timestamp period, uint64_t min_ps);
 
+/// Allocation-free variant: clears *out and fills it with IPI^X. The
+/// miner's hot path routes through this so one scratch vector is reused
+/// across every gate evaluation.
+void FindInterestingIntervalsInto(const TimestampList& ts, Timestamp period,
+                                  uint64_t min_ps,
+                                  std::vector<PeriodicInterval>* out);
+
 /// Rec(X) = |IPI^X| (Definition 8).
 uint64_t ComputeRecurrence(const TimestampList& ts, Timestamp period,
                            uint64_t min_ps);
@@ -61,6 +68,12 @@ std::vector<PeriodicInterval> FindInterestingIntervalsTolerant(
     const TimestampList& ts, Timestamp period, uint64_t min_ps,
     uint32_t max_violations);
 
+/// Allocation-free variant of FindInterestingIntervalsTolerant.
+void FindInterestingIntervalsTolerantInto(const TimestampList& ts,
+                                          Timestamp period, uint64_t min_ps,
+                                          uint32_t max_violations,
+                                          std::vector<PeriodicInterval>* out);
+
 /// Anti-monotone recurrence upper bound valid under gap tolerance:
 /// floor(|TS^X| / min_ps). (The paper's Erec is *not* a valid bound once
 /// intervals may merge across violated gaps, because splitting a merged
@@ -74,9 +87,35 @@ uint64_t ComputeTolerantRecurrenceBound(size_t support, uint64_t min_ps);
 std::vector<PeriodicInterval> FindInterestingIntervals(
     const TimestampList& ts, const RpParams& params);
 
+/// Allocation-free variant of the params-dispatched
+/// FindInterestingIntervals: clears *out, then fills it with IPI^X.
+void FindInterestingIntervalsInto(const TimestampList& ts,
+                                  const RpParams& params,
+                                  std::vector<PeriodicInterval>* out);
+
 /// Erec (exact model) or the tolerant support bound, per params.
 uint64_t ComputeRecurrenceUpperBound(const TimestampList& ts,
                                      const RpParams& params);
+
+/// Fused gate + getRecurrence (Sec. 4.1 + Algorithm 5 in one scan).
+struct GateOutcome {
+  /// The recurrence upper bound under `params`: Erec in the exact model,
+  /// the support quotient under gap tolerance.
+  uint64_t recurrence_upper_bound = 0;
+  /// recurrence_upper_bound >= params.min_rec.
+  bool passes = false;
+};
+
+/// Computes the recurrence upper bound AND the interesting intervals of a
+/// sorted `ts` in a single pass. *intervals is cleared first; on return it
+/// holds IPI^X exactly when the gate passes (left empty otherwise), so a
+/// surviving ts-list is scanned once instead of once for the gate and
+/// again for the intervals. Under gap tolerance the bound is O(1) and the
+/// list is scanned only when the gate passes — the previous
+/// gate-then-rescan pair collapses the same way.
+GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
+                                    const RpParams& params,
+                                    std::vector<PeriodicInterval>* intervals);
 
 }  // namespace rpm
 

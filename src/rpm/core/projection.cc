@@ -1,27 +1,33 @@
 #include "rpm/core/projection.h"
 
-#include <algorithm>
-
 namespace rpm {
 
-std::vector<SuffixProjection> ProjectSuffixItems(TsPrefixTree* tree) {
+std::vector<SuffixProjection> ProjectSuffixItems(TsPrefixTree* tree,
+                                                 MergeCounters* counters) {
   std::vector<SuffixProjection> projections;
+  MergeCounters local_counters;
+  if (counters == nullptr) counters = &local_counters;
+  MergeScratch merge_scratch;
+  std::vector<TsRun> runs;
   for (size_t rank = tree->num_ranks(); rank-- > 0;) {
     if (tree->HeadOfRank(rank) == nullptr) continue;
     SuffixProjection projection;
     projection.rank = static_cast<uint32_t>(rank);
+    runs.clear();
     // Same collection the sequential miner performs for this rank
-    // (rp_growth.cc), but into owned storage.
+    // (rp_growth.cc), but into owned storage. The runs reference the owned
+    // copies: ProjectedPath reallocation moves the vectors, which keeps
+    // their heap buffers (and thus the run pointers) stable.
     tree->ForEachNodeOfRank(
         rank, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
           if (ts.empty() && path.empty()) return;
           projection.paths.push_back({path, ts});
-          projection.ts_beta.insert(projection.ts_beta.end(), ts.begin(),
-                                    ts.end());
+          AppendSortedRuns(projection.paths.back().ts, &runs);
         });
     tree->PushUpAndRemove(rank);
-    if (projection.ts_beta.empty()) continue;
-    std::sort(projection.ts_beta.begin(), projection.ts_beta.end());
+    if (runs.empty()) continue;  // No timestamps at this rank.
+    MergeSortedRuns(runs.data(), runs.size(), &projection.ts_beta,
+                    &merge_scratch, counters);
     projections.push_back(std::move(projection));
   }
   return projections;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rpm/core/rp_tree.h"
+#include "rpm/core/ts_merge.h"
 #include "rpm/timeseries/types.h"
 
 namespace rpm {
@@ -28,7 +29,8 @@ struct ProjectedPath {
   /// Ancestor ranks in the parent tree's order, ascending (root side
   /// first), excluding the suffix rank itself.
   std::vector<uint32_t> ranks;
-  /// Accumulated ts-list of the node's subtree. Unsorted.
+  /// Accumulated ts-list of the node's subtree: a concatenation of sorted
+  /// runs (not globally sorted).
   TimestampList ts;
 };
 
@@ -46,8 +48,11 @@ struct SuffixProjection {
 /// in bottom-up (descending-rank) order — the sequential processing order.
 /// Consumes the tree exactly like sequential mining does (ts-lists pushed
 /// up, nodes detached); only the tree's rank->item mapping remains usable
-/// afterwards.
-std::vector<SuffixProjection> ProjectSuffixItems(TsPrefixTree* tree);
+/// afterwards. Each ts_beta is assembled with the run-aware merge kernel
+/// (the same merges the sequential miner performs per top-level rank);
+/// when `counters` is non-null the kernel's work is accumulated there.
+std::vector<SuffixProjection> ProjectSuffixItems(
+    TsPrefixTree* tree, MergeCounters* counters = nullptr);
 
 }  // namespace rpm
 

@@ -1,6 +1,7 @@
 #include "rpm/core/rp_growth.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <utility>
@@ -11,21 +12,107 @@
 #include "rpm/core/projection.h"
 #include "rpm/core/rp_tree.h"
 #include "rpm/core/thread_pool.h"
+#include "rpm/core/ts_merge.h"
 
 namespace rpm {
 namespace {
 
-/// One (prefix path, ts-list) element of a conditional pattern base.
+/// One (prefix path, ts-list) element of a conditional pattern base. The
+/// ancestor ranks live in the owning frame's flat rank storage (no
+/// per-path heap allocation); the ts-list is owned by the tree or a
+/// projection and is a concatenation of sorted runs.
 struct PathRef {
-  std::vector<uint32_t> ranks;  // Ancestor ranks, ascending.
-  const TimestampList* ts;      // Owned by the tree or a projection.
+  uint32_t ranks_begin = 0;  // Offset into the frame's rank storage.
+  uint32_t ranks_len = 0;
+  const TimestampList* ts = nullptr;
+};
+
+/// Per-recursion-level scratch. Frames are pooled by depth and reused
+/// across every subproblem mined at that depth, so after warm-up a whole
+/// mining run performs no per-level allocations. A frame's buffers stay
+/// live while deeper levels recurse (paths/rank_storage/ts_beta are read
+/// by the level's own MineCollected tail), which is why frames are pooled
+/// per depth rather than shared.
+struct Frame {
+  // Conditional-pattern-base collection (ProcessRank / MineProjection):
+  std::vector<PathRef> paths;
+  std::vector<uint32_t> rank_storage;   ///< Flat ancestor-rank slab.
+  std::vector<TsRun> beta_runs;         ///< Run descriptors for TS^beta.
+  TimestampList ts_beta;                ///< Merged TS^beta slab.
+  std::vector<PeriodicInterval> intervals;  ///< Fused-gate output.
+  // Conditional-tree construction (BuildConditionalAndRecurse); acc and
+  // runs_by_rank are indexed by parent rank and grow-only, with only the
+  // touched entries cleared after use.
+  std::vector<TimestampList> acc;           ///< Merged TS^{beta+item}.
+  std::vector<std::vector<TsRun>> runs_by_rank;
+  std::vector<TsRun> path_runs;         ///< One path's run split.
+  std::vector<uint32_t> touched;
+  std::vector<uint32_t> kept;
+  std::vector<uint32_t> new_rank_of;
+  std::vector<uint32_t> mapped;
+
+  size_t ByteFootprint() const {
+    size_t bytes = paths.capacity() * sizeof(PathRef) +
+                   rank_storage.capacity() * sizeof(uint32_t) +
+                   beta_runs.capacity() * sizeof(TsRun) +
+                   ts_beta.capacity() * sizeof(Timestamp) +
+                   intervals.capacity() * sizeof(PeriodicInterval) +
+                   path_runs.capacity() * sizeof(TsRun) +
+                   (touched.capacity() + kept.capacity() +
+                    new_rank_of.capacity() + mapped.capacity()) *
+                       sizeof(uint32_t);
+    bytes += acc.capacity() * sizeof(TimestampList);
+    for (const TimestampList& slab : acc) {
+      bytes += slab.capacity() * sizeof(Timestamp);
+    }
+    bytes += runs_by_rank.capacity() * sizeof(std::vector<TsRun>);
+    for (const std::vector<TsRun>& runs : runs_by_rank) {
+      bytes += runs.capacity() * sizeof(TsRun);
+    }
+    return bytes;
+  }
+};
+
+/// Reusable per-miner (per-worker) scratch pool: one frame per recursion
+/// depth plus the shared merge-kernel buffers and counters. Not
+/// thread-safe — the parallel path allocates one pool per worker.
+class MinerScratch {
+ public:
+  /// Frame for recursion depth `depth`; stable address across later calls
+  /// (frames are held by unique_ptr so growing the pool never moves them).
+  Frame& FrameAt(size_t depth) {
+    while (frames_.size() <= depth) {
+      frames_.push_back(std::make_unique<Frame>());
+    }
+    return *frames_[depth];
+  }
+
+  /// Bytes currently retained across all frames and merge buffers. Scratch
+  /// capacities only grow during a run, so sampling after mining yields
+  /// the run's peak.
+  size_t ByteFootprint() const {
+    size_t bytes = merge.ByteFootprint();
+    for (const std::unique_ptr<Frame>& frame : frames_) {
+      bytes += frame->ByteFootprint();
+    }
+    return bytes;
+  }
+
+  MergeScratch merge;
+  MergeCounters counters;
+
+ private:
+  std::vector<std::unique_ptr<Frame>> frames_;
 };
 
 class Miner {
  public:
   Miner(const RpParams& params, const RpGrowthOptions& options,
-        RpGrowthResult* result)
-      : params_(params), options_(options), result_(result) {}
+        RpGrowthResult* result, MinerScratch* scratch)
+      : params_(params),
+        options_(options),
+        result_(result),
+        scratch_(scratch) {}
 
   /// Algorithm 4 over one (possibly conditional) tree. `suffix` holds the
   /// items of alpha; the tree is consumed (ts-lists pushed up, nodes
@@ -40,17 +127,21 @@ class Miner {
   }
 
   /// Mines one top-level projection: the independent subproblem of a
-  /// single suffix item, pre-collected by ProjectSuffixItems. Consumes the
-  /// projection's path ranks (moved into local PathRefs).
+  /// single suffix item, pre-collected by ProjectSuffixItems (which also
+  /// merged ts_beta, so no merge happens here).
   void MineProjection(const std::vector<ItemId>& items_by_rank,
                       SuffixProjection* projection) {
-    std::vector<PathRef> paths;
-    paths.reserve(projection->paths.size());
-    for (ProjectedPath& p : projection->paths) {
-      paths.push_back({std::move(p.ranks), &p.ts});
+    Frame& frame = scratch_->FrameAt(depth_);
+    frame.paths.clear();
+    frame.rank_storage.clear();
+    for (const ProjectedPath& p : projection->paths) {
+      frame.paths.push_back({static_cast<uint32_t>(frame.rank_storage.size()),
+                             static_cast<uint32_t>(p.ranks.size()), &p.ts});
+      frame.rank_storage.insert(frame.rank_storage.end(), p.ranks.begin(),
+                                p.ranks.end());
     }
     Itemset suffix;
-    MineCollected(items_by_rank, paths, projection->ts_beta,
+    MineCollected(items_by_rank, frame, projection->ts_beta,
                   items_by_rank[projection->rank], &suffix);
   }
 
@@ -67,43 +158,65 @@ class Miner {
   }
 
   void ProcessRank(TsPrefixTree* tree, size_t rank, Itemset* suffix) {
-    // Collect the conditional pattern base of ai and TS^beta in one walk.
-    std::vector<PathRef> paths;
-    TimestampList ts_beta;
+    // Collect the conditional pattern base of ai and TS^beta's sorted runs
+    // in one walk. Ancestor ranks go into the frame's flat slab (the
+    // node-link walk reuses one path buffer; copying it into the slab is
+    // the only per-node cost — no per-path vector is allocated).
+    Frame& frame = scratch_->FrameAt(depth_);
+    frame.paths.clear();
+    frame.rank_storage.clear();
+    frame.beta_runs.clear();
     tree->ForEachNodeOfRank(
         rank, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
           if (ts.empty() && path.empty()) return;
-          paths.push_back({path, &ts});
-          ts_beta.insert(ts_beta.end(), ts.begin(), ts.end());
+          frame.paths.push_back(
+              {static_cast<uint32_t>(frame.rank_storage.size()),
+               static_cast<uint32_t>(path.size()), &ts});
+          frame.rank_storage.insert(frame.rank_storage.end(), path.begin(),
+                                    path.end());
+          AppendSortedRuns(ts, &frame.beta_runs);
         });
-    if (ts_beta.empty()) return;
-    std::sort(ts_beta.begin(), ts_beta.end());
-    MineCollected(tree->items_by_rank(), paths, ts_beta,
+    if (frame.beta_runs.empty()) return;  // No timestamps at this rank.
+    MergeSortedRuns(frame.beta_runs.data(), frame.beta_runs.size(),
+                    &frame.ts_beta, &scratch_->merge, &scratch_->counters);
+    MineCollected(tree->items_by_rank(), frame, frame.ts_beta,
                   tree->ItemAtRank(rank), suffix);
   }
 
-  /// Common tail of ProcessRank / MineProjection: the gate, getRecurrence
-  /// (Algorithm 5) and the conditional recursion for suffix item `item`,
-  /// given its conditional pattern base `paths` (rank space
-  /// `items_by_rank`) and sorted, nonempty TS^beta.
-  void MineCollected(const std::vector<ItemId>& items_by_rank,
-                     const std::vector<PathRef>& paths,
+  /// Common tail of ProcessRank / MineProjection: the fused gate +
+  /// getRecurrence (Algorithm 5) and the conditional recursion for suffix
+  /// item `item`. `frame` is this depth's frame holding the conditional
+  /// pattern base; `ts_beta` is sorted and nonempty.
+  void MineCollected(const std::vector<ItemId>& items_by_rank, Frame& frame,
                      const TimestampList& ts_beta, ItemId item,
                      Itemset* suffix) {
     ++result_->stats.patterns_examined;
-    if (!PassesGate(ts_beta)) return;
+
+    // One scan decides the gate AND yields IPI^beta for getRecurrence —
+    // previously the Erec gate scanned ts_beta and FindInterestingIntervals
+    // rescanned every surviving list.
+    bool gate_passed;
+    if (options_.pruning == PruningMode::kSupportOnly) {
+      gate_passed = ts_beta.size() >= params_.min_ps * params_.min_rec;
+      if (gate_passed) {
+        FindInterestingIntervalsInto(ts_beta, params_, &frame.intervals);
+      }
+    } else {
+      gate_passed =
+          ComputeGateAndIntervals(ts_beta, params_, &frame.intervals).passes;
+    }
+    if (!gate_passed) return;
 
     suffix->push_back(item);
 
     // getRecurrence (Algorithm 5): is beta itself recurring?
-    std::vector<PeriodicInterval> intervals =
-        FindInterestingIntervals(ts_beta, params_);
-    if (intervals.size() >= params_.min_rec) {
+    if (frame.intervals.size() >= params_.min_rec) {
       RecurringPattern pattern;
       pattern.items = *suffix;
       std::sort(pattern.items.begin(), pattern.items.end());
       pattern.support = ts_beta.size();
-      pattern.intervals = std::move(intervals);
+      pattern.intervals.assign(frame.intervals.begin(),
+                               frame.intervals.end());
       ++result_->stats.patterns_emitted;
       if (options_.sink) options_.sink(pattern);
       if (options_.store_patterns) {
@@ -113,76 +226,120 @@ class Miner {
 
     const bool depth_ok = options_.max_pattern_length == 0 ||
                           suffix->size() < options_.max_pattern_length;
-    if (depth_ok) BuildConditionalAndRecurse(items_by_rank, paths, suffix);
+    if (depth_ok) BuildConditionalAndRecurse(items_by_rank, frame, suffix);
     suffix->pop_back();
   }
 
   void BuildConditionalAndRecurse(const std::vector<ItemId>& items_by_rank,
-                                  const std::vector<PathRef>& paths,
-                                  Itemset* suffix) {
+                                  Frame& frame, Itemset* suffix) {
     const size_t nranks = items_by_rank.size();
+    if (frame.acc.size() < nranks) frame.acc.resize(nranks);
+    if (frame.runs_by_rank.size() < nranks) frame.runs_by_rank.resize(nranks);
 
     // Map every node's ts-list onto all items of its path ("temporary
-    // array, one for each item" in Sec. 4.2.3): acc[r] becomes
-    // TS^{beta + item_at_rank_r}.
-    std::vector<TimestampList> acc(nranks);
-    std::vector<uint32_t> touched;
-    for (const PathRef& pr : paths) {
-      for (uint32_t r : pr.ranks) {
-        if (acc[r].empty()) touched.push_back(r);
-        acc[r].insert(acc[r].end(), pr.ts->begin(), pr.ts->end());
+    // array, one for each item" in Sec. 4.2.3) — as run descriptors, split
+    // once per path and shared by all of the path's ranks, so
+    // runs_by_rank[r] describes TS^{beta + item_at_rank_r}.
+    frame.touched.clear();
+    for (const PathRef& pr : frame.paths) {
+      if (pr.ts->empty()) continue;
+      frame.path_runs.clear();
+      AppendSortedRuns(*pr.ts, &frame.path_runs);
+      const uint32_t* path_ranks = frame.rank_storage.data() + pr.ranks_begin;
+      for (uint32_t k = 0; k < pr.ranks_len; ++k) {
+        const uint32_t r = path_ranks[k];
+        if (frame.runs_by_rank[r].empty()) frame.touched.push_back(r);
+        frame.runs_by_rank[r].insert(frame.runs_by_rank[r].end(),
+                                     frame.path_runs.begin(),
+                                     frame.path_runs.end());
       }
     }
-    if (touched.empty()) return;
+    if (frame.touched.empty()) return;
 
-    // Keep items that can still extend beta (conditional Erec gate).
-    std::vector<uint32_t> kept;
-    for (uint32_t r : touched) {
-      std::sort(acc[r].begin(), acc[r].end());
-      if (PassesGate(acc[r])) kept.push_back(r);
+    // Merge each touched item's runs and keep items that can still extend
+    // beta (conditional Erec gate).
+    frame.kept.clear();
+    for (uint32_t r : frame.touched) {
+      MergeSortedRuns(frame.runs_by_rank[r].data(),
+                      frame.runs_by_rank[r].size(), &frame.acc[r],
+                      &scratch_->merge, &scratch_->counters);
+      frame.runs_by_rank[r].clear();
+      if (PassesGate(frame.acc[r])) frame.kept.push_back(r);
     }
-    if (kept.empty()) return;
+    if (frame.kept.empty()) {
+      for (uint32_t r : frame.touched) frame.acc[r].clear();
+      return;
+    }
 
     // Conditional item order: support-descending, ties by parent order.
-    std::sort(kept.begin(), kept.end(), [&](uint32_t a, uint32_t b) {
-      return acc[a].size() != acc[b].size() ? acc[a].size() > acc[b].size()
-                                            : a < b;
-    });
-    std::vector<uint32_t> new_rank_of(nranks, kNotCandidate);
-    std::vector<ItemId> cond_items_by_rank(kept.size());
-    for (uint32_t nr = 0; nr < kept.size(); ++nr) {
-      new_rank_of[kept[nr]] = nr;
-      cond_items_by_rank[nr] = items_by_rank[kept[nr]];
+    std::sort(frame.kept.begin(), frame.kept.end(),
+              [&frame](uint32_t a, uint32_t b) {
+                return frame.acc[a].size() != frame.acc[b].size()
+                           ? frame.acc[a].size() > frame.acc[b].size()
+                           : a < b;
+              });
+    frame.new_rank_of.assign(nranks, kNotCandidate);
+    std::vector<ItemId> cond_items_by_rank(frame.kept.size());
+    for (uint32_t nr = 0; nr < frame.kept.size(); ++nr) {
+      frame.new_rank_of[frame.kept[nr]] = nr;
+      cond_items_by_rank[nr] = items_by_rank[frame.kept[nr]];
     }
+    // The merged accumulators are fully consumed (gate + ordering); release
+    // their contents so the slabs only pin their high-water capacity.
+    for (uint32_t r : frame.touched) frame.acc[r].clear();
 
     TsPrefixTree cond(std::move(cond_items_by_rank));
-    std::vector<uint32_t> mapped;
-    for (const PathRef& pr : paths) {
-      mapped.clear();
-      for (uint32_t r : pr.ranks) {
-        if (new_rank_of[r] != kNotCandidate) mapped.push_back(new_rank_of[r]);
+    for (const PathRef& pr : frame.paths) {
+      frame.mapped.clear();
+      const uint32_t* path_ranks = frame.rank_storage.data() + pr.ranks_begin;
+      for (uint32_t k = 0; k < pr.ranks_len; ++k) {
+        const uint32_t nr = frame.new_rank_of[path_ranks[k]];
+        if (nr != kNotCandidate) frame.mapped.push_back(nr);
       }
-      if (mapped.empty()) continue;
-      std::sort(mapped.begin(), mapped.end());
-      cond.InsertPath(mapped, *pr.ts);
+      if (frame.mapped.empty()) continue;
+      std::sort(frame.mapped.begin(), frame.mapped.end());
+      cond.InsertPath(frame.mapped, *pr.ts);
     }
     ++result_->stats.conditional_trees;
-    if (!cond.empty()) MineTree(&cond, suffix);
+    if (!cond.empty()) {
+      ++depth_;
+      MineTree(&cond, suffix);
+      --depth_;
+    }
   }
 
   const RpParams& params_;
   const RpGrowthOptions& options_;
   RpGrowthResult* result_;
+  MinerScratch* scratch_;
+  size_t depth_ = 0;  ///< Current recursion depth == frame index.
 };
+
+/// Folds a scratch pool's kernel counters into the run's stats.
+/// scratch_bytes_peak takes the max: pools are per worker, so the peak is
+/// the largest single pool, not their sum.
+void FoldScratchStats(const MinerScratch& scratch, RpGrowthStats* stats) {
+  stats->merge_invocations += scratch.counters.merge_invocations;
+  stats->runs_merged += scratch.counters.runs_merged;
+  stats->timestamps_merged += scratch.counters.timestamps_merged;
+  stats->scratch_bytes_peak =
+      std::max(stats->scratch_bytes_peak, scratch.ByteFootprint());
+}
 
 /// Parallel mining phase: decompose the tree into per-suffix-item
 /// projections and mine them on `threads` workers with thread-local
 /// results, then merge. Counters sum to exactly the sequential values
-/// because every subproblem is counted once, on whichever worker runs it.
+/// because every subproblem is counted once, on whichever worker runs it
+/// (ts_beta merges are counted during projection, where they happen).
 void MineParallel(TsPrefixTree* tree, const RpParams& params,
                   const RpGrowthOptions& options, size_t threads,
                   RpGrowthResult* result) {
-  std::vector<SuffixProjection> projections = ProjectSuffixItems(tree);
+  MergeCounters projection_counters;
+  std::vector<SuffixProjection> projections =
+      ProjectSuffixItems(tree, &projection_counters);
+  result->stats.merge_invocations += projection_counters.merge_invocations;
+  result->stats.runs_merged += projection_counters.runs_merged;
+  result->stats.timestamps_merged += projection_counters.timestamps_merged;
 
   // Heaviest projections first (LPT scheduling): with dynamic work
   // pulling this bounds the makespan tail by the single largest
@@ -207,12 +364,13 @@ void MineParallel(TsPrefixTree* tree, const RpParams& params,
 
   const size_t workers = std::min(threads, projections.size());
   std::vector<RpGrowthResult> locals(std::max<size_t>(workers, 1));
+  std::vector<MinerScratch> scratches(locals.size());
   std::vector<double> busy_seconds(locals.size(), 0.0);
   const std::vector<ItemId>& items_by_rank = tree->items_by_rank();
   ParallelFor(projections.size(), workers, [&](size_t worker, size_t i) {
     Stopwatch stopwatch;
     SuffixProjection& projection = projections[order[i]];
-    Miner miner(params, worker_options, &locals[worker]);
+    Miner miner(params, worker_options, &locals[worker], &scratches[worker]);
     miner.MineProjection(items_by_rank, &projection);
     projection = SuffixProjection();  // Release the snapshot eagerly.
     busy_seconds[worker] += stopwatch.ElapsedSeconds();
@@ -224,6 +382,7 @@ void MineParallel(TsPrefixTree* tree, const RpParams& params,
     result->stats.patterns_examined += partial.patterns_examined;
     result->stats.patterns_emitted += partial.patterns_emitted;
     result->stats.mine_cpu_seconds += busy_seconds[w];
+    FoldScratchStats(scratches[w], &result->stats);
     result->patterns.insert(
         result->patterns.end(),
         std::make_move_iterator(locals[w].patterns.begin()),
@@ -295,8 +454,10 @@ RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
   const size_t threads = ResolveThreadCount(options.num_threads);
   if (threads <= 1) {
     Itemset suffix;
-    Miner miner(params, options, &result);
+    MinerScratch scratch;
+    Miner miner(params, options, &result, &scratch);
     miner.MineTree(&tree, &suffix);
+    FoldScratchStats(scratch, &result.stats);
     result.stats.mine_seconds = phase.ElapsedSeconds();
     result.stats.mine_cpu_seconds = result.stats.mine_seconds;
     result.stats.threads_used = 1;

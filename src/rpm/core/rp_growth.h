@@ -70,6 +70,15 @@ struct RpGrowthStats {
   size_t patterns_examined = 0;     ///< Suffix growths whose gate was run.
   size_t patterns_emitted = 0;      ///< Recurring patterns found.
   size_t threads_used = 1;          ///< Mining-phase worker count.
+  // Ts-list merge-kernel counters (src/rpm/core/ts_merge.h). All three are
+  // schedule-invariant: parallel runs report exactly the sequential values.
+  size_t merge_invocations = 0;     ///< Run-merge kernel calls.
+  size_t runs_merged = 0;           ///< Sorted runs consumed by the kernel.
+  size_t timestamps_merged = 0;     ///< Timestamps written by the kernel.
+  /// Peak bytes retained by the miner scratch pools (frames, run
+  /// descriptors, merge buffers). Sequential: the single pool's high-water
+  /// mark; parallel: the largest per-worker pool.
+  size_t scratch_bytes_peak = 0;
   double list_seconds = 0.0;        ///< Wall clock of the RP-list scan.
   double tree_seconds = 0.0;        ///< Wall clock of RP-tree construction.
   /// Wall clock of the mining phase (projection + workers when parallel).

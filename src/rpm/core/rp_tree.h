@@ -37,8 +37,12 @@ class TsPrefixTree {
     Node* first_child = nullptr;
     Node* next_sibling = nullptr;
     /// Timestamps of transactions whose deepest item is this node
-    /// (plus any lists pushed up from removed descendants). May be
-    /// unsorted after push-up; consumers sort on collection.
+    /// (plus any lists pushed up from removed descendants). Not globally
+    /// sorted after push-up, but always a concatenation of sorted runs:
+    /// transactions insert in ascending timestamp order and push-up /
+    /// InsertPath only append whole lists, so consumers recover the
+    /// sorted union with the run-aware merge kernel (ts_merge.h) instead
+    /// of re-sorting.
     TimestampList ts_list;
   };
 
@@ -70,6 +74,9 @@ class TsPrefixTree {
   /// Visits every node of `rank`: fn(path, ts_list) where `path` holds the
   /// ancestor ranks in ascending order (root side first), excluding `rank`
   /// itself. The ts_list reference stays valid until the next mutation.
+  /// `path` is ONE buffer reused across callbacks — callers that keep
+  /// paths must copy the contents (miners append them to a flat slab
+  /// rather than cloning a vector per node).
   template <typename Fn>
   void ForEachNodeOfRank(size_t rank, Fn&& fn) const {
     std::vector<uint32_t> path;

@@ -1,0 +1,210 @@
+#include "rpm/core/ts_merge.h"
+
+#include <algorithm>
+
+#include "rpm/common/logging.h"
+
+namespace rpm {
+namespace {
+
+/// Consecutive single-element wins one side must score before MergeTwo
+/// switches to galloping block copies (timsort's MIN_GALLOP). Below the
+/// threshold a plain compare-and-copy loop is faster; above it the data is
+/// blocky and exponential search skips whole blocks.
+constexpr int kMinGallop = 7;
+
+/// k-way merging only beats introsort when runs are long enough that the
+/// per-block heap rounds amortize; below this average run length the
+/// kernel concatenates and sorts instead (exactly the pre-kernel path).
+constexpr size_t kFragmentedAvgRunLen = 8;
+
+/// First index i in [0, n) with data[i] > key, found by exponential probing
+/// from the front then binary search inside the located bracket. O(log d)
+/// for answers d positions in — the galloping primitive of the kernel.
+size_t GallopUpperBound(const Timestamp* data, size_t n, Timestamp key) {
+  if (n == 0 || data[0] > key) return 0;
+  size_t lo = 0;  // data[lo] <= key.
+  size_t hi = 1;
+  while (hi < n && data[hi] <= key) {
+    lo = hi;
+    hi = 2 * hi + 1;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(std::upper_bound(data + lo, data + hi, key) -
+                             data);
+}
+
+/// First index i in [0, n) with data[i] >= key, same probing scheme.
+size_t GallopLowerBound(const Timestamp* data, size_t n, Timestamp key) {
+  if (n == 0 || data[0] >= key) return 0;
+  size_t lo = 0;  // data[lo] < key.
+  size_t hi = 1;
+  while (hi < n && data[hi] < key) {
+    lo = hi;
+    hi = 2 * hi + 1;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(std::lower_bound(data + lo, data + hi, key) -
+                             data);
+}
+
+inline Timestamp* CopyBlock(const Timestamp* src, size_t count,
+                            Timestamp* dst) {
+  return std::copy(src, src + count, dst);
+}
+
+/// Two-run adaptive merge into `dst` (which has room for both runs):
+/// straight compare-and-copy until one side wins kMinGallop times in a
+/// row, then gallop — block-copying to the other side's head. Skewed or
+/// blocky runs (one long pushed-up list plus a short fresh one) degrade
+/// to O(short * log long) instead of O(long + short); finely interleaved
+/// runs never pay more than one compare per element.
+Timestamp* MergeTwo(TsRun a, TsRun b, Timestamp* dst) {
+  int streak_a = 0;
+  int streak_b = 0;
+  while (a.size != 0 && b.size != 0) {
+    if (a.data[0] <= b.data[0]) {
+      if (++streak_a >= kMinGallop) {
+        const size_t count = GallopUpperBound(a.data, a.size, b.data[0]);
+        dst = CopyBlock(a.data, count, dst);
+        a.data += count;
+        a.size -= count;
+        streak_a = 0;
+      } else {
+        *dst++ = a.data[0];
+        ++a.data;
+        --a.size;
+      }
+      streak_b = 0;
+    } else {
+      if (++streak_b >= kMinGallop) {
+        const size_t count = GallopLowerBound(b.data, b.size, a.data[0]);
+        dst = CopyBlock(b.data, count, dst);
+        b.data += count;
+        b.size -= count;
+        streak_b = 0;
+      } else {
+        *dst++ = b.data[0];
+        ++b.data;
+        --b.size;
+      }
+      streak_a = 0;
+    }
+  }
+  if (a.size != 0) dst = CopyBlock(a.data, a.size, dst);
+  if (b.size != 0) dst = CopyBlock(b.data, b.size, dst);
+  return dst;
+}
+
+}  // namespace
+
+void AppendSortedRuns(const TimestampList& ts, std::vector<TsRun>* runs) {
+  const Timestamp* data = ts.data();
+  const size_t n = ts.size();
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = begin + 1;
+    while (end < n && data[end] >= data[end - 1]) ++end;
+    runs->push_back({data + begin, end - begin});
+    begin = end;
+  }
+}
+
+void MergeSortedRuns(const TsRun* runs, size_t num_runs, TimestampList* out,
+                     MergeScratch* scratch, MergeCounters* counters) {
+  ++counters->merge_invocations;
+
+  // Compact away empty runs and size the output once: every branch below
+  // writes exactly `total` elements through a raw cursor.
+  std::vector<TsRun>& active = scratch->active;
+  active.clear();
+  size_t total = 0;
+  for (size_t i = 0; i < num_runs; ++i) {
+    if (runs[i].size == 0) continue;
+    active.push_back(runs[i]);
+    total += runs[i].size;
+  }
+  counters->runs_merged += active.size();
+  counters->timestamps_merged += total;
+  out->resize(total);
+  if (active.empty()) return;
+  Timestamp* dst = out->data();
+
+  if (active.size() == 1) {
+    CopyBlock(active[0].data, active[0].size, dst);
+    return;
+  }
+  if (active.size() == 2) {
+    MergeTwo(active[0], active[1], dst);
+    return;
+  }
+
+  // Fragmented inputs — many tiny runs (deep conditional levels shred
+  // ts-lists into few-element pieces) — interleave too finely for any
+  // k-way scheme to beat introsort: concatenate and sort, exactly the
+  // pre-kernel path and byte-identical output.
+  if (total < active.size() * kFragmentedAvgRunLen) {
+    for (const TsRun& run : active) dst = CopyBlock(run.data, run.size, dst);
+    std::sort(out->begin(), out->end());
+    return;
+  }
+
+  // k >= 3 runs: bottom-up natural mergesort. Each round halves the run
+  // count with the adaptive two-run merge — ceil(log2 k) linear streaming
+  // passes instead of introsort's log2(n), and each pass gallops across
+  // whatever block structure the round before it built up. A k-way heap
+  // loses here: with finely interleaved runs the heap winner advances
+  // ~one element per pop/push round, costing log k indirect compares per
+  // element against this loop's one.
+  //
+  // The first round merges straight out of the caller's runs into `ping`;
+  // later rounds ping-pong between the slabs; the final two-run round
+  // writes into `out`. `bounds` holds run boundaries and is compacted in
+  // place (new bound j = old bound 2j, written only after it is read).
+  std::vector<size_t>& bounds = scratch->bounds;
+  bounds.clear();
+  bounds.push_back(0);
+  TimestampList& ping = scratch->ping;
+  if (ping.size() < total) ping.resize(total);
+  Timestamp* src = ping.data();
+  Timestamp* tmp = nullptr;
+  {
+    Timestamp* cursor = src;
+    size_t i = 0;
+    for (; i + 1 < active.size(); i += 2) {
+      cursor = MergeTwo(active[i], active[i + 1], cursor);
+      bounds.push_back(static_cast<size_t>(cursor - src));
+    }
+    if (i < active.size()) {
+      cursor = CopyBlock(active[i].data, active[i].size, cursor);
+      bounds.push_back(static_cast<size_t>(cursor - src));
+    }
+  }
+  size_t k = bounds.size() - 1;
+  if (k > 2) {
+    TimestampList& pong = scratch->pong;
+    if (pong.size() < total) pong.resize(total);
+    tmp = pong.data();
+  }
+  while (k > 2) {
+    Timestamp* cursor = tmp;
+    size_t next = 0;
+    size_t i = 0;
+    for (; i + 1 < k; i += 2) {
+      const TsRun a{src + bounds[i], bounds[i + 1] - bounds[i]};
+      const TsRun b{src + bounds[i + 1], bounds[i + 2] - bounds[i + 1]};
+      cursor = MergeTwo(a, b, cursor);
+      bounds[++next] = static_cast<size_t>(cursor - tmp);
+    }
+    if (i < k) {  // Odd run out: carried into the next round verbatim.
+      cursor = CopyBlock(src + bounds[i], bounds[i + 1] - bounds[i], cursor);
+      bounds[++next] = static_cast<size_t>(cursor - tmp);
+    }
+    k = next;
+    std::swap(src, tmp);
+  }
+  RPM_DCHECK(k == 2);
+  MergeTwo({src, bounds[1]}, {src + bounds[1], bounds[2] - bounds[1]}, dst);
+}
+
+}  // namespace rpm

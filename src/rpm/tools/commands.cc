@@ -171,6 +171,10 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
           << result.stats.mine_seconds << "s wall / "
           << result.stats.mine_cpu_seconds << "s cpu]";
     }
+    err << " [merge " << result.stats.merge_invocations << " calls / "
+        << result.stats.runs_merged << " runs / "
+        << result.stats.timestamps_merged << " ts, scratch peak "
+        << result.stats.scratch_bytes_peak << " B]";
     err << "\n";
     patterns = std::move(result.patterns);
   }

@@ -211,6 +211,84 @@ TEST(TolerantTest, SupportBoundIsValid) {
   }
 }
 
+TEST(FusedGateTest, MatchesSeparateGateAndScanOnPaperExample) {
+  // For every item list of the running example and a threshold grid, the
+  // fused single pass must agree with the two-pass formulation it fused:
+  // bound == ComputeRecurrenceUpperBound, and the intervals equal
+  // FindInterestingIntervals exactly when the gate passes.
+  TransactionDatabase db = PaperExampleDb();
+  std::vector<PeriodicInterval> fused;
+  for (ItemId item = 0; item < db.ItemUniverseSize(); ++item) {
+    TimestampList ts = db.TimestampsOf({item});
+    for (Timestamp per : {1, 2, 3, 5, 20}) {
+      for (uint64_t min_ps : {1u, 2u, 3u, 6u}) {
+        for (uint64_t min_rec : {1u, 2u, 3u}) {
+          RpParams params;
+          params.period = per;
+          params.min_ps = min_ps;
+          params.min_rec = min_rec;
+          GateOutcome outcome = ComputeGateAndIntervals(ts, params, &fused);
+          EXPECT_EQ(outcome.recurrence_upper_bound,
+                    ComputeRecurrenceUpperBound(ts, params));
+          EXPECT_EQ(outcome.passes,
+                    outcome.recurrence_upper_bound >= min_rec);
+          if (outcome.passes) {
+            EXPECT_EQ(fused, FindInterestingIntervals(ts, params));
+          } else {
+            EXPECT_TRUE(fused.empty());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedGateTest, MatchesSeparateGateAndScanUnderTolerance) {
+  TimestampList ts = {1, 2, 3, 10, 11, 12, 30, 31, 40};
+  std::vector<PeriodicInterval> fused;
+  for (uint32_t budget : {0u, 1u, 3u}) {
+    for (uint64_t min_rec : {1u, 2u, 5u}) {
+      RpParams params;
+      params.period = 2;
+      params.min_ps = 3;
+      params.min_rec = min_rec;
+      params.max_gap_violations = budget;
+      GateOutcome outcome = ComputeGateAndIntervals(ts, params, &fused);
+      // budget == 0 dispatches to the exact Erec model; otherwise the
+      // O(1) tolerant support quotient applies.
+      EXPECT_EQ(outcome.recurrence_upper_bound,
+                ComputeRecurrenceUpperBound(ts, params));
+      if (budget > 0) {
+        EXPECT_EQ(outcome.recurrence_upper_bound,
+                  ComputeTolerantRecurrenceBound(ts.size(), params.min_ps));
+      }
+      if (outcome.passes) {
+        EXPECT_EQ(fused, FindInterestingIntervals(ts, params));
+      } else {
+        EXPECT_TRUE(fused.empty());
+      }
+    }
+  }
+}
+
+TEST(FusedGateTest, EmptyAndSingletonLists) {
+  RpParams params;
+  params.period = 2;
+  params.min_ps = 1;
+  params.min_rec = 1;
+  std::vector<PeriodicInterval> fused = {{1, 2, 3}};  // Must be cleared.
+  GateOutcome outcome = ComputeGateAndIntervals({}, params, &fused);
+  EXPECT_EQ(outcome.recurrence_upper_bound, 0u);
+  EXPECT_FALSE(outcome.passes);
+  EXPECT_TRUE(fused.empty());
+
+  outcome = ComputeGateAndIntervals({5}, params, &fused);
+  EXPECT_EQ(outcome.recurrence_upper_bound, 1u);
+  EXPECT_TRUE(outcome.passes);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(fused[0], (PeriodicInterval{5, 5, 1}));
+}
+
 TEST(ParamsDispatchTest, UsesTolerantPathWhenConfigured) {
   RpParams params;
   params.period = 2;

@@ -58,6 +58,19 @@ void ExpectMatchesSequential(const TransactionDatabase& db,
   EXPECT_EQ(parallel.stats.patterns_emitted,
             sequential.stats.patterns_emitted)
       << "threads=" << threads;
+  // The merge-kernel counters are schedule-invariant: the parallel miner
+  // performs exactly the sequential miner's merges, only distributed over
+  // workers (the top-level ts_beta merges move into the projection pass,
+  // and each projection's conditional recursion is identical). Only
+  // scratch_bytes_peak may differ — it is a max over per-worker pools.
+  EXPECT_EQ(parallel.stats.merge_invocations,
+            sequential.stats.merge_invocations)
+      << "threads=" << threads;
+  EXPECT_EQ(parallel.stats.runs_merged, sequential.stats.runs_merged)
+      << "threads=" << threads;
+  EXPECT_EQ(parallel.stats.timestamps_merged,
+            sequential.stats.timestamps_merged)
+      << "threads=" << threads;
 }
 
 TEST(RpGrowthParallelTest, PaperExampleAllThreadCounts) {

@@ -57,6 +57,14 @@ TEST(RpGrowthTest, StatsReflectRun) {
   EXPECT_EQ(result.stats.patterns_emitted, 8u);
   EXPECT_GE(result.stats.patterns_examined, 8u);
   EXPECT_GE(result.stats.total_seconds, 0.0);
+  // The merge kernel ran: every examined candidate assembles its ts_beta
+  // through MergeSortedRuns, and the run/timestamp tallies cover at least
+  // the per-item lists the example's tree holds.
+  EXPECT_GT(result.stats.merge_invocations, 0u);
+  EXPECT_GT(result.stats.runs_merged, 0u);
+  EXPECT_GT(result.stats.timestamps_merged, 0u);
+  EXPECT_GE(result.stats.timestamps_merged, result.stats.runs_merged);
+  EXPECT_GT(result.stats.scratch_bytes_peak, 0u);
 }
 
 TEST(RpGrowthTest, SupportOnlyPruningGivesSameAnswer) {

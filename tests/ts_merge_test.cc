@@ -1,0 +1,238 @@
+// The merge kernel's only contract: MergeSortedRuns(runs) is
+// element-for-element identical to concatenating the runs and std::sort-ing
+// (duplicates kept), for every run count / length / interleaving — the
+// miners rely on that equivalence for bit-identical pattern output. The
+// property tests drive the kernel through all of its internal regimes
+// (copy, adaptive two-run, fragmented introsort fallback, natural
+// mergesort rounds) against the concat+sort oracle.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rpm/common/random.h"
+#include "rpm/core/ts_merge.h"
+
+namespace rpm {
+namespace {
+
+/// Oracle: the exact computation the kernel replaces.
+TimestampList ConcatAndSort(const std::vector<TimestampList>& lists) {
+  TimestampList all;
+  for (const TimestampList& list : lists) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+/// Splits every list into runs and merges them through a fresh scratch.
+TimestampList MergeLists(const std::vector<TimestampList>& lists,
+                         MergeCounters* counters = nullptr) {
+  std::vector<TsRun> runs;
+  for (const TimestampList& list : lists) {
+    AppendSortedRuns(list, &runs);
+  }
+  MergeScratch scratch;
+  MergeCounters local;
+  TimestampList out;
+  MergeSortedRuns(runs.data(), runs.size(), &out, &scratch,
+                  counters != nullptr ? counters : &local);
+  return out;
+}
+
+TEST(AppendSortedRunsTest, EmptyListContributesNothing) {
+  std::vector<TsRun> runs;
+  AppendSortedRuns({}, &runs);
+  EXPECT_TRUE(runs.empty());
+}
+
+TEST(AppendSortedRunsTest, SortedListIsOneRun) {
+  TimestampList ts = {1, 2, 2, 5, 9};
+  std::vector<TsRun> runs;
+  AppendSortedRuns(ts, &runs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].data, ts.data());
+  EXPECT_EQ(runs[0].size, ts.size());
+}
+
+TEST(AppendSortedRunsTest, SplitsAtEveryDescent) {
+  TimestampList ts = {3, 7, 1, 1, 4, 2};  // Runs: [3,7] [1,1,4] [2].
+  std::vector<TsRun> runs;
+  AppendSortedRuns(ts, &runs);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].size, 2u);
+  EXPECT_EQ(runs[1].size, 3u);
+  EXPECT_EQ(runs[2].size, 1u);
+  EXPECT_EQ(runs[1].data, ts.data() + 2);
+}
+
+TEST(AppendSortedRunsTest, StrictlyDecreasingIsAllSingletons) {
+  TimestampList ts = {9, 7, 5, 3};
+  std::vector<TsRun> runs;
+  AppendSortedRuns(ts, &runs);
+  ASSERT_EQ(runs.size(), 4u);
+  for (const TsRun& run : runs) EXPECT_EQ(run.size, 1u);
+}
+
+TEST(MergeSortedRunsTest, NoRunsYieldsEmpty) {
+  MergeScratch scratch;
+  MergeCounters counters;
+  TimestampList out = {42};  // Must be replaced, not appended to.
+  MergeSortedRuns(nullptr, 0, &out, &scratch, &counters);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(counters.merge_invocations, 1u);
+  EXPECT_EQ(counters.runs_merged, 0u);
+  EXPECT_EQ(counters.timestamps_merged, 0u);
+}
+
+TEST(MergeSortedRunsTest, AllEmptyRunsAreSkipped) {
+  std::vector<TsRun> runs(5);  // All {nullptr, 0}.
+  MergeScratch scratch;
+  MergeCounters counters;
+  TimestampList out;
+  MergeSortedRuns(runs.data(), runs.size(), &out, &scratch, &counters);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(counters.runs_merged, 0u);
+}
+
+TEST(MergeSortedRunsTest, SingleRunIsCopied) {
+  EXPECT_EQ(MergeLists({{1, 4, 4, 9}}), (TimestampList{1, 4, 4, 9}));
+}
+
+TEST(MergeSortedRunsTest, TwoInterleavedRuns) {
+  EXPECT_EQ(MergeLists({{1, 3, 5}, {2, 4, 6}}),
+            (TimestampList{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MergeSortedRunsTest, TwoDisjointRunsGallop) {
+  TimestampList a;
+  TimestampList b;
+  for (Timestamp t = 0; t < 100; ++t) a.push_back(t);
+  for (Timestamp t = 100; t < 200; ++t) b.push_back(t);
+  EXPECT_EQ(MergeLists({b, a}), ConcatAndSort({a, b}));
+}
+
+TEST(MergeSortedRunsTest, DuplicatesAcrossRunsAreKept) {
+  EXPECT_EQ(MergeLists({{2, 2, 5}, {2, 5, 5}, {2}}),
+            (TimestampList{2, 2, 2, 2, 5, 5, 5}));
+}
+
+TEST(MergeSortedRunsTest, CountersTallyRunsAndTimestamps) {
+  MergeCounters counters;
+  // {3,7,1,4} splits into [3,7] and [1,4]; plus one sorted list and one
+  // empty list: 3 non-empty runs, 7 timestamps.
+  TimestampList out = MergeLists({{3, 7, 1, 4}, {2, 5, 9}, {}}, &counters);
+  EXPECT_EQ(out.size(), 7u);
+  EXPECT_EQ(counters.merge_invocations, 1u);
+  EXPECT_EQ(counters.runs_merged, 3u);
+  EXPECT_EQ(counters.timestamps_merged, 7u);
+}
+
+TEST(MergeSortedRunsTest, ScratchIsReusableAcrossCalls) {
+  MergeScratch scratch;
+  MergeCounters counters;
+  std::vector<TimestampList> lists = {{5, 1, 3}, {2, 2, 8}, {7}};
+  std::vector<TsRun> runs;
+  for (const TimestampList& list : lists) AppendSortedRuns(list, &runs);
+  TimestampList out;
+  for (int round = 0; round < 3; ++round) {
+    MergeSortedRuns(runs.data(), runs.size(), &out, &scratch, &counters);
+    EXPECT_EQ(out, ConcatAndSort(lists)) << "round=" << round;
+  }
+  EXPECT_EQ(counters.merge_invocations, 3u);
+  EXPECT_GT(scratch.ByteFootprint(), 0u);
+}
+
+// --- Property tests against the oracle ------------------------------------
+
+/// One random instance: `num_lists` lists, each a concatenation of sorted
+/// runs whose lengths are geometric-ish with the given mean. Small value
+/// ranges force duplicates; empty lists appear regularly.
+std::vector<TimestampList> RandomLists(Rng* rng, size_t num_lists,
+                                       size_t mean_run_len,
+                                       Timestamp value_range) {
+  std::vector<TimestampList> lists(num_lists);
+  for (TimestampList& list : lists) {
+    if (rng->NextBernoulli(0.15)) continue;  // Stay empty.
+    const size_t num_runs = 1 + rng->NextUint64(4);
+    for (size_t r = 0; r < num_runs; ++r) {
+      size_t len = 1 + rng->NextUint64(2 * mean_run_len);
+      Timestamp t = static_cast<Timestamp>(rng->NextUint64(value_range));
+      for (size_t i = 0; i < len; ++i) {
+        list.push_back(t);
+        t += static_cast<Timestamp>(rng->NextUint64(4));  // 0 keeps dups.
+      }
+    }
+  }
+  return lists;
+}
+
+TEST(MergeSortedRunsPropertyTest, FragmentedTinyRunsMatchOracle) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t num_lists = 1 + rng.NextUint64(40);
+    std::vector<TimestampList> lists =
+        RandomLists(&rng, num_lists, /*mean_run_len=*/2, /*value_range=*/50);
+    EXPECT_EQ(MergeLists(lists), ConcatAndSort(lists)) << "trial=" << trial;
+  }
+}
+
+TEST(MergeSortedRunsPropertyTest, LongStructuredRunsMatchOracle) {
+  Rng rng(4711);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t num_lists = 1 + rng.NextUint64(16);
+    std::vector<TimestampList> lists = RandomLists(
+        &rng, num_lists, /*mean_run_len=*/60, /*value_range=*/5000);
+    EXPECT_EQ(MergeLists(lists), ConcatAndSort(lists)) << "trial=" << trial;
+  }
+}
+
+TEST(MergeSortedRunsPropertyTest, SkewedRunLengthsMatchOracle) {
+  // One huge run against many tiny ones: the galloping / carry-over paths.
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<TimestampList> lists;
+    TimestampList big;
+    Timestamp t = 0;
+    const size_t big_len = 500 + rng.NextUint64(500);
+    for (size_t i = 0; i < big_len; ++i) {
+      big.push_back(t += static_cast<Timestamp>(rng.NextUint64(3)));
+    }
+    lists.push_back(std::move(big));
+    const size_t num_tiny = rng.NextUint64(12);
+    for (size_t i = 0; i < num_tiny; ++i) {
+      TimestampList tiny;
+      tiny.push_back(static_cast<Timestamp>(rng.NextUint64(1500)));
+      if (rng.NextBernoulli(0.5)) {
+        tiny.push_back(tiny.back() + static_cast<Timestamp>(
+                                         rng.NextUint64(10)));
+      }
+      lists.push_back(std::move(tiny));
+    }
+    EXPECT_EQ(MergeLists(lists), ConcatAndSort(lists)) << "trial=" << trial;
+  }
+}
+
+TEST(MergeSortedRunsPropertyTest, EveryRunCountUpToSixtyFour) {
+  // Pins the round structure: every k hits a different pairing/carry
+  // pattern in the natural-mergesort rounds (odd k exercises carry-over).
+  Rng rng(7);
+  for (size_t k = 1; k <= 64; ++k) {
+    std::vector<TimestampList> lists;
+    for (size_t i = 0; i < k; ++i) {
+      TimestampList list;
+      const size_t len = 1 + rng.NextUint64(30);
+      Timestamp t = static_cast<Timestamp>(rng.NextUint64(100));
+      for (size_t j = 0; j < len; ++j) {
+        list.push_back(t += static_cast<Timestamp>(rng.NextUint64(5)));
+      }
+      lists.push_back(std::move(list));
+    }
+    EXPECT_EQ(MergeLists(lists), ConcatAndSort(lists)) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace rpm
