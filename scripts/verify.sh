@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a ThreadSanitizer pass over the parallel miner.
 #
-#   scripts/verify.sh          # full: build, ctest, TSan parallel test
-#   scripts/verify.sh --fast   # skip the TSan build
+#   scripts/verify.sh          # full: build, ctest, harness, TSan, UBSan
+#   scripts/verify.sh --fast   # skip the sanitizer builds
 #
 # The TSan stage uses a separate build tree (build-tsan/) configured with
 # -DRPM_SANITIZE=thread so instrumented objects never mix with the
@@ -13,6 +13,12 @@
 # (RPM_BENCH_SCALE set via the ctest "perf" label's environment) and
 # validates the JSON report it writes — catching both perf-pipeline rot
 # and cross-thread determinism violations, which the bench exits 1 on.
+#
+# The harness stages run the differential correctness harness
+# (`rpminer verify`, DESIGN.md §5b): a bounded smoke pass on the release
+# build, then the same pass under UBSan (build-ubsan/) so the
+# extreme-timestamp regimes double as an undefined-behavior probe of the
+# gap arithmetic.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,15 +39,25 @@ else
     && echo "BENCH_hotpath.json: present (python3 unavailable, grep check)"
 fi
 
+echo "== stage 3: differential harness smoke =="
+./build/src/rpminer verify --cases=200 --seed=7
+
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "verify: OK (TSan stage skipped)"
+  echo "verify: OK (TSan and UBSan stages skipped)"
   exit 0
 fi
 
-echo "== stage 2: ThreadSanitizer on the parallel miner =="
+echo "== stage 4: ThreadSanitizer on the parallel miner =="
 cmake -B build-tsan -S . -DRPM_SANITIZE=thread \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test
 ./build-tsan/tests/rp_growth_parallel_test
+
+echo "== stage 5: UBSan over the differential harness =="
+cmake -B build-ubsan -S . -DRPM_SANITIZE=undefined \
+      -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-ubsan -j"${JOBS}" --target rpminer
+UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-ubsan/src/rpminer verify --cases=200 --seed=7
 
 echo "verify: OK"

@@ -1,6 +1,7 @@
 #include "rpm/core/measures.h"
 
 #include "rpm/common/logging.h"
+#include "rpm/core/time_gap.h"
 
 namespace rpm {
 
@@ -10,7 +11,7 @@ std::vector<Timestamp> InterArrivalTimes(const TimestampList& ts) {
   iats.reserve(ts.size() - 1);
   for (size_t i = 1; i < ts.size(); ++i) {
     RPM_DCHECK(ts[i - 1] < ts[i]);
-    iats.push_back(ts[i] - ts[i - 1]);
+    iats.push_back(SaturatingGap(ts[i - 1], ts[i]));
   }
   return iats;
 }
@@ -23,7 +24,7 @@ std::vector<PeriodicInterval> DecomposePeriodicIntervals(
   Timestamp run_start = ts[0];
   uint64_t run_count = 1;
   for (size_t i = 1; i < ts.size(); ++i) {
-    if (ts[i] - ts[i - 1] <= period) {
+    if (GapWithinPeriod(ts[i - 1], ts[i], period)) {
       ++run_count;
     } else {
       out.push_back({run_start, ts[i - 1], run_count});
@@ -59,7 +60,7 @@ void FindInterestingIntervalsInto(const TimestampList& ts, Timestamp period,
   uint64_t current_ps = 1;
   for (size_t i = 1; i < ts.size(); ++i) {
     const Timestamp cur = ts[i];
-    if (cur - idl <= period) {
+    if (GapWithinPeriod(idl, cur, period)) {
       ++current_ps;
     } else {
       if (current_ps >= min_ps) out->push_back({start_ts, idl, current_ps});
@@ -91,7 +92,7 @@ uint64_t ComputeErec(const TimestampList& ts, Timestamp period,
   uint64_t erec = 0;
   uint64_t current_ps = 1;
   for (size_t i = 1; i < ts.size(); ++i) {
-    if (ts[i] - ts[i - 1] <= period) {
+    if (GapWithinPeriod(ts[i - 1], ts[i], period)) {
       ++current_ps;
     } else {
       erec += current_ps / min_ps;
@@ -118,7 +119,7 @@ void FindInterestingIntervalsTolerantInto(
   uint32_t violations = 0;
   for (size_t i = 1; i < ts.size(); ++i) {
     const Timestamp cur = ts[i];
-    if (cur - idl <= period) {
+    if (GapWithinPeriod(idl, cur, period)) {
       ++current_ps;
     } else if (violations < max_violations) {
       // Absorb the over-period gap: the run continues, the bridged
@@ -202,7 +203,7 @@ GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
   Timestamp start_ts = ts[0];
   uint64_t current_ps = 1;
   for (size_t i = 1; i < ts.size(); ++i) {
-    if (ts[i] - ts[i - 1] <= params.period) {
+    if (GapWithinPeriod(ts[i - 1], ts[i], params.period)) {
       ++current_ps;
     } else {
       erec += current_ps / params.min_ps;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rpm/common/logging.h"
+#include "rpm/core/time_gap.h"
 
 namespace rpm {
 
@@ -27,7 +28,7 @@ RpList BuildRpList(const TransactionDatabase& db, const RpParams& params) {
         s.erec = 0;
         s.idl = tr.ts;
         s.ps = 1;
-      } else if (tr.ts - s.idl <= params.period) {
+      } else if (GapWithinPeriod(s.idl, tr.ts, params.period)) {
         // Periodic reappearance (lines 7-8).
         ++s.support;
         ++s.ps;

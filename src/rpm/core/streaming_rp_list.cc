@@ -1,6 +1,7 @@
 #include "rpm/core/streaming_rp_list.h"
 
 #include "rpm/common/logging.h"
+#include "rpm/core/time_gap.h"
 
 namespace rpm {
 
@@ -11,6 +12,13 @@ StreamingRpList::StreamingRpList(Timestamp period, uint64_t min_ps)
 }
 
 Status StreamingRpList::Observe(ItemId item, Timestamp ts) {
+  if (item == kInvalidItem) {
+    // The sentinel is not a real item; without this guard the resize
+    // below would wrap (item + 1 == 0 in 32 bits) and the state access
+    // would run off the end of states_.
+    return Status::InvalidArgument("item id " + std::to_string(item) +
+                                   " is the reserved invalid-item sentinel");
+  }
   if (any_event_ && ts < last_ts_) {
     return Status::InvalidArgument(
         "out-of-order event: ts " + std::to_string(ts) + " after " +
@@ -19,7 +27,7 @@ Status StreamingRpList::Observe(ItemId item, Timestamp ts) {
   any_event_ = true;
   last_ts_ = ts;
   ++events_;
-  if (item >= states_.size()) states_.resize(item + 1);
+  if (item >= states_.size()) states_.resize(static_cast<size_t>(item) + 1);
 
   ItemState& s = states_[item];
   if (s.open_ps == 0) {
@@ -32,7 +40,7 @@ Status StreamingRpList::Observe(ItemId item, Timestamp ts) {
   }
   if (ts == s.idl) return Status::OK();  // Duplicate within a transaction.
   ++s.support;
-  if (ts - s.idl <= period_) {
+  if (GapWithinPeriod(s.idl, ts, period_)) {
     ++s.open_ps;
   } else {
     // Close the run (Algorithm 1 lines 10-11, plus interval bookkeeping).
@@ -49,6 +57,20 @@ Status StreamingRpList::Observe(ItemId item, Timestamp ts) {
 
 Status StreamingRpList::ObserveTransaction(Timestamp ts,
                                            const Itemset& items) {
+  // Validate before mutating anything so a rejected transaction leaves no
+  // partial state behind (Observe can only fail on these two checks).
+  for (ItemId item : items) {
+    if (item == kInvalidItem) {
+      return Status::InvalidArgument(
+          "item id " + std::to_string(item) +
+          " is the reserved invalid-item sentinel");
+    }
+  }
+  if (any_event_ && ts < last_ts_) {
+    return Status::InvalidArgument(
+        "out-of-order event: ts " + std::to_string(ts) + " after " +
+        std::to_string(last_ts_));
+  }
   for (ItemId item : items) {
     RPM_RETURN_NOT_OK(Observe(item, ts));
   }

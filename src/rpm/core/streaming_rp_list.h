@@ -29,10 +29,15 @@ class StreamingRpList {
   StreamingRpList(Timestamp period, uint64_t min_ps);
 
   /// Ingests one event. InvalidArgument if `ts` precedes the newest
-  /// timestamp already observed (the stream contract).
+  /// timestamp already observed (the stream contract) or `item` is the
+  /// kInvalidItem sentinel. Re-observing an item at its current newest
+  /// timestamp is a no-op, so duplicates within a transaction count once —
+  /// matching what batch Algorithm 1 sees after TdbBuilder deduplication.
   Status Observe(ItemId item, Timestamp ts);
 
-  /// Ingests all items of one transaction at `ts`.
+  /// Ingests all items of one transaction at `ts`. `items` need not be
+  /// sorted or duplicate-free (duplicates count once). Validates the whole
+  /// transaction up front: on error nothing is ingested.
   Status ObserveTransaction(Timestamp ts, const Itemset& items);
 
   /// Items observed so far (upper bound on ids + 1).

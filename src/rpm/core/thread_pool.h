@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -32,8 +34,12 @@ inline size_t ResolveThreadCount(size_t requested) {
 /// done. With num_workers <= 1 everything runs on the calling thread (no
 /// threads are spawned).
 ///
-/// fn must not throw: workers run under noexcept joins, and an exception
-/// escaping a worker terminates the process.
+/// fn should not throw — the library itself never does — but an exception
+/// escaping a task is contained rather than fatal: work distribution
+/// stops, every worker is joined, and the first captured exception is
+/// rethrown on the calling thread (previously it escaped a worker and
+/// terminated the process mid-join). Items already dispatched may or may
+/// not have run; callers treat a throwing ParallelFor as failed wholesale.
 inline void ParallelFor(size_t num_items, size_t num_workers,
                         const std::function<void(size_t, size_t)>& fn) {
   if (num_items == 0) return;
@@ -43,10 +49,23 @@ inline void ParallelFor(size_t num_items, size_t num_workers,
     return;
   }
   std::atomic<size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   auto drain = [&](size_t worker_id) {
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < num_items; i = next.fetch_add(1, std::memory_order_relaxed)) {
-      fn(worker_id, i);
+      try {
+        fn(worker_id, i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Park the shared index past the end so every worker, including
+        // this one, drains out at its next fetch.
+        next.store(num_items, std::memory_order_relaxed);
+        return;
+      }
     }
   };
   std::vector<std::thread> threads;
@@ -56,6 +75,7 @@ inline void ParallelFor(size_t num_items, size_t num_workers,
   }
   drain(0);  // The calling thread is worker 0.
   for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace rpm

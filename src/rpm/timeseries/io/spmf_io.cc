@@ -1,5 +1,6 @@
 #include "rpm/timeseries/io/spmf_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -28,6 +29,11 @@ Status ParseItems(std::string_view text, const SpmfParseOptions& options,
         return Status::Corruption("line " + std::to_string(line_no) +
                                   ": " + id.status().message());
       }
+      if (*id == kInvalidItem) {
+        return Status::Corruption(
+            "line " + std::to_string(line_no) + ": item id " +
+            std::to_string(*id) + " is the reserved invalid-item sentinel");
+      }
       out->push_back(*id);
     } else {
       out->push_back(dict->GetOrAdd(tok));
@@ -36,6 +42,17 @@ Status ParseItems(std::string_view text, const SpmfParseOptions& options,
   if (out->empty()) {
     return Status::Corruption("line " + std::to_string(line_no) +
                               ": transaction with no items");
+  }
+  // Enforce the Transaction invariant (sorted ascending, duplicate-free)
+  // here rather than relying on a downstream builder to clean up.
+  std::sort(out->begin(), out->end());
+  auto dup = std::unique(out->begin(), out->end());
+  if (dup != out->end()) {
+    if (options.strict) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": duplicate item in transaction");
+    }
+    out->erase(dup, out->end());
   }
   return Status::OK();
 }

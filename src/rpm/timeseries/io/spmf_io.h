@@ -32,7 +32,18 @@ struct SpmfParseOptions {
   /// Skip lines that are empty or start with '#' or '%' or '@' (SPMF
   /// metadata conventions).
   bool allow_comments = true;
+  /// Reject a line whose token list repeats an item instead of silently
+  /// deduplicating it. Use for inputs that are supposed to already be
+  /// valid transactions (duplicate tokens then indicate corruption).
+  bool strict = false;
 };
+
+/// Readers enforce the Transaction invariant at the boundary: each line's
+/// items come out sorted ascending and duplicate-free (Corruption under
+/// `strict` when tokens repeat), and in items_are_ids mode the reserved
+/// kInvalidItem id (4294967295) is rejected — accepting it verbatim would
+/// wrap every dense per-item array downstream. CRLF line endings and
+/// trailing whitespace are tolerated in all modes.
 
 /// Reads the plain format; timestamps are 1-based line numbers (counting
 /// only transaction lines).

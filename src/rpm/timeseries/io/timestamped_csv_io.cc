@@ -1,8 +1,10 @@
 #include "rpm/timeseries/io/timestamped_csv_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "rpm/common/csv.h"
 #include "rpm/common/string_util.h"
@@ -13,6 +15,7 @@ Result<EventCsvData> ReadEventCsv(std::istream* in,
                                   const EventCsvOptions& options) {
   CsvReader reader(in);
   EventCsvData data;
+  std::vector<Event> events;
   bool skip_header = options.has_header;
   for (;;) {
     CsvRow row;
@@ -41,9 +44,24 @@ Result<EventCsvData> ReadEventCsv(std::istream* in,
                                 std::to_string(reader.line_number()) +
                                 ": empty item name");
     }
-    data.sequence.Add(data.dictionary.GetOrAdd(name), *ts);
+    events.push_back({data.dictionary.GetOrAdd(name), *ts});
   }
-  data.sequence.Normalize();
+  // Enforce the boundary invariant: normalized order, no exact-duplicate
+  // events.
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.ts != b.ts ? a.ts < b.ts : a.item < b.item;
+            });
+  auto dup = std::adjacent_find(events.begin(), events.end());
+  if (dup != events.end()) {
+    if (options.strict) {
+      return Status::Corruption(
+          "duplicate event (ts " + std::to_string(dup->ts) + ", item '" +
+          data.dictionary.NameOf(dup->item) + "')");
+    }
+    events.erase(std::unique(events.begin(), events.end()), events.end());
+  }
+  data.sequence = EventSequence(std::move(events));
   return data;
 }
 

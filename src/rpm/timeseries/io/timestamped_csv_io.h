@@ -19,9 +19,17 @@ namespace rpm {
 struct EventCsvOptions {
   /// Skip the first row (column headers).
   bool has_header = true;
+  /// Reject a row that repeats an earlier (timestamp, item) event instead
+  /// of silently deduplicating it. Exact duplicates carry no information
+  /// (the TDB conversion collapses them); under strict they indicate a
+  /// corrupt export.
+  bool strict = false;
 };
 
 /// Parsed events plus the dictionary that interned the item names.
+/// The sequence comes back normalized (sorted by timestamp then item) and
+/// free of exact-duplicate events; CRLF endings and whitespace around
+/// fields are tolerated.
 struct EventCsvData {
   EventSequence sequence;
   ItemDictionary dictionary;

@@ -21,6 +21,7 @@
 #include "rpm/timeseries/io/spmf_io.h"
 #include "rpm/timeseries/io/timestamped_csv_io.h"
 #include "rpm/timeseries/tdb_builder.h"
+#include "rpm/verify/harness.h"
 
 namespace rpm::tools {
 
@@ -475,6 +476,47 @@ int CmdConvert(int argc, const char* const* argv, std::ostream& out,
   return 0;
 }
 
+int CmdVerify(int argc, const char* const* argv, std::ostream& out,
+              std::ostream& err) {
+  FlagParser parser("rpminer verify",
+                    "differential correctness harness: randomized cases "
+                    "cross-checked against the definitional oracle, the "
+                    "parallel miner and the streaming RP-list");
+  uint64_t cases = 200, seed = 7, threads = 4, max_failures = 5;
+  bool no_oracle = false, no_parallel = false, no_streaming = false;
+  parser.AddUint64("cases", 200, "number of generated cases", &cases);
+  parser.AddUint64("seed", 7, "case-stream seed (reproducible)", &seed);
+  parser.AddUint64("threads", 4, "worker threads for the parallel check",
+                   &threads);
+  parser.AddUint64("max-failures", 5,
+                   "stop after this many divergent cases", &max_failures);
+  parser.AddBool("no-oracle", false, "skip the brute-force oracle check",
+                 &no_oracle);
+  parser.AddBool("no-parallel", false,
+                 "skip the sequential-vs-parallel check", &no_parallel);
+  parser.AddBool("no-streaming", false,
+                 "skip the streaming-vs-batch RP-list check", &no_streaming);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  if (cases == 0) {
+    err << "--cases must be >= 1\n";
+    return 1;
+  }
+  verify::VerifyOptions options;
+  options.cases = cases;
+  options.seed = seed;
+  options.max_failures = max_failures == 0 ? 1 : max_failures;
+  options.cross_check.check_oracle = !no_oracle;
+  options.cross_check.check_parallel = !no_parallel;
+  options.cross_check.check_streaming = !no_streaming;
+  options.cross_check.parallel_threads = threads;
+  verify::VerifyReport report = verify::RunVerification(options);
+  out << verify::FormatReport(report, options);
+  return report.ok() ? 0 : 2;
+}
+
 }  // namespace
 
 std::string RpminerUsage() {
@@ -488,6 +530,8 @@ std::string RpminerUsage() {
          "  compare   PF vs recurring vs p-patterns on one input\n"
          "  generate  synthesize quest|shop14|twitter dataset\n"
          "  convert   event CSV -> timestamped SPMF\n"
+         "  verify    differential correctness harness (randomized "
+         "cross-checks)\n"
          "run 'rpminer <command> --help' is not supported; invalid flags "
          "print the command's flag list\n";
 }
@@ -512,6 +556,7 @@ int RunRpminer(int argc, const char* const* argv, std::ostream& out,
     return CmdGenerate(sub_argc, sub_argv, out, err);
   }
   if (command == "convert") return CmdConvert(sub_argc, sub_argv, out, err);
+  if (command == "verify") return CmdVerify(sub_argc, sub_argv, out, err);
   err << "unknown command '" << command << "'\n" << RpminerUsage();
   return 1;
 }

@@ -1,0 +1,50 @@
+// Seeded randomized-case generation for the differential correctness
+// harness (src/rpm/verify).
+//
+// Each case is a (database, thresholds) pair drawn from one of several
+// generation regimes chosen to stress the boundary semantics of the
+// recurrence measures: gaps straddling the period threshold exactly,
+// negative timestamps, timestamps adjacent to INT64_MIN/MAX (where naive
+// gap subtraction overflows), dense bursts, and degenerate shapes (empty
+// databases, single transactions, single items). Case `index` under seed
+// `seed` is a pure function of (seed, index): a failing case reported by
+// the harness is reproducible from those two numbers alone.
+
+#ifndef RPM_VERIFY_CASE_GENERATOR_H_
+#define RPM_VERIFY_CASE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rpm/core/mining_params.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::verify {
+
+/// One generated harness case.
+struct VerifyCase {
+  /// Generation-regime tag ("dense", "period_boundary", "int64_extreme",
+  /// ...) — reported with failures so regressions localize quickly.
+  std::string regime;
+  TransactionDatabase db;
+  RpParams params;
+};
+
+/// All regime tags MakeVerifyCase can produce, for reporting.
+inline constexpr const char* kRegimes[] = {
+    "dense",           // Small gaps, several items, bursts planted.
+    "sparse",          // Long gaps, low item probability.
+    "period_boundary", // Every gap lands in {period-1, period, period+1}.
+    "negative_ts",     // Timeline entirely below zero.
+    "int64_extreme",   // Timestamps adjacent to INT64_MIN and/or INT64_MAX.
+    "degenerate",      // Empty db, one transaction, or one item.
+};
+
+/// Deterministically derives case `index` of stream `seed`. The item
+/// universe is kept small enough for the definitional oracle
+/// (<= kMaxDefinitionalItems).
+VerifyCase MakeVerifyCase(uint64_t seed, uint64_t index);
+
+}  // namespace rpm::verify
+
+#endif  // RPM_VERIFY_CASE_GENERATOR_H_

@@ -1,0 +1,238 @@
+#include "rpm/verify/cross_check.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rpm/core/brute_force.h"
+#include "rpm/core/measures.h"
+#include "rpm/core/rp_growth.h"
+#include "rpm/core/rp_list.h"
+#include "rpm/core/streaming_rp_list.h"
+
+namespace rpm::verify {
+
+namespace {
+
+std::string ItemsetToString(const Itemset& items) {
+  std::string s = "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) s += ' ';
+    s += std::to_string(items[i]);
+  }
+  s += '}';
+  return s;
+}
+
+std::string IntervalsToString(const std::vector<PeriodicInterval>& ivs) {
+  std::string s = "[";
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    if (i > 0) s += ' ';
+    s += '[';
+    s += std::to_string(ivs[i].begin);
+    s += ',';
+    s += std::to_string(ivs[i].end);
+    s += "]:";
+    s += std::to_string(ivs[i].periodic_support);
+  }
+  s += ']';
+  return s;
+}
+
+/// Collects divergences for one check, enforcing the per-check cap.
+class Collector {
+ public:
+  Collector(std::string check, size_t cap, std::vector<Divergence>* out)
+      : check_(std::move(check)), cap_(cap), out_(out) {}
+
+  void Add(std::string detail) {
+    ++count_;
+    if (cap_ == 0 || count_ <= cap_) {
+      out_->push_back({check_, std::move(detail)});
+    }
+  }
+
+  ~Collector() {
+    if (cap_ != 0 && count_ > cap_) {
+      out_->push_back({check_, "... and " + std::to_string(count_ - cap_) +
+                                   " further divergence(s) elided"});
+    }
+  }
+
+ private:
+  std::string check_;
+  size_t cap_;
+  size_t count_ = 0;
+  std::vector<Divergence>* out_;
+};
+
+/// Merge-walks two canonically sorted pattern sets and reports every
+/// missing, extra, or value-mismatched pattern. `got_name`/`want_name`
+/// label the two sides in the rendered details.
+void DiffPatternSets(std::vector<RecurringPattern> got,
+                     std::vector<RecurringPattern> want,
+                     const char* got_name, const char* want_name,
+                     Collector* out) {
+  SortPatternsCanonically(&got);
+  SortPatternsCanonically(&want);
+  size_t i = 0, j = 0;
+  auto items_less = [](const RecurringPattern& a, const RecurringPattern& b) {
+    return std::lexicographical_compare(a.items.begin(), a.items.end(),
+                                        b.items.begin(), b.items.end());
+  };
+  while (i < got.size() || j < want.size()) {
+    if (j == want.size() ||
+        (i < got.size() && items_less(got[i], want[j]))) {
+      out->Add("pattern " + ItemsetToString(got[i].items) + " emitted by " +
+               got_name + " but not by " + want_name);
+      ++i;
+    } else if (i == got.size() || items_less(want[j], got[i])) {
+      out->Add("pattern " + ItemsetToString(want[j].items) + " emitted by " +
+               want_name + " but not by " + got_name);
+      ++j;
+    } else {
+      const RecurringPattern& g = got[i];
+      const RecurringPattern& w = want[j];
+      if (g.support != w.support) {
+        out->Add("pattern " + ItemsetToString(g.items) + ": support " +
+                 std::to_string(g.support) + " (" + got_name + ") vs " +
+                 std::to_string(w.support) + " (" + want_name + ")");
+      }
+      if (g.intervals != w.intervals) {
+        out->Add("pattern " + ItemsetToString(g.items) + ": intervals " +
+                 IntervalsToString(g.intervals) + " (" + got_name + ") vs " +
+                 IntervalsToString(w.intervals) + " (" + want_name + ")");
+      }
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void CompareStat(const char* name, size_t seq, size_t par, Collector* out) {
+  if (seq != par) {
+    out->Add(std::string("stat ") + name + ": " + std::to_string(seq) +
+             " (sequential) vs " + std::to_string(par) + " (parallel)");
+  }
+}
+
+void CheckStreaming(const TransactionDatabase& db, const RpParams& params,
+                    Collector* out) {
+  StreamingRpList stream(params.period, params.min_ps);
+  for (const Transaction& tr : db.transactions()) {
+    Status s = stream.ObserveTransaction(tr.ts, tr.items);
+    if (!s.ok()) {
+      out->Add("ObserveTransaction(ts=" + std::to_string(tr.ts) +
+               ") rejected a valid transaction: " + s.message());
+      return;
+    }
+  }
+
+  const RpList batch = BuildRpList(db, params);
+  for (const RpListEntry& entry : batch.entries()) {
+    const ItemId item = entry.item;
+    const std::string tag = "item " + std::to_string(item);
+    if (stream.SupportOf(item) != entry.support) {
+      out->Add(tag + ": support " + std::to_string(stream.SupportOf(item)) +
+               " (streaming) vs " + std::to_string(entry.support) +
+               " (batch)");
+    }
+    if (stream.ErecOf(item) != entry.erec) {
+      out->Add(tag + ": erec " + std::to_string(stream.ErecOf(item)) +
+               " (streaming) vs " + std::to_string(entry.erec) + " (batch)");
+    }
+    // Reconstruct IPI^{item} from the streaming state: the closed
+    // interesting intervals plus the open run when it already qualifies.
+    std::vector<PeriodicInterval> streamed = stream.ClosedIntervalsOf(item);
+    PeriodicInterval open = stream.OpenRunOf(item);
+    if (open.periodic_support >= params.min_ps) streamed.push_back(open);
+    std::vector<PeriodicInterval> expected = FindInterestingIntervals(
+        db.TimestampsOf({item}), params.period, params.min_ps);
+    if (streamed != expected) {
+      out->Add(tag + ": intervals " + IntervalsToString(streamed) +
+               " (streaming) vs " + IntervalsToString(expected) + " (batch)");
+    }
+    if (stream.RecurrenceOf(item) != expected.size()) {
+      out->Add(tag + ": recurrence " +
+               std::to_string(stream.RecurrenceOf(item)) +
+               " (streaming) vs " + std::to_string(expected.size()) +
+               " (batch)");
+    }
+  }
+
+  std::vector<ItemId> stream_cand = stream.CandidateItems(params.min_rec);
+  std::sort(stream_cand.begin(), stream_cand.end());
+  std::vector<ItemId> batch_cand;
+  for (const RpListEntry& e : batch.candidates()) batch_cand.push_back(e.item);
+  std::sort(batch_cand.begin(), batch_cand.end());
+  if (stream_cand != batch_cand) {
+    out->Add("candidate set: " + ItemsetToString(stream_cand) +
+             " (streaming) vs " + ItemsetToString(batch_cand) + " (batch)");
+  }
+}
+
+}  // namespace
+
+std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
+                                       const RpParams& params,
+                                       const CrossCheckOptions& options) {
+  std::vector<Divergence> divergences;
+
+  // The real sequential run anchors everything: the parallel pattern/stats
+  // baseline, and — unless a fault-injected miner stands in — the subject
+  // of the oracle check.
+  RpGrowthOptions seq_options;
+  seq_options.num_threads = 1;
+  RpGrowthResult seq = MineRecurringPatterns(db, params, seq_options);
+  std::vector<RecurringPattern> subject =
+      options.sequential_miner ? options.sequential_miner(db, params)
+                               : seq.patterns;
+
+  if (options.check_oracle &&
+      db.ItemUniverseSize() <= kMaxDefinitionalItems) {
+    Collector out("oracle", options.max_divergences_per_check, &divergences);
+    DiffPatternSets(subject, MineByDefinition(db, params), "rp-growth",
+                    "oracle", &out);
+  }
+
+  if (options.check_parallel) {
+    Collector out("parallel", options.max_divergences_per_check,
+                  &divergences);
+    RpGrowthOptions par_options;
+    par_options.num_threads =
+        options.parallel_threads > 1 ? options.parallel_threads : 2;
+    RpGrowthResult par = MineRecurringPatterns(db, params, par_options);
+    DiffPatternSets(subject, par.patterns, "sequential", "parallel", &out);
+    // Schedule-invariant counters must not depend on the worker count.
+    const RpGrowthStats& a = seq.stats;
+    const RpGrowthStats& b = par.stats;
+    CompareStat("num_items", a.num_items, b.num_items, &out);
+    CompareStat("num_candidate_items", a.num_candidate_items,
+                b.num_candidate_items, &out);
+    CompareStat("initial_tree_nodes", a.initial_tree_nodes,
+                b.initial_tree_nodes, &out);
+    CompareStat("conditional_trees", a.conditional_trees, b.conditional_trees,
+                &out);
+    CompareStat("patterns_examined", a.patterns_examined, b.patterns_examined,
+                &out);
+    CompareStat("patterns_emitted", a.patterns_emitted, b.patterns_emitted,
+                &out);
+    CompareStat("merge_invocations", a.merge_invocations, b.merge_invocations,
+                &out);
+    CompareStat("runs_merged", a.runs_merged, b.runs_merged, &out);
+    CompareStat("timestamps_merged", a.timestamps_merged, b.timestamps_merged,
+                &out);
+  }
+
+  // The streaming structure implements the exact model only.
+  if (options.check_streaming && params.max_gap_violations == 0) {
+    Collector out("streaming", options.max_divergences_per_check,
+                  &divergences);
+    CheckStreaming(db, params, &out);
+  }
+
+  return divergences;
+}
+
+}  // namespace rpm::verify

@@ -1,0 +1,97 @@
+#include "rpm/verify/harness.h"
+
+#include <string>
+#include <utility>
+
+#include "rpm/verify/case_generator.h"
+#include "rpm/verify/shrinker.h"
+
+namespace rpm::verify {
+
+VerifyReport RunVerification(const VerifyOptions& options) {
+  VerifyReport report;
+  for (uint64_t index = 0; index < options.cases; ++index) {
+    VerifyCase c = MakeVerifyCase(options.seed, index);
+    ++report.cases_run;
+    if (options.cross_check.check_oracle) ++report.oracle_checks;
+    if (options.cross_check.check_parallel) ++report.parallel_checks;
+    if (options.cross_check.check_streaming &&
+        c.params.max_gap_violations == 0) {
+      ++report.streaming_checks;
+    }
+
+    std::vector<Divergence> divergences =
+        CrossCheckCase(c.db, c.params, options.cross_check);
+    if (divergences.empty()) continue;
+
+    CaseFailure failure;
+    failure.case_index = index;
+    failure.regime = c.regime;
+    failure.divergences = std::move(divergences);
+
+    // Minimize: keep any database on which the cross-checks still
+    // disagree (not necessarily with the original divergence text — any
+    // disagreement pins the bug).
+    const CrossCheckOptions& cc = options.cross_check;
+    ShrinkResult shrunk = ShrinkFailingCase(
+        c.db, c.params,
+        [&cc](const TransactionDatabase& db, const RpParams& params) {
+          return !CrossCheckCase(db, params, cc).empty();
+        });
+    failure.original_transactions = shrunk.original_transactions;
+    failure.shrunk_transactions = shrunk.shrunk_transactions;
+    failure.fixture = RenderFixture(shrunk.db, shrunk.params);
+    report.failures.push_back(std::move(failure));
+
+    if (report.failures.size() >= options.max_failures) break;
+  }
+  return report;
+}
+
+std::string FormatReport(const VerifyReport& report,
+                         const VerifyOptions& options) {
+  std::string s;
+  s += "verify: " + std::to_string(report.cases_run) + " case(s), seed " +
+       std::to_string(options.seed) + "\n";
+  s += "checks: oracle " + std::to_string(report.oracle_checks) +
+       ", parallel " + std::to_string(report.parallel_checks) +
+       ", streaming " + std::to_string(report.streaming_checks) + "\n";
+  if (report.ok()) {
+    s += "result: OK — all implementations agree on every case\n";
+    return s;
+  }
+  s += "result: " + std::to_string(report.failures.size()) +
+       " divergent case(s)";
+  if (report.failures.size() >= options.max_failures &&
+      report.cases_run < options.cases) {
+    s += " (stopped early after " + std::to_string(report.cases_run) + "/" +
+         std::to_string(options.cases) + " cases)";
+  }
+  s += "\n";
+  for (const CaseFailure& f : report.failures) {
+    s += "\n--- case " + std::to_string(f.case_index) + " (seed " +
+         std::to_string(options.seed) + ", regime " + f.regime + ") ---\n";
+    for (const Divergence& d : f.divergences) {
+      s += "  [" + d.check + "] " + d.detail + "\n";
+    }
+    s += "  shrunk " + std::to_string(f.original_transactions) + " -> " +
+         std::to_string(f.shrunk_transactions) + " transaction(s)\n";
+    s += "  minimal fixture (paste into a regression test):\n";
+    // Indent the fixture block for readability.
+    std::string indented;
+    indented.reserve(f.fixture.size() + 64);
+    indented += "    ";
+    for (char ch : f.fixture) {
+      indented += ch;
+      if (ch == '\n') indented += "    ";
+    }
+    // Drop the trailing indent after the final newline.
+    if (indented.size() >= 4) indented.resize(indented.size() - 4);
+    s += indented;
+    s += "  reproduce: MakeVerifyCase(" + std::to_string(options.seed) +
+         ", " + std::to_string(f.case_index) + ")\n";
+  }
+  return s;
+}
+
+}  // namespace rpm::verify

@@ -1,0 +1,163 @@
+#include "rpm/verify/shrinker.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rpm::verify {
+
+namespace {
+
+/// Rebuilds a database from a transaction subsequence. Any subsequence of
+/// valid transactions is itself valid (order and item invariants are
+/// per-transaction or preserved by omission), so the direct constructor
+/// applies.
+TransactionDatabase FromTransactions(std::vector<Transaction> txns,
+                                     const TransactionDatabase& original) {
+  return TransactionDatabase(std::move(txns), original.dictionary());
+}
+
+struct ShrinkContext {
+  const TransactionDatabase* original;
+  const RpParams* params;
+  const FailurePredicate* still_fails;
+  size_t evaluations = 0;
+
+  bool Fails(std::vector<Transaction> txns) {
+    ++evaluations;
+    return (*still_fails)(FromTransactions(std::move(txns), *original),
+                          *params);
+  }
+};
+
+/// Classic ddmin over whole transactions: try dropping ever-smaller chunks
+/// while the failure persists.
+std::vector<Transaction> DdminTransactions(std::vector<Transaction> current,
+                                           ShrinkContext* ctx) {
+  size_t granularity = 2;
+  while (current.size() >= 2) {
+    const size_t chunk =
+        std::max<size_t>(1, (current.size() + granularity - 1) / granularity);
+    bool reduced = false;
+    for (size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<Transaction> candidate;
+      candidate.reserve(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) candidate.push_back(current[i]);
+      }
+      if (candidate.empty()) continue;
+      if (ctx->Fails(candidate)) {
+        current = std::move(candidate);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk <= 1) break;  // Already at single-transaction granularity.
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  // Final one-by-one sweep: ddmin with a shrinking base can skip single
+  // removals that only become possible late.
+  for (size_t i = 0; i < current.size() && current.size() > 1;) {
+    std::vector<Transaction> candidate = current;
+    candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+    if (ctx->Fails(candidate)) {
+      current = std::move(candidate);
+      i = 0;  // Earlier removals may have been unblocked.
+    } else {
+      ++i;
+    }
+  }
+  return current;
+}
+
+/// Removes single items (dropping transactions that become empty) until no
+/// single-item removal preserves the failure.
+std::vector<Transaction> MinimizeItems(std::vector<Transaction> current,
+                                       ShrinkContext* ctx) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t t = 0; t < current.size(); ++t) {
+      for (size_t k = 0; k < current[t].items.size();) {
+        std::vector<Transaction> candidate = current;
+        candidate[t].items.erase(candidate[t].items.begin() +
+                                 static_cast<ptrdiff_t>(k));
+        if (candidate[t].items.empty()) {
+          candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(t));
+        }
+        if (ctx->Fails(candidate)) {
+          current = std::move(candidate);
+          progressed = true;
+          if (t >= current.size()) break;  // Transaction t was dropped.
+          // Same k now names the next item; re-test it.
+        } else {
+          ++k;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkFailingCase(const TransactionDatabase& db,
+                               const RpParams& params,
+                               const FailurePredicate& still_fails) {
+  ShrinkResult result;
+  result.params = params;
+  result.original_transactions = db.size();
+
+  ShrinkContext ctx;
+  ctx.original = &db;
+  ctx.params = &params;
+  ctx.still_fails = &still_fails;
+
+  std::vector<Transaction> current = db.transactions();
+  if (!ctx.Fails(current)) {
+    // Not a failing case — nothing to minimize.
+    result.db = FromTransactions(std::move(current), db);
+    result.shrunk_transactions = result.original_transactions;
+    result.predicate_evaluations = ctx.evaluations;
+    return result;
+  }
+
+  current = DdminTransactions(std::move(current), &ctx);
+  current = MinimizeItems(std::move(current), &ctx);
+
+  result.shrunk_transactions = current.size();
+  result.db = FromTransactions(std::move(current), db);
+  result.predicate_evaluations = ctx.evaluations;
+  return result;
+}
+
+std::string RenderFixture(const TransactionDatabase& db,
+                          const RpParams& params) {
+  std::string s;
+  s += "RpParams params;\n";
+  s += "params.period = " + std::to_string(params.period) + ";\n";
+  s += "params.min_ps = " + std::to_string(params.min_ps) + ";\n";
+  s += "params.min_rec = " + std::to_string(params.min_rec) + ";\n";
+  if (params.max_gap_violations != 0) {
+    s += "params.max_gap_violations = " +
+         std::to_string(params.max_gap_violations) + ";\n";
+  }
+  s += "TransactionDatabase db = MakeDatabase({\n";
+  for (const Transaction& tr : db.transactions()) {
+    s += "    {" + std::to_string(tr.ts) + ", {";
+    for (size_t i = 0; i < tr.items.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(tr.items[i]);
+    }
+    s += "}},\n";
+  }
+  s += "});\n";
+  return s;
+}
+
+}  // namespace rpm::verify

@@ -1,0 +1,57 @@
+// Failing-case minimization (delta debugging) for the differential
+// harness.
+//
+// A randomized case that exposes a divergence is usually far larger than
+// the bug needs: ShrinkFailingCase removes transactions (ddmin over
+// chunks, then one-by-one) and then individual items, re-running the
+// failure predicate after every candidate reduction, until the database
+// is 1-minimal — no single transaction or item can be removed without the
+// divergence disappearing. RenderFixture turns the survivor into a
+// ready-to-paste C++ MakeDatabase literal for a regression test.
+
+#ifndef RPM_VERIFY_SHRINKER_H_
+#define RPM_VERIFY_SHRINKER_H_
+
+#include <functional>
+#include <string>
+
+#include "rpm/core/mining_params.h"
+#include "rpm/timeseries/transaction_database.h"
+
+namespace rpm::verify {
+
+/// Returns true when the (reduced) case still exhibits the failure.
+/// Must be deterministic: the shrinker re-evaluates it many times.
+using FailurePredicate =
+    std::function<bool(const TransactionDatabase&, const RpParams&)>;
+
+struct ShrinkResult {
+  TransactionDatabase db;  ///< 1-minimal failing database.
+  RpParams params;         ///< Unchanged from the input case.
+  size_t original_transactions = 0;
+  size_t shrunk_transactions = 0;
+  size_t predicate_evaluations = 0;  ///< Cost accounting.
+};
+
+/// Minimizes `db` under `still_fails`. Precondition: still_fails(db,
+/// params) is true (checked — a non-failing input is returned unchanged
+/// with shrunk == original).
+ShrinkResult ShrinkFailingCase(const TransactionDatabase& db,
+                               const RpParams& params,
+                               const FailurePredicate& still_fails);
+
+/// Renders the case as a compilable C++ fixture:
+///
+///   RpParams params;
+///   params.period = 2;
+///   ...
+///   TransactionDatabase db = MakeDatabase({
+///       {1, {0, 2}},
+///       {3, {0}},
+///   });
+std::string RenderFixture(const TransactionDatabase& db,
+                          const RpParams& params);
+
+}  // namespace rpm::verify
+
+#endif  // RPM_VERIFY_SHRINKER_H_

@@ -174,5 +174,105 @@ TEST(EventCsvTest, RoundTrip) {
   EXPECT_EQ(parsed->sequence.PointSequenceOf(0), (TimestampList{1, 3}));
 }
 
+// --- Reader-boundary invariant enforcement ---------------------------------
+
+TEST(SpmfBoundaryTest, ToleratesCrlfLineEndings) {
+  std::istringstream in("1|a b\r\n2|c\r\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->size(), 2u);
+  // The '\r' must not leak into the last item name.
+  EXPECT_EQ(db->dictionary().NameOf(db->transaction(0).items.back()), "b");
+  EXPECT_EQ(db->dictionary().NameOf(db->transaction(1).items.front()), "c");
+}
+
+TEST(SpmfBoundaryTest, ToleratesTrailingWhitespace) {
+  std::istringstream in("1|a b  \t \n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->transaction(0).items.size(), 2u);
+}
+
+TEST(SpmfBoundaryTest, DuplicateTokensCollapseByDefault) {
+  std::istringstream in("1|a a b a\n");
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  // The transaction invariant (sorted, duplicate-free) holds at the
+  // boundary — not just after a downstream builder pass.
+  EXPECT_EQ(db->transaction(0).items, (Itemset{0, 1}));
+  EXPECT_TRUE(db->Validate().ok());
+}
+
+TEST(SpmfBoundaryTest, DuplicateTokensRejectedUnderStrict) {
+  std::istringstream in("1|a a b\n");
+  SpmfParseOptions options;
+  options.strict = true;
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in, options);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+  EXPECT_NE(db.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SpmfBoundaryTest, UnsortedIdsAreSortedAtTheBoundary) {
+  std::istringstream in("9 5 3\n");
+  SpmfParseOptions options;
+  options.items_are_ids = true;
+  Result<TransactionDatabase> db = ReadSpmf(&in, options);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->transaction(0).items, (Itemset{3, 5, 9}));
+}
+
+TEST(SpmfBoundaryTest, RejectsReservedInvalidItemId) {
+  // 4294967295 == kInvalidItem. Accepting it verbatim used to wrap the
+  // item-universe computation (max_id + 1 == 0) and index dense per-item
+  // arrays out of bounds in the miners.
+  std::istringstream in("1|4294967295\n");
+  SpmfParseOptions options;
+  options.items_are_ids = true;
+  Result<TransactionDatabase> db = ReadTimestampedSpmf(&in, options);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption());
+  EXPECT_NE(db.status().message().find("reserved"), std::string::npos);
+}
+
+TEST(EventCsvBoundaryTest, ToleratesCrlfLineEndings) {
+  std::istringstream in("timestamp,item\r\n1,a\r\n2,b\r\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_TRUE(data.ok()) << data.status();
+  ASSERT_EQ(data->sequence.size(), 2u);
+  EXPECT_EQ(data->dictionary.NameOf(data->sequence.events()[1].item), "b");
+}
+
+TEST(EventCsvBoundaryTest, DuplicateEventsCollapseByDefault) {
+  std::istringstream in("ts,item\n1,a\n1,a\n2,a\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_TRUE(data.ok()) << data.status();
+  ASSERT_EQ(data->sequence.size(), 2u);
+  EXPECT_EQ(data->sequence.PointSequenceOf(0), (TimestampList{1, 2}));
+}
+
+TEST(EventCsvBoundaryTest, DuplicateEventsRejectedUnderStrict) {
+  std::istringstream in("ts,item\n1,a\n1,a\n");
+  EventCsvOptions options;
+  options.strict = true;
+  Result<EventCsvData> data = ReadEventCsv(&in, options);
+  ASSERT_FALSE(data.ok());
+  EXPECT_TRUE(data.status().IsCorruption());
+  EXPECT_NE(data.status().message().find("duplicate event"),
+            std::string::npos);
+  EXPECT_NE(data.status().message().find("'a'"), std::string::npos);
+}
+
+TEST(EventCsvBoundaryTest, OutOfOrderRowsAreNormalized) {
+  std::istringstream in("ts,item\n5,b\n1,a\n3,a\n");
+  Result<EventCsvData> data = ReadEventCsv(&in);
+  ASSERT_TRUE(data.ok()) << data.status();
+  Result<ItemId> a = data->dictionary.Lookup("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(data->sequence.PointSequenceOf(*a), (TimestampList{1, 3}));
+  EXPECT_EQ(data->sequence.events().front().ts, 1);
+  EXPECT_EQ(data->sequence.events().back().ts, 5);
+}
+
 }  // namespace
 }  // namespace rpm

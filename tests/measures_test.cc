@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "test_util.h"
 
 namespace rpm {
@@ -301,6 +303,94 @@ TEST(ParamsDispatchTest, UsesTolerantPathWhenConfigured) {
   params.max_gap_violations = 0;
   EXPECT_EQ(FindInterestingIntervals(ts, params).size(), 2u);
   EXPECT_EQ(ComputeRecurrenceUpperBound(ts, params), 2u);  // Erec.
+}
+
+// --- Overflow safety at the int64 boundaries -------------------------------
+//
+// Regression tests for the gap arithmetic `cur - prev`: with timestamps
+// straddling the int64 range the signed subtraction overflowed (UB; in
+// practice it wrapped negative, fusing runs that are astronomically far
+// apart). All gap comparisons now go through the unsigned helpers in
+// time_gap.h, which are exact for any ordered timestamp pair.
+
+constexpr Timestamp kTsMax = std::numeric_limits<Timestamp>::max();
+constexpr Timestamp kTsMin = std::numeric_limits<Timestamp>::min();
+
+TEST(OverflowSafetyTest, StraddlingGapSplitsRuns) {
+  // The true gap kTsMin -> kTsMax is 2^64 - 1, far above any period; the
+  // wrapped signed difference is -1, which compared <= period.
+  TimestampList ts = {kTsMin, kTsMax};
+  std::vector<PeriodicInterval> intervals =
+      DecomposePeriodicIntervals(ts, /*period=*/10);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (PeriodicInterval{kTsMin, kTsMin, 1}));
+  EXPECT_EQ(intervals[1], (PeriodicInterval{kTsMax, kTsMax, 1}));
+  EXPECT_EQ(ComputeErec(ts, 10, 1), 2u);
+  EXPECT_EQ(ComputeRecurrence(ts, 10, 1), 2u);
+}
+
+TEST(OverflowSafetyTest, RunsAdjacentToBothBoundaries) {
+  TimestampList ts = {kTsMin,     kTsMin + 1, kTsMin + 2,
+                      kTsMax - 2, kTsMax - 1, kTsMax};
+  std::vector<PeriodicInterval> intervals =
+      FindInterestingIntervals(ts, /*period=*/1, /*min_ps=*/3);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (PeriodicInterval{kTsMin, kTsMin + 2, 3}));
+  EXPECT_EQ(intervals[1], (PeriodicInterval{kTsMax - 2, kTsMax, 3}));
+  EXPECT_EQ(ComputeErec(ts, 1, 3), 2u);
+}
+
+TEST(OverflowSafetyTest, HugePeriodStillRejectsStraddlingGap) {
+  // period = INT64_MAX admits the gap 0 -> kTsMax (2^63 - 1) but not the
+  // gap kTsMin -> 0 (2^63).
+  TimestampList ts = {kTsMin, 0, kTsMax};
+  std::vector<PeriodicInterval> intervals =
+      DecomposePeriodicIntervals(ts, kTsMax);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (PeriodicInterval{kTsMin, kTsMin, 1}));
+  EXPECT_EQ(intervals[1], (PeriodicInterval{0, kTsMax, 2}));
+}
+
+TEST(OverflowSafetyTest, InterArrivalTimesSaturateInsteadOfWrapping) {
+  // IAT entries are reported as int64 Timestamps; a gap wider than the
+  // type saturates to INT64_MAX rather than wrapping negative.
+  std::vector<Timestamp> iat = InterArrivalTimes({kTsMin, kTsMax});
+  ASSERT_EQ(iat.size(), 1u);
+  EXPECT_EQ(iat[0], kTsMax);
+  // A representable extreme gap stays exact.
+  EXPECT_EQ(InterArrivalTimes({-2, kTsMax - 2}),
+            (std::vector<Timestamp>{kTsMax}));
+}
+
+TEST(OverflowSafetyTest, FusedGateMatchesAtBoundaries) {
+  RpParams params;
+  params.period = 2;
+  params.min_ps = 2;
+  params.min_rec = 2;
+  TimestampList ts = {kTsMin, kTsMin + 2, kTsMax - 1, kTsMax};
+  std::vector<PeriodicInterval> fused;
+  GateOutcome outcome = ComputeGateAndIntervals(ts, params, &fused);
+  EXPECT_EQ(outcome.recurrence_upper_bound, 2u);
+  EXPECT_TRUE(outcome.passes);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_EQ(fused[0], (PeriodicInterval{kTsMin, kTsMin + 2, 2}));
+  EXPECT_EQ(fused[1], (PeriodicInterval{kTsMax - 1, kTsMax, 2}));
+}
+
+TEST(OverflowSafetyTest, TolerantModeAbsorbsStraddlingGap) {
+  // With one violation allowed the 2^64-wide gap is absorbed like any
+  // other over-period gap — it must count as exactly one violation, not
+  // sneak in as a compliant (wrapped-negative) gap.
+  TimestampList ts = {kTsMin, kTsMin + 1, kTsMax - 1, kTsMax};
+  std::vector<PeriodicInterval> exact =
+      FindInterestingIntervalsTolerant(ts, /*period=*/1, /*min_ps=*/2,
+                                       /*max_violations=*/0);
+  ASSERT_EQ(exact.size(), 2u);
+  std::vector<PeriodicInterval> tolerant =
+      FindInterestingIntervalsTolerant(ts, /*period=*/1, /*min_ps=*/2,
+                                       /*max_violations=*/1);
+  ASSERT_EQ(tolerant.size(), 1u);
+  EXPECT_EQ(tolerant[0], (PeriodicInterval{kTsMin, kTsMax, 4}));
 }
 
 }  // namespace

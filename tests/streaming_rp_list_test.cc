@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "rpm/core/rp_list.h"
 #include "test_util.h"
 
@@ -165,6 +167,69 @@ TEST(StreamingRpListTest, Figure4IntermediateStates) {
   EXPECT_EQ(list.OpenRunOf(C), (PeriodicInterval{2, 7, 4}));
   EXPECT_EQ(list.SupportOf(E), 3u);
   EXPECT_EQ(list.OpenRunOf(E), (PeriodicInterval{3, 6, 3}));
+}
+
+TEST(StreamingRpListTest, RejectsInvalidItemSentinel) {
+  // kInvalidItem is uint32 max: accepting it would make the per-item state
+  // resize compute item + 1 == 0 and then index out of bounds.
+  StreamingRpList list(2, 2);
+  Status s = list.Observe(kInvalidItem, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(list.ItemUniverseSize(), 0u);
+  EXPECT_EQ(list.events_observed(), 0u);
+}
+
+TEST(StreamingRpListTest, ObserveTransactionAtomicOnInvalidItem) {
+  StreamingRpList list(2, 2);
+  ASSERT_TRUE(list.ObserveTransaction(1, {0}).ok());
+  // A bad transaction must not be half-ingested: item 1 precedes the
+  // sentinel in the list but still must not be counted.
+  Status s = list.ObserveTransaction(2, {1, kInvalidItem});
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(list.SupportOf(1), 0u);
+  EXPECT_EQ(list.last_timestamp(), 1);
+  EXPECT_EQ(list.events_observed(), 1u);
+  // The stream stays usable at the rejected timestamp.
+  EXPECT_TRUE(list.ObserveTransaction(2, {1}).ok());
+  EXPECT_EQ(list.SupportOf(1), 1u);
+}
+
+TEST(StreamingRpListTest, ObserveTransactionAtomicOnRegressingTimestamp) {
+  StreamingRpList list(2, 2);
+  ASSERT_TRUE(list.ObserveTransaction(5, {0}).ok());
+  Status s = list.ObserveTransaction(4, {1, 2});
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(list.SupportOf(1), 0u);
+  EXPECT_EQ(list.SupportOf(2), 0u);
+  EXPECT_EQ(list.events_observed(), 1u);
+}
+
+TEST(StreamingRpListTest, DuplicateItemsInTransactionCountOnce) {
+  // Matches what batch Algorithm 1 sees after TdbBuilder deduplication.
+  StreamingRpList list(2, 2);
+  ASSERT_TRUE(list.ObserveTransaction(1, {3, 3, 3}).ok());
+  EXPECT_EQ(list.SupportOf(3), 1u);
+  ASSERT_TRUE(list.ObserveTransaction(2, {3, 3}).ok());
+  EXPECT_EQ(list.SupportOf(3), 2u);
+  EXPECT_EQ(list.OpenRunOf(3), (PeriodicInterval{1, 2, 2}));
+  EXPECT_EQ(list.ErecOf(3), 1u);
+}
+
+TEST(StreamingRpListTest, ExtremeTimestampGapClosesRun) {
+  // The gap INT64_MIN -> INT64_MAX is 2^64 - 1 > period: two singleton
+  // runs. A wrapped signed subtraction would fuse them.
+  constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+  constexpr Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  StreamingRpList list(/*period=*/10, /*min_ps=*/1);
+  ASSERT_TRUE(list.Observe(0, kMin).ok());
+  ASSERT_TRUE(list.Observe(0, kMax).ok());
+  EXPECT_EQ(list.ErecOf(0), 2u);
+  ASSERT_EQ(list.ClosedIntervalsOf(0).size(), 1u);
+  EXPECT_EQ(list.ClosedIntervalsOf(0)[0], (PeriodicInterval{kMin, kMin, 1}));
+  EXPECT_EQ(list.OpenRunOf(0), (PeriodicInterval{kMax, kMax, 1}));
 }
 
 TEST(StreamingRpListDeathTest, InvalidConstruction) {

@@ -1,0 +1,79 @@
+#include "rpm/core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rpm {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryItemExactlyOnce) {
+  constexpr size_t kItems = 1000;
+  std::vector<std::atomic<int>> hits(kItems);
+  ParallelFor(kItems, 4, [&](size_t, size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  std::vector<size_t> order;
+  ParallelFor(5, 1, [&](size_t worker, size_t i) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);  // No lock needed: guaranteed same-thread.
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, WorkerIdsStayInRange) {
+  constexpr size_t kWorkers = 3;
+  std::atomic<bool> out_of_range{false};
+  ParallelFor(200, kWorkers, [&](size_t worker, size_t) {
+    if (worker >= kWorkers) out_of_range.store(true);
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+// Regression: an exception escaping a task used to unwind through a worker
+// thread and std::terminate the process mid-join. It must now be rethrown
+// on the calling thread after all workers are joined.
+TEST(ThreadPoolTest, TaskExceptionIsRethrownOnCaller) {
+  constexpr size_t kItems = 500;
+  std::atomic<size_t> executed{0};
+  EXPECT_THROW(
+      ParallelFor(kItems, 4,
+                  [&](size_t, size_t i) {
+                    if (i == 7) throw std::runtime_error("task 7 failed");
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                  }),
+      std::runtime_error);
+  // The throw stops dispatch: not every remaining item ran.
+  EXPECT_LT(executed.load(), kItems);
+}
+
+TEST(ThreadPoolTest, ExceptionCarriesOriginalMessage) {
+  try {
+    ParallelFor(64, 3, [](size_t, size_t i) {
+      if (i == 0) throw std::runtime_error("projection 0 corrupt");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "projection 0 corrupt");
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesExceptionsToo) {
+  EXPECT_THROW(ParallelFor(3, 1,
+                           [](size_t, size_t) {
+                             throw std::logic_error("inline failure");
+                           }),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace rpm

@@ -1,0 +1,236 @@
+#include "rpm/verify/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rpm/core/rp_growth.h"
+#include "rpm/timeseries/tdb_builder.h"
+#include "rpm/verify/case_generator.h"
+#include "rpm/verify/cross_check.h"
+#include "rpm/verify/shrinker.h"
+#include "test_util.h"
+
+namespace rpm::verify {
+namespace {
+
+using ::rpm::testing::PaperExampleDb;
+using ::rpm::testing::PaperExampleParams;
+
+bool SameDatabase(const TransactionDatabase& a, const TransactionDatabase& b) {
+  return a.transactions() == b.transactions();
+}
+
+// --- Case generator --------------------------------------------------------
+
+TEST(CaseGeneratorTest, DeterministicInSeedAndIndex) {
+  for (uint64_t index = 0; index < 12; ++index) {
+    VerifyCase a = MakeVerifyCase(/*seed=*/99, index);
+    VerifyCase b = MakeVerifyCase(/*seed=*/99, index);
+    EXPECT_EQ(a.regime, b.regime) << "index " << index;
+    EXPECT_TRUE(SameDatabase(a.db, b.db)) << "index " << index;
+    EXPECT_EQ(a.params.period, b.params.period) << "index " << index;
+    EXPECT_EQ(a.params.min_ps, b.params.min_ps) << "index " << index;
+    EXPECT_EQ(a.params.min_rec, b.params.min_rec) << "index " << index;
+  }
+}
+
+TEST(CaseGeneratorTest, SeedsProduceDifferentStreams) {
+  VerifyCase a = MakeVerifyCase(1, 0);
+  VerifyCase b = MakeVerifyCase(2, 0);
+  EXPECT_FALSE(SameDatabase(a.db, b.db));
+}
+
+TEST(CaseGeneratorTest, CoversEveryRegimeAndGeneratesValidCases) {
+  std::set<std::string> seen;
+  for (uint64_t index = 0; index < 24; ++index) {
+    VerifyCase c = MakeVerifyCase(/*seed=*/5, index);
+    seen.insert(c.regime);
+    EXPECT_TRUE(c.db.Validate().ok())
+        << "index " << index << " regime " << c.regime;
+    EXPECT_TRUE(c.params.Validate().ok())
+        << "index " << index << " regime " << c.regime;
+    // The definitional oracle must be applicable to every generated case.
+    EXPECT_LE(c.db.ItemUniverseSize(), 20u);
+  }
+  for (const char* regime : kRegimes) {
+    EXPECT_TRUE(seen.count(regime)) << "regime " << regime << " never hit";
+  }
+}
+
+TEST(CaseGeneratorTest, ExtremeRegimeReachesInt64Boundaries) {
+  constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+  constexpr Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  bool near_min = false, near_max = false;
+  for (uint64_t index = 4; index < 300; index += 6) {  // int64_extreme slots.
+    VerifyCase c = MakeVerifyCase(/*seed=*/11, index);
+    ASSERT_EQ(c.regime, "int64_extreme");
+    if (c.db.empty()) continue;
+    if (c.db.start_ts() <= kMin + 200) near_min = true;
+    if (c.db.end_ts() >= kMax - 200) near_max = true;
+  }
+  EXPECT_TRUE(near_min);
+  EXPECT_TRUE(near_max);
+}
+
+// --- Cross-checks ----------------------------------------------------------
+
+TEST(CrossCheckTest, PaperExampleHasNoDivergences) {
+  EXPECT_TRUE(
+      CrossCheckCase(PaperExampleDb(), PaperExampleParams()).empty());
+}
+
+/// The planted bug of the acceptance scenario: every emitted interval end
+/// is off by one (saturating, so extreme-timestamp cases stay defined).
+std::vector<RecurringPattern> OffByOneMiner(const TransactionDatabase& db,
+                                            const RpParams& params) {
+  RpGrowthOptions options;
+  options.num_threads = 1;
+  std::vector<RecurringPattern> patterns =
+      MineRecurringPatterns(db, params, options).patterns;
+  for (RecurringPattern& p : patterns) {
+    for (PeriodicInterval& iv : p.intervals) {
+      if (iv.end < std::numeric_limits<Timestamp>::max()) iv.end += 1;
+    }
+  }
+  return patterns;
+}
+
+TEST(CrossCheckTest, DetectsInjectedOffByOne) {
+  CrossCheckOptions options;
+  options.sequential_miner = OffByOneMiner;
+  std::vector<Divergence> divergences =
+      CrossCheckCase(PaperExampleDb(), PaperExampleParams(), options);
+  ASSERT_FALSE(divergences.empty());
+  bool oracle_caught = false;
+  for (const Divergence& d : divergences) {
+    if (d.check == "oracle") oracle_caught = true;
+  }
+  EXPECT_TRUE(oracle_caught);
+}
+
+TEST(CrossCheckTest, CapsReportedDivergencesPerCheck) {
+  CrossCheckOptions options;
+  options.sequential_miner = OffByOneMiner;
+  options.max_divergences_per_check = 1;
+  options.check_parallel = false;
+  options.check_streaming = false;
+  std::vector<Divergence> divergences =
+      CrossCheckCase(PaperExampleDb(), PaperExampleParams(), options);
+  // One reported divergence plus the elision summary.
+  ASSERT_EQ(divergences.size(), 2u);
+  EXPECT_NE(divergences[1].detail.find("elided"), std::string::npos);
+}
+
+// --- Shrinker --------------------------------------------------------------
+
+TEST(ShrinkerTest, MinimizesToThePredicateCore) {
+  // Failure = "some transaction contains item C and some transaction
+  // contains item G". 1-minimal: two single-item transactions (or one
+  // transaction if C and G ever co-occur — they do at ts 5 and 12, so the
+  // true minimum is one two-item transaction).
+  const TransactionDatabase db = PaperExampleDb();
+  auto predicate = [](const TransactionDatabase& d, const RpParams&) {
+    bool has_c = false, has_g = false;
+    for (const Transaction& tr : d.transactions()) {
+      for (ItemId item : tr.items) {
+        if (item == rpm::testing::C) has_c = true;
+        if (item == rpm::testing::G) has_g = true;
+      }
+    }
+    return has_c && has_g;
+  };
+  ShrinkResult result =
+      ShrinkFailingCase(db, PaperExampleParams(), predicate);
+  EXPECT_EQ(result.original_transactions, 12u);
+  EXPECT_EQ(result.shrunk_transactions, 1u);
+  ASSERT_EQ(result.db.size(), 1u);
+  EXPECT_EQ(result.db.transaction(0).items,
+            (Itemset{rpm::testing::C, rpm::testing::G}));
+  EXPECT_TRUE(predicate(result.db, result.params));
+  EXPECT_GT(result.predicate_evaluations, 0u);
+}
+
+TEST(ShrinkerTest, NonFailingInputReturnsUnchanged) {
+  const TransactionDatabase db = PaperExampleDb();
+  ShrinkResult result = ShrinkFailingCase(
+      db, PaperExampleParams(),
+      [](const TransactionDatabase&, const RpParams&) { return false; });
+  EXPECT_EQ(result.shrunk_transactions, result.original_transactions);
+  EXPECT_EQ(result.db.size(), db.size());
+}
+
+TEST(ShrinkerTest, RenderFixtureIsPasteable) {
+  RpParams params;
+  params.period = 2;
+  params.min_ps = 3;
+  params.min_rec = 2;
+  TransactionDatabase db = MakeDatabase({{1, {0, 2}}, {3, {0}}});
+  std::string fixture = RenderFixture(db, params);
+  EXPECT_EQ(fixture,
+            "RpParams params;\n"
+            "params.period = 2;\n"
+            "params.min_ps = 3;\n"
+            "params.min_rec = 2;\n"
+            "TransactionDatabase db = MakeDatabase({\n"
+            "    {1, {0, 2}},\n"
+            "    {3, {0}},\n"
+            "});\n");
+}
+
+// --- Harness ---------------------------------------------------------------
+
+TEST(VerifyHarnessTest, CleanRunReportsOk) {
+  VerifyOptions options;
+  options.cases = 60;
+  options.seed = 7;
+  VerifyReport report = RunVerification(options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.cases_run, 60u);
+  EXPECT_EQ(report.oracle_checks, 60u);
+  EXPECT_EQ(report.parallel_checks, 60u);
+  EXPECT_GT(report.streaming_checks, 0u);   // Most cases are exact-model.
+  EXPECT_LT(report.streaming_checks, 61u);  // Tolerant cases skip it.
+  std::string text = FormatReport(report, options);
+  EXPECT_NE(text.find("result: OK"), std::string::npos);
+}
+
+TEST(VerifyHarnessTest, InjectedOffByOneIsCaughtAndShrunkSmall) {
+  VerifyOptions options;
+  options.cases = 24;
+  options.seed = 7;
+  options.max_failures = 1;
+  options.cross_check.sequential_miner = OffByOneMiner;
+  // The oracle alone pins the bug; skipping the other checks keeps the
+  // shrinker's predicate re-evaluations cheap.
+  options.cross_check.check_parallel = false;
+  options.cross_check.check_streaming = false;
+  VerifyReport report = RunVerification(options);
+  ASSERT_FALSE(report.ok());
+  const CaseFailure& failure = report.failures.front();
+  EXPECT_FALSE(failure.divergences.empty());
+  // Acceptance bar: the planted off-by-one minimizes to a handful of
+  // transactions (any database emitting one pattern reproduces it).
+  EXPECT_LE(failure.shrunk_transactions, 6u);
+  EXPECT_LT(failure.shrunk_transactions, failure.original_transactions);
+  EXPECT_NE(failure.fixture.find("MakeDatabase"), std::string::npos);
+  std::string text = FormatReport(report, options);
+  EXPECT_NE(text.find("divergent case"), std::string::npos);
+  EXPECT_NE(text.find("reproduce: MakeVerifyCase(7,"), std::string::npos);
+}
+
+TEST(VerifyHarnessTest, ReportIsDeterministic) {
+  VerifyOptions options;
+  options.cases = 30;
+  options.seed = 1234;
+  VerifyReport a = RunVerification(options);
+  VerifyReport b = RunVerification(options);
+  EXPECT_EQ(FormatReport(a, options), FormatReport(b, options));
+}
+
+}  // namespace
+}  // namespace rpm::verify
