@@ -19,6 +19,11 @@
 # build, then the same pass under UBSan (build-ubsan/) so the
 # extreme-timestamp regimes double as an undefined-behavior probe of the
 # gap arithmetic.
+#
+# The engine stage runs the query-engine suite (`ctest -L engine`,
+# DESIGN.md §6) on its own so planner/executor regressions are named in
+# the output, and the TSan stage additionally builds and runs engine_test
+# (concurrent sessions over one shared snapshot).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,17 +34,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}" -LE perf)
 
-echo "== stage 2: bench smoke (hot-path kernel, perf label) =="
-(cd build && ctest --output-on-failure -L perf)
-if command -v python3 >/dev/null 2>&1; then
-  python3 -m json.tool build/BENCH_hotpath.json >/dev/null \
-    && echo "BENCH_hotpath.json: valid JSON"
-else
-  grep -q '"bench": "hotpath"' build/BENCH_hotpath.json \
-    && echo "BENCH_hotpath.json: present (python3 unavailable, grep check)"
-fi
+echo "== stage 2: query-engine suite (engine label) =="
+(cd build && ctest --output-on-failure -L engine -LE perf)
 
-echo "== stage 3: differential harness smoke =="
+echo "== stage 3: bench smoke (hot-path kernel + engine reuse, perf label) =="
+(cd build && ctest --output-on-failure -L perf)
+for report in BENCH_hotpath.json BENCH_engine_reuse.json; do
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "build/${report}" >/dev/null \
+      && echo "${report}: valid JSON"
+  else
+    grep -q '"bench": ' "build/${report}" \
+      && echo "${report}: present (python3 unavailable, grep check)"
+  fi
+done
+
+echo "== stage 4: differential harness smoke =="
 ./build/src/rpminer verify --cases=200 --seed=7
 
 if [[ "${1:-}" == "--fast" ]]; then
@@ -47,13 +57,16 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== stage 4: ThreadSanitizer on the parallel miner =="
+echo "== stage 5: ThreadSanitizer on the parallel miner + query engine =="
 cmake -B build-tsan -S . -DRPM_SANITIZE=thread \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test
+cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test \
+      engine_test
 ./build-tsan/tests/rp_growth_parallel_test
+# Concurrent QuerySession::Run over one shared snapshot/planner.
+./build-tsan/tests/engine_test
 
-echo "== stage 5: UBSan over the differential harness =="
+echo "== stage 6: UBSan over the differential harness =="
 cmake -B build-ubsan -S . -DRPM_SANITIZE=undefined \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j"${JOBS}" --target rpminer

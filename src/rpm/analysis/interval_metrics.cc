@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "rpm/core/measures.h"
+
 namespace rpm::analysis {
+
+std::vector<PeriodicInterval> PatternIntervalsOrCompute(
+    const RecurringPattern& pattern, const TransactionDatabase& db,
+    const RpParams& params) {
+  if (!pattern.intervals.empty()) return pattern.intervals;
+  return FindInterestingIntervals(db.TimestampsOf(pattern.items), params);
+}
 
 std::vector<TimeSpan> NormalizeSpans(std::vector<TimeSpan> spans) {
   std::erase_if(spans,

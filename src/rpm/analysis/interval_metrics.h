@@ -15,10 +15,22 @@
 #include <utility>
 #include <vector>
 
+#include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
+#include "rpm/timeseries/transaction_database.h"
 #include "rpm/timeseries/types.h"
 
 namespace rpm::analysis {
+
+/// The pattern's own interval list when it carries one, else IPI^X
+/// recomputed from the database under `params`. Engine QueryResults always
+/// thread the mined intervals through, so the recompute only fires for
+/// patterns that arrived without them (hand-built fixtures, external
+/// imports) — callers should prefer this over reaching for
+/// FindInterestingIntervals directly.
+std::vector<PeriodicInterval> PatternIntervalsOrCompute(
+    const RecurringPattern& pattern, const TransactionDatabase& db,
+    const RpParams& params);
 
 /// Half-open [begin, end) span.
 using TimeSpan = std::pair<Timestamp, Timestamp>;

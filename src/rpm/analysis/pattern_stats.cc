@@ -1,7 +1,9 @@
 #include "rpm/analysis/pattern_stats.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "rpm/analysis/interval_metrics.h"
 #include "rpm/common/logging.h"
 #include "rpm/common/string_util.h"
 
@@ -38,6 +40,18 @@ PatternStats ComputePatternStats(const RecurringPattern& pattern,
         static_cast<double>(pattern.support);
   }
   return stats;
+}
+
+PatternStats ComputePatternStats(const RecurringPattern& pattern,
+                                 const TransactionDatabase& db,
+                                 const RpParams& params) {
+  RPM_CHECK(!db.empty());
+  if (!pattern.intervals.empty()) {
+    return ComputePatternStats(pattern, db.start_ts(), db.end_ts());
+  }
+  RecurringPattern resolved = pattern;
+  resolved.intervals = PatternIntervalsOrCompute(pattern, db, params);
+  return ComputePatternStats(resolved, db.start_ts(), db.end_ts());
 }
 
 std::string FormatPatternStats(const PatternStats& stats) {

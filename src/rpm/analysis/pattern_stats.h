@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <string>
 
+#include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
+#include "rpm/timeseries/transaction_database.h"
 
 namespace rpm::analysis {
 
@@ -36,6 +38,14 @@ struct PatternStats {
 PatternStats ComputePatternStats(const RecurringPattern& pattern,
                                  Timestamp series_begin,
                                  Timestamp series_end);
+
+/// As above against the database's own span, resolving the interval list
+/// through PatternIntervalsOrCompute (interval_metrics.h): a pattern that
+/// arrived without intervals is scored against freshly computed IPI^X
+/// instead of silently scoring as all-zero. `db` must be non-empty.
+PatternStats ComputePatternStats(const RecurringPattern& pattern,
+                                 const TransactionDatabase& db,
+                                 const RpParams& params);
 
 /// One-line rendering ("coverage=12.3% intervals=2 maxps=801 ...").
 std::string FormatPatternStats(const PatternStats& stats);

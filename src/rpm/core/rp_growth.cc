@@ -393,29 +393,27 @@ void MineParallel(TsPrefixTree* tree, const RpParams& params,
 
 }  // namespace
 
-RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
-                                     const RpParams& params,
-                                     const RpGrowthOptions& options) {
+PreparedMining PrepareMining(const TransactionDatabase& db,
+                             const RpParams& params, PruningMode pruning) {
   RPM_CHECK(params.Validate().ok()) << params.ToString();
-  RpGrowthResult result;
-  Stopwatch total;
+  PreparedMining prepared;
+  prepared.params = params;
+  prepared.pruning = pruning;
 
   // Pass 1: RP-list (Algorithm 1).
   Stopwatch phase;
-  RpList list = BuildRpList(db, params);
-  result.stats.num_items = list.entries().size();
-  result.stats.list_seconds = phase.ElapsedSeconds();
+  prepared.list = BuildRpList(db, params);
+  prepared.num_items = prepared.list.entries().size();
+  prepared.list_seconds = phase.ElapsedSeconds();
 
   // Candidate item order per pruning mode.
-  std::vector<ItemId> items_by_rank;
-  std::vector<uint32_t> rank_of(db.ItemUniverseSize(), kNotCandidate);
-  if (options.pruning == PruningMode::kErec) {
-    items_by_rank.reserve(list.candidates().size());
-    for (const RpListEntry& e : list.candidates()) {
-      items_by_rank.push_back(e.item);
+  if (pruning == PruningMode::kErec) {
+    prepared.items_by_rank.reserve(prepared.list.candidates().size());
+    for (const RpListEntry& e : prepared.list.candidates()) {
+      prepared.items_by_rank.push_back(e.item);
     }
   } else {
-    std::vector<RpListEntry> entries = list.entries();
+    std::vector<RpListEntry> entries = prepared.list.entries();
     const uint64_t min_support = params.min_ps * params.min_rec;
     std::erase_if(entries, [&](const RpListEntry& e) {
       return e.support < min_support;
@@ -425,17 +423,31 @@ RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
                 return a.support != b.support ? a.support > b.support
                                               : a.item < b.item;
               });
-    items_by_rank.reserve(entries.size());
-    for (const RpListEntry& e : entries) items_by_rank.push_back(e.item);
+    prepared.items_by_rank.reserve(entries.size());
+    for (const RpListEntry& e : entries) {
+      prepared.items_by_rank.push_back(e.item);
+    }
   }
-  for (uint32_t rank = 0; rank < items_by_rank.size(); ++rank) {
-    rank_of[items_by_rank[rank]] = rank;
-  }
-  result.stats.num_candidate_items = items_by_rank.size();
+  prepared.num_candidate_items = prepared.items_by_rank.size();
 
   // Pass 2: RP-tree (Algorithms 2-3).
   phase.Restart();
-  TsPrefixTree tree(std::move(items_by_rank));
+  prepared.tree = BuildRankedTree(db, prepared.items_by_rank);
+  prepared.initial_tree_nodes = prepared.tree.NodeCount();
+  prepared.tree_seconds = phase.ElapsedSeconds();
+  return prepared;
+}
+
+TsPrefixTree BuildRankedTree(const TransactionDatabase& db,
+                             const std::vector<ItemId>& items_by_rank) {
+  std::vector<uint32_t> rank_of(db.ItemUniverseSize(), kNotCandidate);
+  for (uint32_t rank = 0; rank < items_by_rank.size(); ++rank) {
+    RPM_CHECK(items_by_rank[rank] < rank_of.size() &&
+              rank_of[items_by_rank[rank]] == kNotCandidate)
+        << "invalid candidate order";
+    rank_of[items_by_rank[rank]] = rank;
+  }
+  TsPrefixTree tree(items_by_rank);
   std::vector<uint32_t> ranks;
   for (const Transaction& tr : db.transactions()) {
     ranks.clear();
@@ -445,12 +457,31 @@ RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
     std::sort(ranks.begin(), ranks.end());
     tree.InsertTransaction(ranks, tr.ts);
   }
-  result.stats.initial_tree_nodes = tree.NodeCount();
-  result.stats.tree_seconds = phase.ElapsedSeconds();
+  return tree;
+}
+
+RpGrowthResult MineFromPrepared(const PreparedMining& prepared,
+                                TsPrefixTree tree, const RpParams& params,
+                                const RpGrowthOptions& options) {
+  RPM_CHECK(params.Validate().ok()) << params.ToString();
+  RPM_CHECK(params.period == prepared.params.period &&
+            params.max_gap_violations == prepared.params.max_gap_violations &&
+            params.min_ps >= prepared.params.min_ps &&
+            params.min_rec >= prepared.params.min_rec &&
+            options.pruning == prepared.pruning)
+      << "query params looser than the prepared build: " << params.ToString()
+      << " vs " << prepared.params.ToString();
+  RpGrowthResult result;
+  Stopwatch total;
+  result.stats.num_items = prepared.num_items;
+  result.stats.num_candidate_items = prepared.num_candidate_items;
+  result.stats.initial_tree_nodes = prepared.initial_tree_nodes;
+  result.stats.list_seconds = prepared.list_seconds;
+  result.stats.tree_seconds = prepared.tree_seconds;
 
   // Bottom-up mining (Algorithm 4): sequentially on this thread, or over
   // per-suffix-item projections on a worker pool.
-  phase.Restart();
+  Stopwatch phase;
   const size_t threads = ResolveThreadCount(options.num_threads);
   if (threads <= 1) {
     Itemset suffix;
@@ -467,6 +498,17 @@ RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
   }
 
   SortPatternsCanonically(&result.patterns);
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
+                                     const RpParams& params,
+                                     const RpGrowthOptions& options) {
+  Stopwatch total;
+  PreparedMining prepared = PrepareMining(db, params, options.pruning);
+  RpGrowthResult result = MineFromPrepared(
+      prepared, std::move(prepared.tree), params, options);
   result.stats.total_seconds = total.ElapsedSeconds();
   return result;
 }

@@ -21,6 +21,7 @@
 #include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
 #include "rpm/core/rp_list.h"
+#include "rpm/core/rp_tree.h"
 #include "rpm/timeseries/transaction_database.h"
 
 namespace rpm {
@@ -110,6 +111,65 @@ struct RpGrowthResult {
 RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
                                      const RpParams& params,
                                      const RpGrowthOptions& options = {});
+
+// --- Phase-split API (query engine) ----------------------------------------
+//
+// Passes 1-2 (RP-list scan, candidate ordering, RP-tree construction) are
+// query-independent given (period, tolerance, pruning mode): tightening
+// minPS/minRec only *shrinks* the candidate set, so a tree built at looser
+// thresholds is a superset of the stricter tree and mining it under the
+// stricter params yields the identical pattern set (the Erec bound is
+// anti-monotone and every per-pattern test is evaluated exactly from
+// TS^beta). The engine's planner builds once via PrepareMining and mines
+// many times via MineFromPrepared over tree Clone()s.
+
+/// Query-independent mining state: the RP-list and the built (unmined)
+/// RP-tree, plus the build-phase stats that an end-to-end run would report.
+struct PreparedMining {
+  /// Params the tree was built at (the loosest params this build serves).
+  RpParams params;
+  PruningMode pruning = PruningMode::kErec;
+  /// Full per-item aggregates (supports top-k threshold seeding).
+  RpList list;
+  /// Candidate order of the tree (rank r holds items_by_rank[r]).
+  std::vector<ItemId> items_by_rank;
+  /// The built tree. Mining consumes a tree, so repeated runs mine
+  /// tree.Clone() and leave this master copy untouched.
+  TsPrefixTree tree{std::vector<ItemId>{}};
+  // Build-phase stats, folded into every MineFromPrepared result:
+  size_t num_items = 0;
+  size_t num_candidate_items = 0;
+  size_t initial_tree_nodes = 0;
+  double list_seconds = 0.0;
+  double tree_seconds = 0.0;
+};
+
+/// Runs passes 1-2 over `db` at `params` (which must validate).
+PreparedMining PrepareMining(const TransactionDatabase& db,
+                             const RpParams& params,
+                             PruningMode pruning = PruningMode::kErec);
+
+/// Pass 2 only: builds the RP-tree of `db` over an externally supplied
+/// candidate order (every id in `items_by_rank` distinct and <
+/// db.ItemUniverseSize()). The streaming backend derives the order from
+/// StreamingRpList candidate maintenance instead of the batch RP-list.
+TsPrefixTree BuildRankedTree(const TransactionDatabase& db,
+                             const std::vector<ItemId>& items_by_rank);
+
+/// Pass 3 (bottom-up mining) over `tree`, consumed in the process. `tree`
+/// must come from `prepared` (the master or a Clone()), and `params` must
+/// be no looser than prepared.params: same period and max_gap_violations,
+/// params.min_ps >= prepared.params.min_ps, params.min_rec >=
+/// prepared.params.min_rec (checked). options.pruning must equal
+/// prepared.pruning. With equal params the result — patterns, stats
+/// counters, canonical order — is bit-identical to MineRecurringPatterns;
+/// with stricter params the pattern set is still exactly the stricter
+/// run's, while tree/exploration counters reflect the looser build.
+/// stats.total_seconds covers only this call (build time is in the folded
+/// list_seconds/tree_seconds).
+RpGrowthResult MineFromPrepared(const PreparedMining& prepared,
+                                TsPrefixTree tree, const RpParams& params,
+                                const RpGrowthOptions& options = {});
 
 }  // namespace rpm
 

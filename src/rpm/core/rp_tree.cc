@@ -1,6 +1,7 @@
 #include "rpm/core/rp_tree.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "rpm/common/logging.h"
 
@@ -11,6 +12,7 @@ TsPrefixTree::TsPrefixTree(std::vector<ItemId> items_by_rank)
       heads_(items_by_rank_.size(), nullptr),
       chain_tails_(items_by_rank_.size(), nullptr) {
   root_ = arena_.Create();  // Root ("null" label in Algorithm 2).
+  root_->seq = next_seq_++;
 }
 
 TsPrefixTree::Node* TsPrefixTree::GetOrCreateChild(Node* parent,
@@ -20,6 +22,7 @@ TsPrefixTree::Node* TsPrefixTree::GetOrCreateChild(Node* parent,
   }
   Node* node = arena_.Create();
   node->rank = rank;
+  node->seq = next_seq_++;
   node->parent = parent;
   node->next_sibling = parent->first_child;
   parent->first_child = node;
@@ -54,6 +57,39 @@ void TsPrefixTree::InsertPath(const std::vector<uint32_t>& ranks,
     node = GetOrCreateChild(node, rank);
   }
   node->ts_list.insert(node->ts_list.end(), ts_list.begin(), ts_list.end());
+}
+
+TsPrefixTree TsPrefixTree::Clone() const {
+  TsPrefixTree copy(items_by_rank_);
+  // Paths carry strictly ascending ranks (InsertTransaction/InsertPath
+  // insert sorted rank sequences), so walking the chains in ascending rank
+  // order guarantees every node's parent clone already exists. Node::seq
+  // gives an exact flat original->clone map (hot path of the query
+  // engine's build-once/mine-many reuse; a hash map here once cost more
+  // than rebuilding the tree from the database).
+  std::vector<Node*> clone_of(next_seq_, nullptr);
+  clone_of[root_->seq] = copy.root_;
+  for (size_t rank = 0; rank < heads_.size(); ++rank) {
+    for (const Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
+      Node* parent = clone_of[n->parent->seq];
+      Node* node = copy.arena_.Create();
+      node->rank = n->rank;
+      node->seq = copy.next_seq_++;
+      node->parent = parent;
+      node->ts_list = n->ts_list;
+      node->next_sibling = parent->first_child;
+      parent->first_child = node;
+      if (copy.chain_tails_[rank] == nullptr) {
+        copy.heads_[rank] = node;
+      } else {
+        copy.chain_tails_[rank]->next_link = node;
+      }
+      copy.chain_tails_[rank] = node;
+      ++copy.live_nodes_;
+      clone_of[n->seq] = node;
+    }
+  }
+  return copy;
 }
 
 void TsPrefixTree::PushUpAndRemove(size_t rank) {

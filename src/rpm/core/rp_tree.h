@@ -25,11 +25,16 @@ namespace rpm {
 
 /// Prefix tree keyed by item *rank* (0 = first item of the tree's order).
 /// Owns its nodes via an arena (bump-allocated, bulk-freed with the tree);
-/// not copyable (mining mutates it in place).
+/// not copyable (mining mutates it in place) — repeated mining over one
+/// build goes through Clone().
 class TsPrefixTree {
  public:
   struct Node {
     uint32_t rank = 0;
+    /// Dense per-tree creation index (root = 0). Lets Clone() map
+    /// original nodes to copies through a flat vector instead of a hash
+    /// map; lives in the padding after `rank`, so it costs no space.
+    uint32_t seq = 0;
     Node* parent = nullptr;
     Node* next_link = nullptr;  // Chain of nodes with the same rank.
     /// Children as an intrusive singly-linked sibling list (no per-node
@@ -95,6 +100,15 @@ class TsPrefixTree {
   /// is nullptr. Precondition: all deeper ranks were already removed.
   void PushUpAndRemove(size_t rank);
 
+  /// Deep copy into a fresh arena. Node-link chains are reproduced in the
+  /// original chain order, so mining the clone collects every conditional
+  /// pattern base in exactly the order the original would — outputs AND
+  /// schedule-invariant counters are bit-identical. O(nodes + timestamps);
+  /// much cheaper than re-scanning the database, which is what makes a
+  /// build-once/mine-many query engine pay off. Safe to call concurrently
+  /// from several threads on the same (unmutated) tree.
+  TsPrefixTree Clone() const;
+
   /// Number of live nodes, excluding the root (Lemma 2's size measure).
   size_t NodeCount() const { return live_nodes_; }
 
@@ -109,6 +123,7 @@ class TsPrefixTree {
   std::vector<Node*> heads_;
   std::vector<Node*> chain_tails_;  // O(1) chain append.
   size_t live_nodes_ = 0;
+  uint32_t next_seq_ = 0;  // Next Node::seq (never reused after push-up).
 };
 
 }  // namespace rpm

@@ -1,59 +1,41 @@
 #include "rpm/core/top_k.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "rpm/common/logging.h"
 #include "rpm/core/rp_list.h"
 
 namespace rpm {
 
-namespace {
-
-/// Optimistic starting threshold: the k-th largest per-item Erec. No
-/// pattern can out-recur every one of its items (Property 1-2), so a
-/// database with fewer than k items at Erec >= r cannot have k patterns
-/// with Rec >= r... for single items; supersets only shrink Erec. It is
-/// still a heuristic for multi-item results, hence the descent loop.
-uint64_t InitialMinRec(const TransactionDatabase& db, Timestamp period,
-                       uint64_t min_ps, size_t k, uint64_t floor_min_rec) {
-  RpParams params;
-  params.period = period;
-  params.min_ps = min_ps;
-  params.min_rec = 1;
-  RpList list = BuildRpList(db, params);
-  std::vector<uint64_t> erecs;
-  erecs.reserve(list.entries().size());
-  for (const RpListEntry& e : list.entries()) erecs.push_back(e.erec);
-  if (erecs.size() < k) return floor_min_rec;
-  std::nth_element(erecs.begin(), erecs.begin() + (k - 1), erecs.end(),
-                   std::greater<uint64_t>());
-  return std::max(floor_min_rec, erecs[k - 1]);
+uint64_t TopKInitialMinRec(std::vector<uint64_t> item_recurrence_bounds,
+                           size_t k, uint64_t floor_min_rec) {
+  // No pattern can out-recur every one of its items (Property 1-2), so a
+  // database with fewer than k items at Erec >= r cannot have k
+  // single-item patterns with Rec >= r; supersets only shrink Erec. Still
+  // a heuristic for multi-item results, hence the descent loop.
+  if (item_recurrence_bounds.size() < k) return floor_min_rec;
+  std::nth_element(item_recurrence_bounds.begin(),
+                   item_recurrence_bounds.begin() + (k - 1),
+                   item_recurrence_bounds.end(), std::greater<uint64_t>());
+  return std::max(floor_min_rec, item_recurrence_bounds[k - 1]);
 }
 
-}  // namespace
-
-TopKResult MineTopKByRecurrence(const TransactionDatabase& db,
-                                Timestamp period, uint64_t min_ps, size_t k,
-                                const TopKOptions& options) {
+TopKResult MineTopKWithRounds(Timestamp period, uint64_t min_ps, size_t k,
+                              uint64_t initial_min_rec,
+                              const TopKOptions& options,
+                              const TopKMiningRound& round) {
   RPM_CHECK(k >= 1);
   RPM_CHECK(options.floor_min_rec >= 1);
-
   TopKResult result;
-  if (db.empty()) return result;
-
-  RpGrowthOptions growth_options;
-  growth_options.max_pattern_length = options.max_pattern_length;
-
-  uint64_t min_rec = InitialMinRec(db, period, min_ps, k,
-                                   options.floor_min_rec);
+  uint64_t min_rec = std::max(initial_min_rec, options.floor_min_rec);
   for (;;) {
     RpParams params;
     params.period = period;
     params.min_ps = min_ps;
     params.min_rec = min_rec;
     params.max_gap_violations = options.max_gap_violations;
-    RpGrowthResult mined =
-        MineRecurringPatterns(db, params, growth_options);
+    RpGrowthResult mined = round(params);
     ++result.rounds;
     result.final_min_rec = min_rec;
     result.patterns = std::move(mined.patterns);
@@ -73,6 +55,31 @@ TopKResult MineTopKByRecurrence(const TransactionDatabase& db,
             });
   if (result.patterns.size() > k) result.patterns.resize(k);
   return result;
+}
+
+TopKResult MineTopKByRecurrence(const TransactionDatabase& db,
+                                Timestamp period, uint64_t min_ps, size_t k,
+                                const TopKOptions& options) {
+  RPM_CHECK(k >= 1);
+  if (db.empty()) return {};
+
+  RpParams probe;
+  probe.period = period;
+  probe.min_ps = min_ps;
+  probe.min_rec = 1;
+  RpList list = BuildRpList(db, probe);
+  std::vector<uint64_t> erecs;
+  erecs.reserve(list.entries().size());
+  for (const RpListEntry& e : list.entries()) erecs.push_back(e.erec);
+
+  RpGrowthOptions growth_options;
+  growth_options.max_pattern_length = options.max_pattern_length;
+  return MineTopKWithRounds(
+      period, min_ps, k,
+      TopKInitialMinRec(std::move(erecs), k, options.floor_min_rec), options,
+      [&](const RpParams& params) {
+        return MineRecurringPatterns(db, params, growth_options);
+      });
 }
 
 }  // namespace rpm

@@ -13,6 +13,7 @@
 #define RPM_CORE_TOP_K_H_
 
 #include <cstddef>
+#include <functional>
 
 #include "rpm/core/rp_growth.h"
 
@@ -42,6 +43,27 @@ struct TopKResult {
 TopKResult MineTopKByRecurrence(const TransactionDatabase& db,
                                 Timestamp period, uint64_t min_ps, size_t k,
                                 const TopKOptions& options = {});
+
+/// One full mining round at the given params; must behave exactly like
+/// MineRecurringPatterns (the query engine injects planner-cached rounds
+/// that clone a prebuilt tree instead of re-scanning the database).
+using TopKMiningRound = std::function<RpGrowthResult(const RpParams&)>;
+
+/// Optimistic starting threshold: the k-th largest value of
+/// `item_recurrence_bounds` (the per-item Erec column of the RP-list),
+/// clamped to >= floor_min_rec. Fewer than k items falls back to the floor.
+uint64_t TopKInitialMinRec(std::vector<uint64_t> item_recurrence_bounds,
+                           size_t k, uint64_t floor_min_rec);
+
+/// Threshold-descent core shared by the database entry point above and the
+/// query engine: mines at `initial_min_rec`, halves toward
+/// `options.floor_min_rec` until k patterns qualify, returns the k best by
+/// (recurrence, support, canonical order). `round` is invoked once per
+/// descent step with params (period, min_ps, round_min_rec, tolerance).
+TopKResult MineTopKWithRounds(Timestamp period, uint64_t min_ps, size_t k,
+                              uint64_t initial_min_rec,
+                              const TopKOptions& options,
+                              const TopKMiningRound& round);
 
 }  // namespace rpm
 

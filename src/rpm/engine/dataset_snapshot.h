@@ -1,0 +1,84 @@
+// Immutable, shared view of a loaded transaction database — the *data*
+// half of the query engine's data/query lifecycle split (DESIGN.md §6).
+//
+// RP-growth's cost is dominated by query-independent work: scanning the
+// TDB, building per-item indexes and constructing the prefix tree. A
+// DatasetSnapshot is created once per loaded dataset and then shared
+// (shared_ptr, strictly read-only) by any number of query sessions,
+// planners and executor threads. Everything derivable from the raw
+// transactions alone — canonical transactions, the item dictionary,
+// per-item ts-lists and supports, series span — is computed at snapshot
+// build time; threshold-dependent structures (RP-list, RP-tree) live in
+// QueryPlanner caches keyed by query parameters.
+
+#ifndef RPM_ENGINE_DATASET_SNAPSHOT_H_
+#define RPM_ENGINE_DATASET_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/timeseries/transaction_database.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm::engine {
+
+/// Read-only dataset snapshot. All accessors are const and safe to call
+/// concurrently from any number of threads; the only way to "mutate" a
+/// snapshot is to build a new one.
+class DatasetSnapshot {
+ public:
+  /// Wraps an already-loaded database. The database must satisfy the
+  /// TransactionDatabase invariants (sorted unique timestamps, sorted
+  /// duplicate-free items) — use TdbBuilder / the readers otherwise.
+  static std::shared_ptr<const DatasetSnapshot> Create(
+      TransactionDatabase db);
+
+  /// Loads a file per `format` — "tspmf" (default), "spmf" or "csv" — and
+  /// snapshots it. The single loader behind every rpminer subcommand.
+  static Result<std::shared_ptr<const DatasetSnapshot>> Load(
+      const std::string& path, const std::string& format);
+
+  const TransactionDatabase& db() const { return db_; }
+  const ItemDictionary& dictionary() const { return db_.dictionary(); }
+
+  size_t size() const { return db_.size(); }
+  bool empty() const { return db_.empty(); }
+  uint32_t ItemUniverseSize() const { return db_.ItemUniverseSize(); }
+
+  /// Series span. Precondition: !empty().
+  Timestamp start_ts() const { return db_.start_ts(); }
+  Timestamp end_ts() const { return db_.end_ts(); }
+
+  /// TS^{item}, precomputed at snapshot build: sorted, duplicate-free.
+  /// Items outside the universe return an empty list.
+  const TimestampList& ItemTimestamps(ItemId item) const {
+    return item < item_ts_.size() ? item_ts_[item] : empty_;
+  }
+
+  /// Sup({item}) without a database scan.
+  uint64_t ItemSupport(ItemId item) const {
+    return item < item_ts_.size() ? item_ts_[item].size() : 0;
+  }
+
+  /// Total item occurrences (sum of per-item supports).
+  uint64_t TotalItemOccurrences() const { return total_occurrences_; }
+
+  /// Wall clock spent building the per-item indexes.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  explicit DatasetSnapshot(TransactionDatabase db);
+
+  TransactionDatabase db_;
+  std::vector<TimestampList> item_ts_;
+  uint64_t total_occurrences_ = 0;
+  double build_seconds_ = 0.0;
+  TimestampList empty_;
+};
+
+}  // namespace rpm::engine
+
+#endif  // RPM_ENGINE_DATASET_SNAPSHOT_H_

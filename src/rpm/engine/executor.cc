@@ -1,0 +1,241 @@
+#include "rpm/engine/executor.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "rpm/common/stopwatch.h"
+#include "rpm/core/pattern_filters.h"
+#include "rpm/core/rp_list.h"
+#include "rpm/core/streaming_rp_list.h"
+#include "rpm/core/top_k.h"
+
+namespace rpm::engine {
+
+namespace {
+
+RpGrowthOptions GrowthOptions(const Query& query, size_t num_threads) {
+  RpGrowthOptions options;
+  options.max_pattern_length = query.max_pattern_length;
+  options.num_threads = num_threads;
+  if (query.top_k == 0) {
+    // Top-k descent re-mines; streaming a round's discoveries to the
+    // caller's sink would deliver discarded intermediates.
+    options.sink = query.sink;
+    options.store_patterns = query.store_patterns;
+  }
+  return options;
+}
+
+void ApplyFilters(const TransactionDatabase& db, const Query& query,
+                  std::vector<RecurringPattern>* patterns) {
+  if (query.closed) *patterns = FilterClosed(db, std::move(*patterns));
+  if (query.maximal) *patterns = FilterMaximal(std::move(*patterns));
+}
+
+/// The planner-backed execution path shared by the sequential and parallel
+/// backends; they differ only in the mining-phase thread count.
+Result<QueryResult> ExecutePlanned(QueryPlanner& planner, const Query& query,
+                                   size_t num_threads, const char* backend) {
+  RPM_RETURN_NOT_OK(query.Validate());
+  Stopwatch total;
+  QueryResult out;
+  out.backend = backend;
+
+  if (query.top_k > 0) {
+    if (!planner.snapshot().empty()) {
+      // Plan at the descent floor: every round's min_rec is >= the floor,
+      // so one cached build serves the whole descent (and any later
+      // same-period query).
+      TopKOptions top_k_options;
+      top_k_options.floor_min_rec = 1;
+      top_k_options.max_pattern_length = query.max_pattern_length;
+      top_k_options.max_gap_violations = query.params.max_gap_violations;
+      RpParams floor_params = query.params;
+      floor_params.min_rec = top_k_options.floor_min_rec;
+      Stopwatch plan_clock;
+      QueryPlanner::Plan plan = planner.PlanFor(floor_params);
+      out.plan_seconds = plan_clock.ElapsedSeconds();
+      out.tree_reused = plan.reused;
+      const PreparedMining& prepared = *plan.prepared;
+
+      std::vector<uint64_t> bounds;
+      bounds.reserve(prepared.list.entries().size());
+      for (const RpListEntry& e : prepared.list.entries()) {
+        bounds.push_back(e.erec);
+      }
+      Stopwatch exec_clock;
+      TopKResult top =
+          MineTopKWithRounds(query.params.period, query.params.min_ps,
+                             query.top_k,
+                             TopKInitialMinRec(std::move(bounds), query.top_k,
+                                               top_k_options.floor_min_rec),
+                             top_k_options, [&](const RpParams& round_params) {
+                               RpGrowthResult mined = MineFromPrepared(
+                                   prepared, prepared.tree.Clone(),
+                                   round_params,
+                                   GrowthOptions(query, num_threads));
+                               out.stats = mined.stats;
+                               return mined;
+                             });
+      out.patterns = std::move(top.patterns);
+      out.top_k_rounds = top.rounds;
+      out.top_k_final_min_rec = top.final_min_rec;
+      ApplyFilters(planner.snapshot().db(), query, &out.patterns);
+      out.execute_seconds = exec_clock.ElapsedSeconds();
+    }
+  } else {
+    Stopwatch plan_clock;
+    QueryPlanner::Plan plan = planner.PlanFor(query.params);
+    out.plan_seconds = plan_clock.ElapsedSeconds();
+    out.tree_reused = plan.reused;
+    Stopwatch exec_clock;
+    RpGrowthResult mined =
+        MineFromPrepared(*plan.prepared, plan.prepared->tree.Clone(),
+                         query.params, GrowthOptions(query, num_threads));
+    out.patterns = std::move(mined.patterns);
+    out.stats = mined.stats;
+    ApplyFilters(planner.snapshot().db(), query, &out.patterns);
+    out.execute_seconds = exec_clock.ElapsedSeconds();
+  }
+
+  out.session_tree_builds = planner.tree_builds();
+  out.total_seconds = total.ElapsedSeconds();
+  out.stats.total_seconds = out.total_seconds;
+  return out;
+}
+
+class SequentialExecutor : public Executor {
+ public:
+  const char* name() const override {
+    return BackendName(BackendKind::kSequential);
+  }
+  Result<QueryResult> Execute(QueryPlanner& planner, const Query& query,
+                              const ExecOptions&) const override {
+    return ExecutePlanned(planner, query, /*num_threads=*/1, name());
+  }
+};
+
+class ParallelExecutor : public Executor {
+ public:
+  const char* name() const override {
+    return BackendName(BackendKind::kParallel);
+  }
+  Result<QueryResult> Execute(QueryPlanner& planner, const Query& query,
+                              const ExecOptions& options) const override {
+    const size_t threads =
+        options.threads == 0 ? 0 : std::max<size_t>(2, options.threads);
+    return ExecutePlanned(planner, query, threads, name());
+  }
+};
+
+class StreamingExecutor : public Executor {
+ public:
+  const char* name() const override {
+    return BackendName(BackendKind::kStreaming);
+  }
+
+  Result<QueryResult> Execute(QueryPlanner& planner, const Query& query,
+                              const ExecOptions&) const override {
+    RPM_RETURN_NOT_OK(query.Validate());
+    if (query.params.max_gap_violations > 0) {
+      return Status::InvalidArgument(
+          "streaming backend implements the exact model only "
+          "(--tolerance must be 0)");
+    }
+    if (query.top_k > 0) {
+      return Status::InvalidArgument(
+          "streaming backend does not support top-k queries");
+    }
+    Stopwatch total;
+    QueryResult out;
+    out.backend = name();
+    const TransactionDatabase& db = planner.snapshot().db();
+
+    // "Plan" = incremental ingestion in place of the batch RP-list scan,
+    // then tree construction over the stream-derived candidate order.
+    // Sorting candidates by (support desc, id asc) reproduces the batch
+    // RP-list order exactly (streaming support/Erec match Algorithm 1 per
+    // the verify harness), so the tree — and everything downstream — is
+    // bit-identical to the batch backends.
+    Stopwatch plan_clock;
+    PreparedMining prepared;
+    prepared.params = query.params;
+    prepared.pruning = PruningMode::kErec;
+    Stopwatch phase;
+    StreamingRpList stream(query.params.period, query.params.min_ps);
+    for (const Transaction& tr : db.transactions()) {
+      RPM_RETURN_NOT_OK(stream.ObserveTransaction(tr.ts, tr.items));
+    }
+    prepared.list_seconds = phase.ElapsedSeconds();
+    for (ItemId item = 0; item < stream.ItemUniverseSize(); ++item) {
+      if (stream.SupportOf(item) > 0) ++prepared.num_items;
+    }
+    prepared.items_by_rank = stream.CandidateItems(query.params.min_rec);
+    std::sort(prepared.items_by_rank.begin(), prepared.items_by_rank.end(),
+              [&](ItemId a, ItemId b) {
+                const uint64_t sa = stream.SupportOf(a);
+                const uint64_t sb = stream.SupportOf(b);
+                return sa != sb ? sa > sb : a < b;
+              });
+    prepared.num_candidate_items = prepared.items_by_rank.size();
+    phase.Restart();
+    prepared.tree = BuildRankedTree(db, prepared.items_by_rank);
+    prepared.initial_tree_nodes = prepared.tree.NodeCount();
+    prepared.tree_seconds = phase.ElapsedSeconds();
+    out.plan_seconds = plan_clock.ElapsedSeconds();
+
+    Stopwatch exec_clock;
+    RpGrowthResult mined =
+        MineFromPrepared(prepared, std::move(prepared.tree), query.params,
+                         GrowthOptions(query, /*num_threads=*/1));
+    out.patterns = std::move(mined.patterns);
+    out.stats = mined.stats;
+    ApplyFilters(db, query, &out.patterns);
+    out.execute_seconds = exec_clock.ElapsedSeconds();
+    out.session_tree_builds = planner.tree_builds();
+    out.total_seconds = total.ElapsedSeconds();
+    out.stats.total_seconds = out.total_seconds;
+    return out;
+  }
+};
+
+}  // namespace
+
+const char* BackendName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSequential:
+      return "sequential";
+    case BackendKind::kParallel:
+      return "parallel";
+    case BackendKind::kStreaming:
+      return "streaming";
+  }
+  return "unknown";
+}
+
+Result<BackendKind> ParseBackend(const std::string& name) {
+  if (name == "sequential") return BackendKind::kSequential;
+  if (name == "parallel") return BackendKind::kParallel;
+  if (name == "streaming") return BackendKind::kStreaming;
+  return Status::InvalidArgument(
+      "unknown backend '" + name +
+      "' (expected sequential, parallel or streaming)");
+}
+
+const Executor& GetExecutor(BackendKind kind) {
+  static const SequentialExecutor sequential;
+  static const ParallelExecutor parallel;
+  static const StreamingExecutor streaming;
+  switch (kind) {
+    case BackendKind::kParallel:
+      return parallel;
+    case BackendKind::kStreaming:
+      return streaming;
+    case BackendKind::kSequential:
+      break;
+  }
+  return sequential;
+}
+
+}  // namespace rpm::engine

@@ -1,0 +1,34 @@
+#include "rpm/engine/query.h"
+
+namespace rpm::engine {
+
+Status Query::Validate() const {
+  RPM_RETURN_NOT_OK(params.Validate());
+  if (!store_patterns && (closed || maximal || top_k > 0)) {
+    return Status::InvalidArgument(
+        "store_patterns=false requires the raw pattern stream (no "
+        "closed/maximal/top-k)");
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  std::string s = "per=" + std::to_string(params.period) +
+                  " minPS=" + std::to_string(params.min_ps);
+  if (top_k > 0) {
+    s += " top-k=" + std::to_string(top_k);
+  } else {
+    s += " minRec=" + std::to_string(params.min_rec);
+  }
+  if (params.max_gap_violations > 0) {
+    s += " tolerance=" + std::to_string(params.max_gap_violations);
+  }
+  if (max_pattern_length > 0) {
+    s += " max-length=" + std::to_string(max_pattern_length);
+  }
+  if (closed) s += " closed";
+  if (maximal) s += " maximal";
+  return s;
+}
+
+}  // namespace rpm::engine

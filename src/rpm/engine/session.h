@@ -1,0 +1,52 @@
+// QuerySession: the engine's front door — one snapshot, one planner, any
+// number of queries on any backend.
+//
+//   auto snapshot = DatasetSnapshot::Load(path, "tspmf");   // or Create(db)
+//   QuerySession session(*snapshot);
+//   Query q;
+//   q.params = ...;
+//   RPM_ASSIGN_OR_RETURN(QueryResult r, session.Run(q));    // sequential
+//   RPM_ASSIGN_OR_RETURN(QueryResult r2,
+//                        session.Run(q2, BackendKind::kParallel, {8}));
+//
+// Build work (RP-list + RP-tree) is shared across the session's queries
+// whenever thresholds allow (query_planner.h); results are bit-identical
+// to fresh standalone runs. Thread-safe for concurrent Run calls.
+
+#ifndef RPM_ENGINE_SESSION_H_
+#define RPM_ENGINE_SESSION_H_
+
+#include <memory>
+
+#include "rpm/engine/dataset_snapshot.h"
+#include "rpm/engine/executor.h"
+#include "rpm/engine/query.h"
+#include "rpm/engine/query_planner.h"
+
+namespace rpm::engine {
+
+class QuerySession {
+ public:
+  explicit QuerySession(std::shared_ptr<const DatasetSnapshot> snapshot)
+      : planner_(std::move(snapshot)) {}
+
+  /// Executes `query` on `backend`. Errors: invalid query, or a query
+  /// outside the backend's model (executor.h).
+  Result<QueryResult> Run(const Query& query,
+                          BackendKind backend = BackendKind::kSequential,
+                          const ExecOptions& options = {}) {
+    return GetExecutor(backend).Execute(planner_, query, options);
+  }
+
+  const DatasetSnapshot& snapshot() const { return planner_.snapshot(); }
+  QueryPlanner& planner() { return planner_; }
+  /// RP-tree builds so far (build-once/query-many sessions report 1).
+  uint64_t tree_builds() const { return planner_.tree_builds(); }
+
+ private:
+  QueryPlanner planner_;
+};
+
+}  // namespace rpm::engine
+
+#endif  // RPM_ENGINE_SESSION_H_

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <sstream>
 
 #include "rpm/analysis/export.h"
 #include "rpm/analysis/pattern_report.h"
@@ -13,31 +14,29 @@
 #include "rpm/baselines/ppattern.h"
 #include "rpm/common/civil_time.h"
 #include "rpm/common/flags.h"
-#include "rpm/core/pattern_filters.h"
-#include "rpm/core/rp_growth.h"
-#include "rpm/core/top_k.h"
+#include "rpm/engine/session.h"
 #include "rpm/gen/paper_datasets.h"
 #include "rpm/timeseries/database_stats.h"
 #include "rpm/timeseries/io/spmf_io.h"
-#include "rpm/timeseries/io/timestamped_csv_io.h"
-#include "rpm/timeseries/tdb_builder.h"
+#include "rpm/tools/mining_flags.h"
 #include "rpm/verify/harness.h"
 
 namespace rpm::tools {
 
 namespace {
 
-/// Loads a database per --format: tspmf (default), spmf, or csv.
-Result<TransactionDatabase> LoadDatabase(const std::string& path,
-                                         const std::string& format) {
-  if (format == "tspmf") return ReadTimestampedSpmfFile(path);
-  if (format == "spmf") return ReadSpmfFile(path);
-  if (format == "csv") {
-    RPM_ASSIGN_OR_RETURN(EventCsvData data, ReadEventCsvFile(path));
-    return BuildTdbFromSequence(data.sequence, std::move(data.dictionary));
-  }
-  return Status::InvalidArgument("unknown --format '" + format +
-                                 "' (expected tspmf, spmf or csv)");
+using engine::BackendKind;
+using engine::DatasetSnapshot;
+using engine::ExecOptions;
+using engine::Query;
+using engine::QueryResult;
+using engine::QuerySession;
+
+/// Every subcommand loads through the snapshot layer; `Snapshot` is just
+/// the error-message plumbing around DatasetSnapshot::Load.
+Result<std::shared_ptr<const DatasetSnapshot>> LoadSnapshot(
+    const std::string& path, const std::string& format) {
+  return DatasetSnapshot::Load(path, format);
 }
 
 /// Resolves --epoch into minutes since 1970 (empty -> no epoch).
@@ -78,39 +77,149 @@ int Fail(std::ostream& err, const Status& status) {
   return 2;
 }
 
+/// The `mine` stderr summary (pinned by cli_test.cc): pattern count,
+/// params, wall clock, and the worker/merge-kernel diagnostics.
+void PrintMineSummary(const Query& query, const QueryResult& result,
+                      std::ostream& err) {
+  if (query.top_k > 0) {
+    err << "top-k: " << result.patterns.size() << " patterns at minRec="
+        << result.top_k_final_min_rec << " after " << result.top_k_rounds
+        << " round(s)\n";
+    return;
+  }
+  err << result.patterns.size() << " recurring patterns ("
+      << query.params.ToString() << ") in " << result.stats.total_seconds
+      << "s";
+  if (result.stats.threads_used > 1) {
+    err << " [" << result.stats.threads_used << " threads, mine "
+        << result.stats.mine_seconds << "s wall / "
+        << result.stats.mine_cpu_seconds << "s cpu]";
+  }
+  err << " [merge " << result.stats.merge_invocations << " calls / "
+      << result.stats.runs_merged << " runs / "
+      << result.stats.timestamps_merged << " ts, scratch peak "
+      << result.stats.scratch_bytes_peak << " B]";
+  if (result.tree_reused) err << " [tree reused]";
+  err << "\n";
+}
+
+/// The --queries=FILE path: N query lines against ONE snapshot and ONE
+/// planner, emitted as a single JSON document. Each record embeds the
+/// query's patterns exactly as `mine --output-format=json` would print
+/// them (byte-identical — asserted by cli_test.cc), plus the planner
+/// telemetry that shows tree builds being shared across queries.
+int RunMultiQuery(QuerySession& session, const std::string& input,
+                  const std::string& queries_path,
+                  const std::optional<int64_t>& epoch, std::ostream& out,
+                  std::ostream& err) {
+  std::ifstream file(queries_path);
+  if (!file) {
+    return Fail(err, Status::IOError("cannot open --queries file '" +
+                                     queries_path + "'"));
+  }
+  struct QueryLine {
+    size_t number = 0;
+    std::string text;
+  };
+  std::vector<QueryLine> lines;
+  std::string raw;
+  for (size_t number = 1; std::getline(file, raw); ++number) {
+    const size_t first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos || raw[first] == '#') continue;
+    lines.push_back({number, raw});
+  }
+  if (lines.empty()) {
+    return Fail(err, Status::InvalidArgument("--queries file '" +
+                                             queries_path +
+                                             "' has no query lines"));
+  }
+
+  analysis::ExportOptions export_options;
+  export_options.epoch_minutes = epoch;
+  out << "{\n";
+  out << "  \"input\": \"" << analysis::JsonEscape(input) << "\",\n";
+  out << "  \"transactions\": " << session.snapshot().size() << ",\n";
+  out << "  \"queries\": [\n";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string line_tag =
+        "--queries line " + std::to_string(lines[i].number) + ": ";
+    Result<ParsedQueryLine> parsed =
+        ParseMiningQuery(lines[i].text, session.snapshot().size());
+    if (!parsed.ok()) {
+      return Fail(err, Status::InvalidArgument(
+                           line_tag + parsed.status().message()));
+    }
+    ExecOptions exec;
+    exec.threads = parsed->threads;
+    Result<QueryResult> result =
+        session.Run(parsed->query, parsed->backend, exec);
+    if (!result.ok()) {
+      return Fail(err, Status::InvalidArgument(
+                           line_tag + result.status().message()));
+    }
+    std::ostringstream patterns_json;
+    if (Status s = analysis::WritePatternsJson(
+            result->patterns, session.snapshot().dictionary(),
+            &patterns_json, export_options);
+        !s.ok()) {
+      return Fail(err, s);
+    }
+    out << "    {\n";
+    out << "      \"query\": \""
+        << analysis::JsonEscape(parsed->query.ToString()) << "\",\n";
+    out << "      \"backend\": \"" << result->backend << "\",\n";
+    out << "      \"tree_reused\": "
+        << (result->tree_reused ? "true" : "false") << ",\n";
+    out << "      \"tree_builds\": " << result->session_tree_builds
+        << ",\n";
+    out << "      \"patterns_found\": " << result->patterns.size() << ",\n";
+    if (parsed->query.top_k > 0) {
+      out << "      \"top_k_rounds\": " << result->top_k_rounds << ",\n";
+      out << "      \"top_k_final_min_rec\": "
+          << result->top_k_final_min_rec << ",\n";
+    }
+    out << "      \"plan_seconds\": " << result->plan_seconds << ",\n";
+    out << "      \"execute_seconds\": " << result->execute_seconds
+        << ",\n";
+    out << "      \"total_seconds\": " << result->total_seconds << ",\n";
+    out << "      \"patterns\": " << patterns_json.str();
+    out << "    }" << (i + 1 < lines.size() ? "," : "") << "\n";
+    err << "query " << (i + 1) << "/" << lines.size() << " ["
+        << result->backend << "] " << parsed->query.ToString() << ": "
+        << result->patterns.size() << " patterns, "
+        << (result->tree_reused ? "tree reused" : "tree built") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"tree_builds\": " << session.tree_builds() << "\n";
+  out << "}\n";
+  err << lines.size() << " queries against one snapshot, "
+      << session.tree_builds() << " tree build(s)\n";
+  return 0;
+}
+
 int CmdMine(int argc, const char* const* argv, std::ostream& out,
             std::ostream& err) {
   FlagParser parser("rpminer mine", "discover recurring patterns");
-  std::string input, format, output_format, epoch;
-  int64_t per = 0;
-  uint64_t min_ps = 0, min_rec = 1, tolerance = 0, top_k = 0, max_len = 0;
+  std::string input, format, output_format, epoch, backend_name, queries;
+  MiningQueryFlags mining;
   uint64_t threads = 1;
-  double min_ps_pct = -1.0;
-  bool closed = false, maximal = false;
   parser.AddString("input", "", "event file path", &input);
   parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
                    &format);
-  parser.AddInt64("per", 1, "period threshold (Definition 4)", &per);
-  parser.AddUint64("min-ps", 0, "absolute minPS (Definition 7)", &min_ps);
-  parser.AddDouble("min-ps-pct", -1.0,
-                   "minPS as percent of |TDB| (overrides --min-ps)",
-                   &min_ps_pct);
-  parser.AddUint64("min-rec", 1, "minRec (Definition 9)", &min_rec);
-  parser.AddUint64("tolerance", 0,
-                   "noise tolerance: over-period gaps absorbed per interval",
-                   &tolerance);
-  parser.AddUint64("top-k", 0,
-                   "mine the k most-recurring patterns instead of using "
-                   "--min-rec",
-                   &top_k);
-  parser.AddUint64("max-length", 0, "pattern length cap (0 = unlimited)",
-                   &max_len);
+  mining.Register(&parser);
   parser.AddUint64("threads", 1,
                    "mining worker threads (0 = one per hardware thread, "
                    "1 = sequential); results are identical either way",
                    &threads);
-  parser.AddBool("closed", false, "keep only closed patterns", &closed);
-  parser.AddBool("maximal", false, "keep only maximal patterns", &maximal);
+  parser.AddString("backend", "",
+                   "executor: sequential|parallel|streaming "
+                   "(default: sequential, parallel when --threads != 1)",
+                   &backend_name);
+  parser.AddString("queries", "",
+                   "file of query lines (mine flags + --backend/--threads "
+                   "per line) run against one shared snapshot; emits one "
+                   "JSON document",
+                   &queries);
   bool with_stats = false;
   parser.AddBool("stats", false,
                  "append coverage/concentration stats per pattern "
@@ -131,68 +240,45 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
     return 1;
   }
 
-  Result<TransactionDatabase> db = LoadDatabase(input, format);
-  if (!db.ok()) return Fail(err, db.status());
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, format);
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
   Result<std::optional<int64_t>> epoch_minutes = ResolveEpoch(epoch);
   if (!epoch_minutes.ok()) return Fail(err, epoch_minutes.status());
 
-  if (min_ps_pct >= 0.0) {
-    min_ps = static_cast<uint64_t>(
-        std::ceil(min_ps_pct / 100.0 * static_cast<double>(db->size())));
+  QuerySession session(*snapshot);
+  if (!queries.empty()) {
+    return RunMultiQuery(session, input, queries, *epoch_minutes, out, err);
   }
-  if (min_ps == 0) min_ps = 1;
 
-  std::vector<RecurringPattern> patterns;
-  if (top_k > 0) {
-    TopKOptions options;
-    options.max_pattern_length = max_len;
-    options.max_gap_violations = static_cast<uint32_t>(tolerance);
-    TopKResult result =
-        MineTopKByRecurrence(*db, per, min_ps, top_k, options);
-    err << "top-k: " << result.patterns.size() << " patterns at minRec="
-        << result.final_min_rec << " after " << result.rounds
-        << " round(s)\n";
-    patterns = std::move(result.patterns);
-  } else {
-    RpParams params;
-    params.period = per;
-    params.min_ps = min_ps;
-    params.min_rec = min_rec;
-    params.max_gap_violations = static_cast<uint32_t>(tolerance);
-    if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
-    RpGrowthOptions options;
-    options.max_pattern_length = max_len;
-    options.num_threads = threads;
-    RpGrowthResult result = MineRecurringPatterns(*db, params, options);
-    err << result.patterns.size() << " recurring patterns ("
-        << params.ToString() << ") in " << result.stats.total_seconds
-        << "s";
-    if (result.stats.threads_used > 1) {
-      err << " [" << result.stats.threads_used << " threads, mine "
-          << result.stats.mine_seconds << "s wall / "
-          << result.stats.mine_cpu_seconds << "s cpu]";
-    }
-    err << " [merge " << result.stats.merge_invocations << " calls / "
-        << result.stats.runs_merged << " runs / "
-        << result.stats.timestamps_merged << " ts, scratch peak "
-        << result.stats.scratch_bytes_peak << " B]";
-    err << "\n";
-    patterns = std::move(result.patterns);
+  Result<Query> query = mining.ToQuery(session.snapshot().size());
+  if (!query.ok()) return Fail(err, query.status());
+
+  BackendKind backend =
+      threads == 1 ? BackendKind::kSequential : BackendKind::kParallel;
+  if (!backend_name.empty()) {
+    Result<BackendKind> parsed = engine::ParseBackend(backend_name);
+    if (!parsed.ok()) return Fail(err, parsed.status());
+    backend = *parsed;
   }
-  if (closed) patterns = FilterClosed(*db, std::move(patterns));
-  if (maximal) patterns = FilterMaximal(std::move(patterns));
+  ExecOptions exec;
+  exec.threads = threads;
+  Result<QueryResult> result = session.Run(*query, backend, exec);
+  if (!result.ok()) return Fail(err, result.status());
+  PrintMineSummary(*query, *result, err);
 
-  if (with_stats && output_format == "text" && !db->empty()) {
-    for (const RecurringPattern& p : patterns) {
-      out << analysis::FormatItemset(p.items, db->dictionary()) << "  "
-          << analysis::FormatPatternStats(analysis::ComputePatternStats(
-                 p, db->start_ts(), db->end_ts()))
+  const TransactionDatabase& db = session.snapshot().db();
+  if (with_stats && output_format == "text" && !db.empty()) {
+    for (const RecurringPattern& p : result->patterns) {
+      out << analysis::FormatItemset(p.items, db.dictionary()) << "  "
+          << analysis::FormatPatternStats(
+                 analysis::ComputePatternStats(p, db, query->params))
           << "\n";
     }
     return 0;
   }
-  if (Status s = WriteResults(patterns, db->dictionary(), output_format,
-                              *epoch_minutes, &out);
+  if (Status s = WriteResults(result->patterns, db.dictionary(),
+                              output_format, *epoch_minutes, &out);
       !s.ok()) {
     return Fail(err, s);
   }
@@ -219,17 +305,19 @@ int CmdPfMine(int argc, const char* const* argv, std::ostream& out,
     err << "--input is required\n" << parser.Help();
     return 1;
   }
-  Result<TransactionDatabase> db = LoadDatabase(input, format);
-  if (!db.ok()) return Fail(err, db.status());
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, format);
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
+  const TransactionDatabase& db = (*snapshot)->db();
   baselines::PfParams params;
   params.min_sup = min_sup;
   params.max_per = max_per;
   if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
-  auto result = baselines::MinePeriodicFrequentPatterns(*db, params);
+  auto result = baselines::MinePeriodicFrequentPatterns(db, params);
   err << result.patterns.size() << " periodic-frequent patterns in "
       << result.seconds << "s\n";
   for (const auto& p : result.patterns) {
-    out << analysis::FormatItemset(p.items, db->dictionary())
+    out << analysis::FormatItemset(p.items, db.dictionary())
         << " sup=" << p.support << " per=" << p.periodicity << "\n";
   }
   return 0;
@@ -260,8 +348,10 @@ int CmdPpMine(int argc, const char* const* argv, std::ostream& out,
     err << "--input is required\n" << parser.Help();
     return 1;
   }
-  Result<TransactionDatabase> db = LoadDatabase(input, format);
-  if (!db.ok()) return Fail(err, db.status());
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, format);
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
+  const TransactionDatabase& db = (*snapshot)->db();
   baselines::PPatternParams params;
   params.period = per;
   params.window = static_cast<Timestamp>(window);
@@ -269,12 +359,12 @@ int CmdPpMine(int argc, const char* const* argv, std::ostream& out,
   if (Status s = params.Validate(); !s.ok()) return Fail(err, s);
   baselines::PPatternOptions options;
   options.max_total_patterns = max_patterns;
-  auto result = baselines::MinePPatterns(*db, params, options);
+  auto result = baselines::MinePPatterns(db, params, options);
   err << result.total_found << " p-patterns"
       << (result.truncated ? " (truncated)" : "") << " in "
       << result.seconds << "s\n";
   for (const auto& p : result.patterns) {
-    out << analysis::FormatItemset(p.items, db->dictionary())
+    out << analysis::FormatItemset(p.items, db.dictionary())
         << " sup=" << p.support << " periodic=" << p.periodic_count << "\n";
   }
   return 0;
@@ -299,11 +389,13 @@ int CmdAdvise(int argc, const char* const* argv, std::ostream& out,
     err << "--input is required\n" << parser.Help();
     return 1;
   }
-  Result<TransactionDatabase> db = LoadDatabase(input, format);
-  if (!db.ok()) return Fail(err, db.status());
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, format);
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
   analysis::AdvisorOptions options;
   options.min_item_support = min_item_support;
-  analysis::ThresholdAdvice advice = analysis::AdviseThresholds(*db, options);
+  analysis::ThresholdAdvice advice =
+      analysis::AdviseThresholds((*snapshot)->db(), options);
   out << "suggested: --per " << advice.suggested_period << " --min-ps "
       << advice.suggested_min_ps << " --min-rec "
       << advice.suggested_min_rec << "\n";
@@ -326,9 +418,10 @@ int CmdStats(int argc, const char* const* argv, std::ostream& out,
     err << "--input is required\n" << parser.Help();
     return 1;
   }
-  Result<TransactionDatabase> db = LoadDatabase(input, format);
-  if (!db.ok()) return Fail(err, db.status());
-  out << ComputeStats(*db).ToString() << "\n";
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, format);
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
+  out << ComputeStats((*snapshot)->db()).ToString() << "\n";
   return 0;
 }
 
@@ -338,20 +431,20 @@ int CmdCompare(int argc, const char* const* argv, std::ostream& out,
                     "run PF / recurring / p-pattern models side by side "
                     "(Table 8 style)");
   std::string input, format;
-  int64_t per = 1440;
-  double min_sup_pct = 0.1, min_ps_pct = 2.0;
-  uint64_t min_rec = 1, max_pp = 500000;
+  // Shared threshold flags, with compare's dataset-scale defaults (daily
+  // period, 2% minPS) presented in --help and used when unset.
+  MiningQueryFlags mining;
+  mining.per = 1440;
+  mining.min_ps_pct = 2.0;
+  double min_sup_pct = 0.1;
+  uint64_t max_pp = 500000;
   parser.AddString("input", "", "event file path", &input);
   parser.AddString("format", "tspmf", "input format: tspmf|spmf|csv",
                    &format);
-  parser.AddInt64("per", 1440, "period / max-periodicity threshold", &per);
+  mining.Register(&parser);
   parser.AddDouble("min-sup-pct", 0.1,
                    "minSup for PF and p-patterns, percent of |TDB|",
                    &min_sup_pct);
-  parser.AddDouble("min-ps-pct", 2.0,
-                   "minPS for recurring patterns, percent of |TDB|",
-                   &min_ps_pct);
-  parser.AddUint64("min-rec", 1, "minRec for recurring patterns", &min_rec);
   parser.AddUint64("max-pp", 500000,
                    "p-pattern enumeration cap (0 = unlimited)", &max_pp);
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
@@ -362,34 +455,37 @@ int CmdCompare(int argc, const char* const* argv, std::ostream& out,
     err << "--input is required\n" << parser.Help();
     return 1;
   }
-  Result<TransactionDatabase> db = LoadDatabase(input, format);
-  if (!db.ok()) return Fail(err, db.status());
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, format);
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
+  const TransactionDatabase& db = (*snapshot)->db();
 
   const uint64_t min_sup = std::max<uint64_t>(
       1, static_cast<uint64_t>(std::ceil(
-             min_sup_pct / 100.0 * static_cast<double>(db->size()))));
+             min_sup_pct / 100.0 * static_cast<double>(db.size()))));
 
   baselines::PfParams pf;
   pf.min_sup = min_sup;
-  pf.max_per = per;
-  auto pf_result = baselines::MinePeriodicFrequentPatterns(*db, pf);
+  pf.max_per = mining.per;
+  auto pf_result = baselines::MinePeriodicFrequentPatterns(db, pf);
   size_t pf_len = 0;
   for (const auto& p : pf_result.patterns) {
     pf_len = std::max(pf_len, p.items.size());
   }
 
-  Result<RpParams> rp = MakeParamsWithMinPsFraction(
-      per, min_ps_pct / 100.0, min_rec, db->size());
-  if (!rp.ok()) return Fail(err, rp.status());
-  auto rp_result = MineRecurringPatterns(*db, *rp);
+  Result<Query> query = mining.ToQuery(db.size());
+  if (!query.ok()) return Fail(err, query.status());
+  QuerySession session(*snapshot);
+  Result<QueryResult> rp_result = session.Run(*query);
+  if (!rp_result.ok()) return Fail(err, rp_result.status());
 
   baselines::PPatternParams pp;
-  pp.period = per;
+  pp.period = mining.per;
   pp.min_sup = min_sup;
   baselines::PPatternOptions pp_options;
   pp_options.max_stored_patterns = 1;
   pp_options.max_total_patterns = max_pp;
-  auto pp_result = baselines::MinePPatterns(*db, pp, pp_options);
+  auto pp_result = baselines::MinePPatterns(db, pp, pp_options);
 
   out << "model                 patterns    max_len  seconds\n";
   char line[128];
@@ -398,9 +494,9 @@ int CmdCompare(int argc, const char* const* argv, std::ostream& out,
                 pf_result.seconds);
   out << line;
   std::snprintf(line, sizeof(line), "%-20s %10zu %8zu %8.2f\n",
-                "recurring-patterns", rp_result.patterns.size(),
-                MaxPatternLength(rp_result.patterns),
-                rp_result.stats.total_seconds);
+                "recurring-patterns", rp_result->patterns.size(),
+                MaxPatternLength(rp_result->patterns),
+                rp_result->stats.total_seconds);
   out << line;
   std::snprintf(line, sizeof(line), "%-20s %s%9zu %8zu %8.2f\n",
                 "p-patterns", pp_result.truncated ? ">" : " ",
@@ -466,13 +562,15 @@ int CmdConvert(int argc, const char* const* argv, std::ostream& out,
     err << "--input is required\n" << parser.Help();
     return 1;
   }
-  Result<TransactionDatabase> db = LoadDatabase(input, "csv");
-  if (!db.ok()) return Fail(err, db.status());
+  Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+      LoadSnapshot(input, "csv");
+  if (!snapshot.ok()) return Fail(err, snapshot.status());
+  const TransactionDatabase& db = (*snapshot)->db();
   Status write = output.empty()
-                     ? WriteTimestampedSpmf(*db, &out)
-                     : WriteTimestampedSpmfFile(*db, output);
+                     ? WriteTimestampedSpmf(db, &out)
+                     : WriteTimestampedSpmfFile(db, output);
   if (!write.ok()) return Fail(err, write);
-  err << "converted " << db->size() << " transactions\n";
+  err << "converted " << db.size() << " transactions\n";
   return 0;
 }
 
@@ -481,9 +579,12 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   FlagParser parser("rpminer verify",
                     "differential correctness harness: randomized cases "
                     "cross-checked against the definitional oracle, the "
-                    "parallel miner and the streaming RP-list");
+                    "parallel miner, the streaming RP-list and the query "
+                    "engine");
   uint64_t cases = 200, seed = 7, threads = 4, max_failures = 5;
   bool no_oracle = false, no_parallel = false, no_streaming = false;
+  bool no_engine = false, fixed_params = false;
+  MiningQueryFlags mining;
   parser.AddUint64("cases", 200, "number of generated cases", &cases);
   parser.AddUint64("seed", 7, "case-stream seed (reproducible)", &seed);
   parser.AddUint64("threads", 4, "worker threads for the parallel check",
@@ -496,6 +597,14 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
                  "skip the sequential-vs-parallel check", &no_parallel);
   parser.AddBool("no-streaming", false,
                  "skip the streaming-vs-batch RP-list check", &no_streaming);
+  parser.AddBool("no-engine", false,
+                 "skip the query-engine purity/reuse check", &no_engine);
+  parser.AddBool("fixed-params", false,
+                 "mine every generated database at the --per/--min-ps/"
+                 "--min-rec/--tolerance flags instead of the case's own "
+                 "parameters",
+                 &fixed_params);
+  mining.Register(&parser);
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
     err << s.ToString() << "\n" << parser.Help();
     return 1;
@@ -511,7 +620,25 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   options.cross_check.check_oracle = !no_oracle;
   options.cross_check.check_parallel = !no_parallel;
   options.cross_check.check_streaming = !no_streaming;
+  options.cross_check.check_engine = !no_engine;
   options.cross_check.parallel_threads = threads;
+  if (fixed_params) {
+    if (mining.min_ps_pct >= 0.0) {
+      err << "--min-ps-pct is per-database; use absolute --min-ps with "
+             "--fixed-params\n";
+      return 1;
+    }
+    if (mining.top_k > 0 || mining.closed || mining.maximal ||
+        mining.max_len > 0) {
+      err << "--fixed-params supports threshold flags only "
+             "(per/min-ps/min-rec/tolerance)\n";
+      return 1;
+    }
+    // Same resolution path as `mine` (db size is irrelevant without pct).
+    Result<Query> query = mining.ToQuery(/*db_size=*/0);
+    if (!query.ok()) return Fail(err, query.status());
+    options.fixed_params = query->params;
+  }
   verify::VerifyReport report = verify::RunVerification(options);
   out << verify::FormatReport(report, options);
   return report.ok() ? 0 : 2;
@@ -522,7 +649,8 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
 std::string RpminerUsage() {
   return "usage: rpminer <command> [flags]\n"
          "commands:\n"
-         "  mine      discover recurring patterns (RP-growth)\n"
+         "  mine      discover recurring patterns (RP-growth; "
+         "--queries=FILE runs many queries on one snapshot)\n"
          "  pf-mine   periodic-frequent baseline (PF-growth++)\n"
          "  pp-mine   p-pattern baseline (periodic-first)\n"
          "  stats     dataset shape summary\n"

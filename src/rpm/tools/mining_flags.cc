@@ -1,0 +1,88 @@
+#include "rpm/tools/mining_flags.h"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace rpm::tools {
+
+void MiningQueryFlags::Register(FlagParser* parser) {
+  parser->AddInt64("per", per, "period threshold (Definition 4)", &per);
+  parser->AddUint64("min-ps", min_ps, "absolute minPS (Definition 7)",
+                    &min_ps);
+  parser->AddDouble("min-ps-pct", min_ps_pct,
+                    "minPS as percent of |TDB| (overrides --min-ps)",
+                    &min_ps_pct);
+  parser->AddUint64("min-rec", min_rec, "minRec (Definition 9)", &min_rec);
+  parser->AddUint64(
+      "tolerance", tolerance,
+      "noise tolerance: over-period gaps absorbed per interval", &tolerance);
+  parser->AddUint64("top-k", top_k,
+                    "mine the k most-recurring patterns instead of using "
+                    "--min-rec",
+                    &top_k);
+  parser->AddUint64("max-length", max_len,
+                    "pattern length cap (0 = unlimited)", &max_len);
+  parser->AddBool("closed", closed, "keep only closed patterns", &closed);
+  parser->AddBool("maximal", maximal, "keep only maximal patterns",
+                  &maximal);
+}
+
+Result<engine::Query> MiningQueryFlags::ToQuery(size_t db_size) const {
+  engine::Query query;
+  query.params.period = per;
+  uint64_t resolved_min_ps = min_ps;
+  if (min_ps_pct >= 0.0) {
+    resolved_min_ps = static_cast<uint64_t>(
+        std::ceil(min_ps_pct / 100.0 * static_cast<double>(db_size)));
+  }
+  if (resolved_min_ps == 0) resolved_min_ps = 1;
+  query.params.min_ps = resolved_min_ps;
+  query.params.min_rec = min_rec;
+  query.params.max_gap_violations = static_cast<uint32_t>(tolerance);
+  query.top_k = top_k;
+  query.max_pattern_length = max_len;
+  query.closed = closed;
+  query.maximal = maximal;
+  RPM_RETURN_NOT_OK(query.Validate());
+  return query;
+}
+
+Result<ParsedQueryLine> ParseMiningQuery(const std::string& line,
+                                         size_t db_size) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  for (std::string token; stream >> token;) tokens.push_back(token);
+
+  // Reuse the real parser so a query line accepts exactly the syntax (and
+  // rejects exactly the typos) the command line would.
+  FlagParser parser("query", "one --queries file line");
+  MiningQueryFlags flags;
+  flags.Register(&parser);
+  std::string backend_name = "sequential";
+  uint64_t threads = 0;
+  parser.AddString("backend", backend_name,
+                   "executor: sequential|parallel|streaming", &backend_name);
+  parser.AddUint64("threads", threads,
+                   "parallel-backend workers (0 = hardware threads)",
+                   &threads);
+
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size() + 1);
+  argv.push_back("query");  // Parse() skips argv[0].
+  for (const std::string& token : tokens) argv.push_back(token.c_str());
+  RPM_RETURN_NOT_OK(
+      parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  if (!parser.positional().empty()) {
+    return Status::InvalidArgument("query line has non-flag token '" +
+                                   parser.positional().front() + "'");
+  }
+
+  ParsedQueryLine parsed;
+  RPM_ASSIGN_OR_RETURN(parsed.query, flags.ToQuery(db_size));
+  RPM_ASSIGN_OR_RETURN(parsed.backend, engine::ParseBackend(backend_name));
+  parsed.threads = threads;
+  return parsed;
+}
+
+}  // namespace rpm::tools

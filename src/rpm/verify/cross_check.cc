@@ -10,6 +10,7 @@
 #include "rpm/core/rp_growth.h"
 #include "rpm/core/rp_list.h"
 #include "rpm/core/streaming_rp_list.h"
+#include "rpm/engine/session.h"
 
 namespace rpm::verify {
 
@@ -110,11 +111,39 @@ void DiffPatternSets(std::vector<RecurringPattern> got,
   }
 }
 
-void CompareStat(const char* name, size_t seq, size_t par, Collector* out) {
-  if (seq != par) {
-    out->Add(std::string("stat ") + name + ": " + std::to_string(seq) +
-             " (sequential) vs " + std::to_string(par) + " (parallel)");
+void CompareStat(const char* name, size_t got, size_t want, Collector* out,
+                 const char* got_name = "sequential",
+                 const char* want_name = "parallel") {
+  if (got != want) {
+    out->Add(std::string("stat ") + name + ": " + std::to_string(got) +
+             " (" + got_name + ") vs " + std::to_string(want) + " (" +
+             want_name + ")");
   }
+}
+
+/// Every schedule-invariant counter two equivalent runs must agree on.
+void CompareInvariantStats(const RpGrowthStats& got,
+                           const RpGrowthStats& want, Collector* out,
+                           const char* got_name = "sequential",
+                           const char* want_name = "parallel") {
+  CompareStat("num_items", got.num_items, want.num_items, out, got_name,
+              want_name);
+  CompareStat("num_candidate_items", got.num_candidate_items,
+              want.num_candidate_items, out, got_name, want_name);
+  CompareStat("initial_tree_nodes", got.initial_tree_nodes,
+              want.initial_tree_nodes, out, got_name, want_name);
+  CompareStat("conditional_trees", got.conditional_trees,
+              want.conditional_trees, out, got_name, want_name);
+  CompareStat("patterns_examined", got.patterns_examined,
+              want.patterns_examined, out, got_name, want_name);
+  CompareStat("patterns_emitted", got.patterns_emitted,
+              want.patterns_emitted, out, got_name, want_name);
+  CompareStat("merge_invocations", got.merge_invocations,
+              want.merge_invocations, out, got_name, want_name);
+  CompareStat("runs_merged", got.runs_merged, want.runs_merged, out,
+              got_name, want_name);
+  CompareStat("timestamps_merged", got.timestamps_merged,
+              want.timestamps_merged, out, got_name, want_name);
 }
 
 void CheckStreaming(const TransactionDatabase& db, const RpParams& params,
@@ -172,6 +201,83 @@ void CheckStreaming(const TransactionDatabase& db, const RpParams& params,
   }
 }
 
+/// Check (d): one snapshot + one session serve the case's params on every
+/// backend; each QueryResult must be bit-identical to the direct
+/// sequential run `seq` — patterns, intervals AND schedule-invariant
+/// counters. Then a stricter query on the same session must (i) actually
+/// reuse the looser cached tree and (ii) still match a fresh stricter
+/// standalone run exactly.
+void CheckEngine(const TransactionDatabase& db, const RpParams& params,
+                 const RpGrowthResult& seq, const CrossCheckOptions& options,
+                 Collector* out) {
+  engine::QuerySession session(engine::DatasetSnapshot::Create(db));
+  engine::Query query;
+  query.params = params;
+
+  Result<engine::QueryResult> sequential = session.Run(query);
+  if (!sequential.ok()) {
+    out->Add("sequential backend failed: " + sequential.status().ToString());
+    return;
+  }
+  DiffPatternSets(sequential->patterns, seq.patterns, "engine-sequential",
+                  "direct", out);
+  // The engine's first run plans at exactly the case's params, so even the
+  // build/exploration counters must match a standalone run bit-for-bit.
+  CompareInvariantStats(sequential->stats, seq.stats, out,
+                        "engine-sequential", "direct");
+
+  engine::ExecOptions exec;
+  exec.threads = options.parallel_threads;
+  Result<engine::QueryResult> parallel =
+      session.Run(query, engine::BackendKind::kParallel, exec);
+  if (!parallel.ok()) {
+    out->Add("parallel backend failed: " + parallel.status().ToString());
+  } else {
+    DiffPatternSets(parallel->patterns, seq.patterns, "engine-parallel",
+                    "direct", out);
+    if (!parallel->tree_reused) {
+      out->Add("parallel backend rebuilt the tree the session had cached");
+    }
+  }
+
+  // Streaming implements the exact model only.
+  if (params.max_gap_violations == 0) {
+    Result<engine::QueryResult> streaming =
+        session.Run(query, engine::BackendKind::kStreaming);
+    if (!streaming.ok()) {
+      out->Add("streaming backend failed: " + streaming.status().ToString());
+    } else {
+      DiffPatternSets(streaming->patterns, seq.patterns, "engine-streaming",
+                      "direct", out);
+    }
+  }
+
+  // Loose->strict planner reuse: the session already holds a build at
+  // `params`; a stricter query must be served from it and still agree with
+  // a fresh stricter run.
+  RpParams strict = params;
+  strict.min_ps = params.min_ps + 1;
+  strict.min_rec = params.min_rec + 1;
+  engine::Query strict_query;
+  strict_query.params = strict;
+  Result<engine::QueryResult> reused = session.Run(strict_query);
+  if (!reused.ok()) {
+    out->Add("strict re-query failed: " + reused.status().ToString());
+    return;
+  }
+  if (!reused->tree_reused) {
+    out->Add("planner rebuilt instead of reusing the looser tree for " +
+             strict.ToString());
+  }
+  if (reused->session_tree_builds != 1) {
+    out->Add("session built " + std::to_string(reused->session_tree_builds) +
+             " trees; build-once/query-many expects 1");
+  }
+  RpGrowthResult fresh = MineRecurringPatterns(db, strict);
+  DiffPatternSets(reused->patterns, fresh.patterns, "engine-reused", "fresh",
+                  out);
+}
+
 }  // namespace
 
 std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
@@ -205,24 +311,7 @@ std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
     RpGrowthResult par = MineRecurringPatterns(db, params, par_options);
     DiffPatternSets(subject, par.patterns, "sequential", "parallel", &out);
     // Schedule-invariant counters must not depend on the worker count.
-    const RpGrowthStats& a = seq.stats;
-    const RpGrowthStats& b = par.stats;
-    CompareStat("num_items", a.num_items, b.num_items, &out);
-    CompareStat("num_candidate_items", a.num_candidate_items,
-                b.num_candidate_items, &out);
-    CompareStat("initial_tree_nodes", a.initial_tree_nodes,
-                b.initial_tree_nodes, &out);
-    CompareStat("conditional_trees", a.conditional_trees, b.conditional_trees,
-                &out);
-    CompareStat("patterns_examined", a.patterns_examined, b.patterns_examined,
-                &out);
-    CompareStat("patterns_emitted", a.patterns_emitted, b.patterns_emitted,
-                &out);
-    CompareStat("merge_invocations", a.merge_invocations, b.merge_invocations,
-                &out);
-    CompareStat("runs_merged", a.runs_merged, b.runs_merged, &out);
-    CompareStat("timestamps_merged", a.timestamps_merged, b.timestamps_merged,
-                &out);
+    CompareInvariantStats(seq.stats, par.stats, &out);
   }
 
   // The streaming structure implements the exact model only.
@@ -230,6 +319,11 @@ std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
     Collector out("streaming", options.max_divergences_per_check,
                   &divergences);
     CheckStreaming(db, params, &out);
+  }
+
+  if (options.check_engine) {
+    Collector out("engine", options.max_divergences_per_check, &divergences);
+    CheckEngine(db, params, seq, options, &out);
   }
 
   return divergences;

@@ -15,6 +15,12 @@
 //                     reconstructed interesting intervals and the
 //                     candidate-item set. Exact model only (skipped when
 //                     params.max_gap_violations > 0).
+//   (d) engine      — the query engine (engine/session.h) over one shared
+//                     snapshot: every backend's QueryResult vs the direct
+//                     sequential run (patterns AND schedule-invariant
+//                     counters), plus the planner's loose->strict tree
+//                     reuse vs a fresh stricter run — reused results must
+//                     be bit-identical and reuse must actually trigger.
 //
 // The sequential miner is injectable so harness tests can plant a known
 // bug (e.g. an off-by-one on interval ends) and assert the checks catch
@@ -35,7 +41,8 @@ namespace rpm::verify {
 
 /// One observed disagreement between two implementations.
 struct Divergence {
-  /// Which cross-check noticed it: "oracle", "parallel" or "streaming".
+  /// Which cross-check noticed it: "oracle", "parallel", "streaming" or
+  /// "engine".
   std::string check;
   /// Human-readable description, e.g.
   ///   "pattern {0 2}: support 5 (rp-growth) vs 6 (oracle)".
@@ -50,6 +57,7 @@ struct CrossCheckOptions {
   bool check_oracle = true;
   bool check_parallel = true;
   bool check_streaming = true;
+  bool check_engine = true;
   /// Worker threads for the parallel run of check (b).
   size_t parallel_threads = 4;
   /// When set, replaces sequential RP-growth as the subject of checks (a)

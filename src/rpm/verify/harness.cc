@@ -12,6 +12,7 @@ VerifyReport RunVerification(const VerifyOptions& options) {
   VerifyReport report;
   for (uint64_t index = 0; index < options.cases; ++index) {
     VerifyCase c = MakeVerifyCase(options.seed, index);
+    if (options.fixed_params.has_value()) c.params = *options.fixed_params;
     ++report.cases_run;
     if (options.cross_check.check_oracle) ++report.oracle_checks;
     if (options.cross_check.check_parallel) ++report.parallel_checks;
@@ -19,6 +20,7 @@ VerifyReport RunVerification(const VerifyOptions& options) {
         c.params.max_gap_violations == 0) {
       ++report.streaming_checks;
     }
+    if (options.cross_check.check_engine) ++report.engine_checks;
 
     std::vector<Divergence> divergences =
         CrossCheckCase(c.db, c.params, options.cross_check);
@@ -55,7 +57,8 @@ std::string FormatReport(const VerifyReport& report,
        std::to_string(options.seed) + "\n";
   s += "checks: oracle " + std::to_string(report.oracle_checks) +
        ", parallel " + std::to_string(report.parallel_checks) +
-       ", streaming " + std::to_string(report.streaming_checks) + "\n";
+       ", streaming " + std::to_string(report.streaming_checks) +
+       ", engine " + std::to_string(report.engine_checks) + "\n";
   if (report.ok()) {
     s += "result: OK — all implementations agree on every case\n";
     return s;

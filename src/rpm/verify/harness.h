@@ -11,6 +11,7 @@
 #define RPM_VERIFY_HARNESS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ struct VerifyOptions {
   /// Check toggles, thread count and (for harness self-tests) the
   /// fault-injected miner.
   CrossCheckOptions cross_check;
+  /// When set, every generated case is mined at these params instead of
+  /// the case's own (CLI: `rpminer verify --fixed-params --per=...`) —
+  /// lets one parameter point be hammered across all database regimes.
+  std::optional<RpParams> fixed_params;
 };
 
 /// One failing case, fully processed: the divergences observed on the
@@ -47,6 +52,8 @@ struct VerifyReport {
   uint64_t parallel_checks = 0;
   /// Streaming checks actually executed (tolerant-mode cases skip it).
   uint64_t streaming_checks = 0;
+  /// Query-engine purity/reuse checks executed.
+  uint64_t engine_checks = 0;
   std::vector<CaseFailure> failures;
 
   bool ok() const { return failures.empty(); }

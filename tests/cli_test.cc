@@ -292,6 +292,141 @@ TEST(CliTest, ConvertCsvToSpmf) {
   std::remove(csv_path.c_str());
 }
 
+// --- mine --queries=FILE (multi-query sessions) -----------------------------
+
+/// Writes a --queries file; returns the path.
+std::string WriteQueriesFile(const std::string& contents) {
+  std::string path = ::testing::TempDir() + "/rpminer_cli_queries.txt";
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+TEST(CliTest, MineQueriesSharesOneTreeBuildAcrossBackends) {
+  std::string path = WritePaperExampleFile();
+  // First line is the loosest (per, tolerance) point, so the planner's
+  // one build serves the stricter re-queries on every backend.
+  std::string queries = WriteQueriesFile(
+      "# paper example sweep\n"
+      "--per=2 --min-ps=3 --min-rec=2\n"
+      "\n"
+      "--per=2 --min-ps=4 --min-rec=2 --backend=parallel --threads=2\n"
+      "--per=2 --min-ps=3 --min-rec=3 --backend=streaming\n");
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--queries",
+                 queries.c_str()},
+                &out, &err),
+            0)
+      << err;
+  // One snapshot, one build; the streaming backend builds its own
+  // structures outside the planner so it neither reuses nor adds builds.
+  EXPECT_NE(err.find("3 queries against one snapshot, 1 tree build(s)"),
+            std::string::npos)
+      << err;
+  EXPECT_NE(out.find("\"tree_builds\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"tree_reused\": true"), std::string::npos);
+  EXPECT_NE(out.find("\"backend\": \"parallel\""), std::string::npos);
+  EXPECT_NE(out.find("\"backend\": \"streaming\""), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(queries.c_str());
+}
+
+TEST(CliTest, MineQueriesEmbedsPatternsByteIdenticalToStandaloneRuns) {
+  std::string path = WritePaperExampleFile();
+  std::string queries = WriteQueriesFile(
+      "--per=2 --min-ps=3 --min-rec=2\n"
+      "--per=2 --min-ps=4 --min-rec=2\n"
+      "--per=2 --min-ps=3 --top-k=3\n");
+  std::string multi_out, err;
+  ASSERT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--queries",
+                 queries.c_str()},
+                &multi_out, &err),
+            0)
+      << err;
+  // Each query's embedded "patterns" array must be byte-identical to the
+  // standalone single-query JSON output (reused trees included).
+  auto expect_embedded = [&](std::initializer_list<const char*> args) {
+    std::string solo_out, solo_err;
+    ASSERT_EQ(RunCli(args, &solo_out, &solo_err), 0) << solo_err;
+    ASSERT_FALSE(solo_out.empty());
+    EXPECT_NE(multi_out.find(solo_out), std::string::npos)
+        << "standalone JSON not embedded verbatim:\n"
+        << solo_out;
+  };
+  expect_embedded({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                   "--min-ps=3", "--min-rec=2", "--output-format=json"});
+  expect_embedded({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                   "--min-ps=4", "--min-rec=2", "--output-format=json"});
+  expect_embedded({"rpminer", "mine", "--input", path.c_str(), "--per=2",
+                   "--min-ps=3", "--top-k=3", "--output-format=json"});
+  std::remove(path.c_str());
+  std::remove(queries.c_str());
+}
+
+TEST(CliTest, MineQueriesReportsFailingLineNumber) {
+  std::string path = WritePaperExampleFile();
+  std::string queries = WriteQueriesFile(
+      "# comment\n"
+      "--per=2 --min-ps=3 --min-rec=2\n"
+      "--per=2 --bogus=1\n");
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--queries",
+                 queries.c_str()},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--queries line 3"), std::string::npos) << err;
+  std::remove(path.c_str());
+  std::remove(queries.c_str());
+}
+
+TEST(CliTest, MineQueriesRejectsEmptyFileAndBadBackendModel) {
+  std::string path = WritePaperExampleFile();
+  std::string empty = WriteQueriesFile("# only comments\n\n");
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--queries",
+                 empty.c_str()},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("no query lines"), std::string::npos);
+
+  // Streaming is exact-model only; the error carries the line number.
+  std::string tolerant = WriteQueriesFile(
+      "--per=2 --min-ps=3 --min-rec=2 --tolerance=1 --backend=streaming\n");
+  EXPECT_EQ(RunCli({"rpminer", "mine", "--input", path.c_str(), "--queries",
+                 tolerant.c_str()},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("--queries line 1"), std::string::npos) << err;
+  std::remove(path.c_str());
+  std::remove(empty.c_str());
+  std::remove(tolerant.c_str());
+}
+
+TEST(CliTest, VerifyFixedParamsPinsEveryCase) {
+  std::string out, err;
+  ASSERT_EQ(RunCli({"rpminer", "verify", "--cases=6", "--seed=3",
+                 "--fixed-params", "--per=2", "--min-ps=2"},
+                &out, &err),
+            0)
+      << err;
+  EXPECT_NE(out.find("result: OK"), std::string::npos);
+  EXPECT_NE(out.find("engine 6"), std::string::npos);
+  // Streaming runs on every case too: fixed params are exact-model.
+  EXPECT_NE(out.find("streaming 6"), std::string::npos);
+}
+
+TEST(CliTest, VerifyFixedParamsRejectsPercentAndFilterFlags) {
+  std::string out, err;
+  EXPECT_EQ(RunCli({"rpminer", "verify", "--cases=2", "--fixed-params",
+                 "--per=2", "--min-ps-pct=10"},
+                &out, &err),
+            1);
+  EXPECT_EQ(RunCli({"rpminer", "verify", "--cases=2", "--fixed-params",
+                 "--per=2", "--top-k=3"},
+                &out, &err),
+            1);
+}
+
 TEST(CliTest, MineRoundTripThroughGenerate) {
   std::string path = ::testing::TempDir() + "/rpminer_cli_gen.tspmf";
   std::string out, err;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
 namespace rpm::analysis {
 namespace {
 
@@ -85,6 +88,27 @@ TEST(SpanJaccardTest, PartialOverlap) {
   std::vector<PeriodicInterval> intervals = {{0, 9, 5}};   // [0,10).
   // Window [5,15): intersection 5, union 15.
   EXPECT_DOUBLE_EQ(SpanJaccard(intervals, {{5, 15}}), 5.0 / 15.0);
+}
+
+TEST(PatternIntervalsOrComputeTest, CarriedIntervalsTakePrecedence) {
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  RpParams params = rpm::testing::PaperExampleParams();
+  // A deliberately wrong interval list must be returned untouched — the
+  // helper is a fallback, not a verifier.
+  RecurringPattern p = {{rpm::testing::A}, 7, {{100, 200, 42}}};
+  EXPECT_EQ(PatternIntervalsOrCompute(p, db, params), p.intervals);
+}
+
+TEST(PatternIntervalsOrComputeTest, MissingIntervalsComeFromTsList) {
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  RpParams params = rpm::testing::PaperExampleParams();
+  for (const RecurringPattern& mined :
+       MineRecurringPatterns(db, params).patterns) {
+    RecurringPattern stripped = mined;
+    stripped.intervals.clear();
+    EXPECT_EQ(PatternIntervalsOrCompute(stripped, db, params), mined.intervals)
+        << mined.ToString(nullptr);
+  }
 }
 
 TEST(SpanJaccardTest, BothEmptyIsOne) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "rpm/core/rp_growth.h"
+#include "test_util.h"
+
 namespace rpm::analysis {
 namespace {
 
@@ -45,6 +48,43 @@ TEST(PatternStatsTest, NoIntervals) {
 TEST(PatternStatsTest, ZeroSpanSeries) {
   PatternStats stats = ComputePatternStats(SamplePattern(), 50, 50);
   EXPECT_DOUBLE_EQ(stats.series_coverage, 0.0);
+}
+
+TEST(PatternStatsTest, DbOverloadUsesCarriedIntervalsWhenPresent) {
+  // Engine results carry interval lists; the db overload must not
+  // recompute them (it would mask a miner bug) — it delegates straight
+  // to the span overload.
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  RpParams params = rpm::testing::PaperExampleParams();
+  for (const RecurringPattern& p : MineRecurringPatterns(db, params).patterns) {
+    PatternStats from_db = ComputePatternStats(p, db, params);
+    PatternStats from_span = ComputePatternStats(p, db.start_ts(), db.end_ts());
+    EXPECT_EQ(from_db.total_interesting_duration,
+              from_span.total_interesting_duration);
+    EXPECT_DOUBLE_EQ(from_db.series_coverage, from_span.series_coverage);
+    EXPECT_DOUBLE_EQ(from_db.mean_periodic_support,
+                     from_span.mean_periodic_support);
+  }
+}
+
+TEST(PatternStatsTest, DbOverloadRecomputesMissingIntervals) {
+  // A pattern arriving WITHOUT intervals (external source, store_patterns
+  // pipelines) gets them re-derived from TS^X — stats must match the
+  // fully-populated original exactly.
+  TransactionDatabase db = rpm::testing::PaperExampleDb();
+  RpParams params = rpm::testing::PaperExampleParams();
+  for (const RecurringPattern& p : MineRecurringPatterns(db, params).patterns) {
+    RecurringPattern stripped = p;
+    stripped.intervals.clear();
+    PatternStats recomputed = ComputePatternStats(stripped, db, params);
+    PatternStats original = ComputePatternStats(p, db, params);
+    EXPECT_EQ(recomputed.total_interesting_duration,
+              original.total_interesting_duration);
+    EXPECT_EQ(recomputed.max_periodic_support, original.max_periodic_support);
+    EXPECT_DOUBLE_EQ(recomputed.series_coverage, original.series_coverage);
+    EXPECT_DOUBLE_EQ(recomputed.periodic_concentration,
+                     original.periodic_concentration);
+  }
 }
 
 TEST(PatternStatsTest, FormatMentionsEverything) {

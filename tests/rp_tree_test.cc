@@ -171,5 +171,57 @@ TEST(TsPrefixTreeTest, SharedPrefixesCompress) {
   EXPECT_EQ(tree.NodeCount(), 3u);  // One path, shared.
 }
 
+// --- Clone (the query engine's build-once/mine-many primitive) --------------
+
+/// Per-rank (path, ts-list) pairs in node-link *chain order* — the order
+/// mining visits conditional pattern bases, so equality here implies
+/// bit-identical mining behaviour, counters included.
+std::vector<std::pair<std::vector<uint32_t>, TimestampList>> ChainOfRank(
+    const TsPrefixTree& tree, size_t rank) {
+  std::vector<std::pair<std::vector<uint32_t>, TimestampList>> chain;
+  tree.ForEachNodeOfRank(
+      rank, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
+        chain.emplace_back(path, ts);
+      });
+  return chain;
+}
+
+TEST(TsPrefixTreeTest, ClonePreservesStructureAndChainOrder) {
+  TsPrefixTree tree = BuildPaperTree();
+  TsPrefixTree clone = tree.Clone();
+  EXPECT_EQ(clone.NodeCount(), tree.NodeCount());
+  EXPECT_EQ(clone.items_by_rank(), tree.items_by_rank());
+  for (size_t rank = 0; rank < tree.num_ranks(); ++rank) {
+    EXPECT_EQ(ChainOfRank(clone, rank), ChainOfRank(tree, rank))
+        << "rank " << rank;
+  }
+}
+
+TEST(TsPrefixTreeTest, CloneIsIndependentOfTheOriginal) {
+  TsPrefixTree tree = BuildPaperTree();
+  TsPrefixTree clone = tree.Clone();
+  // Consume the clone bottom-up (what mining does); the master is
+  // untouched and can produce further identical clones.
+  for (size_t rank = clone.num_ranks(); rank-- > 0;) {
+    clone.PushUpAndRemove(rank);
+  }
+  EXPECT_TRUE(clone.empty());
+  EXPECT_EQ(tree.NodeCount(), 16u);
+  TsPrefixTree again = tree.Clone();
+  for (size_t rank = 0; rank < tree.num_ranks(); ++rank) {
+    EXPECT_EQ(ChainOfRank(again, rank), ChainOfRank(tree, rank));
+  }
+}
+
+TEST(TsPrefixTreeTest, CloneOfEmptyTree) {
+  TsPrefixTree tree({1, 2, 3});
+  TsPrefixTree clone = tree.Clone();
+  EXPECT_EQ(clone.NodeCount(), 0u);
+  EXPECT_EQ(clone.num_ranks(), 3u);
+  clone.InsertTransaction({0, 2}, 4);  // Still a usable tree.
+  EXPECT_EQ(clone.NodeCount(), 2u);
+  EXPECT_EQ(tree.NodeCount(), 0u);
+}
+
 }  // namespace
 }  // namespace rpm
