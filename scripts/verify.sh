@@ -52,25 +52,49 @@ done
 echo "== stage 4: differential harness smoke =="
 ./build/src/rpminer verify --cases=200 --seed=7
 
+echo "== stage 5: fault-injection campaign smoke (faults label) =="
+# Seeded fault campaign (DESIGN.md §7.4): every injected fault must
+# surface as a clean Status or governed truncation, never a crash or a
+# poisoned planner cache.
+./build/src/rpminer verify --faults=200 --seed=7
+
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "verify: OK (TSan and UBSan stages skipped)"
+  echo "verify: OK (TSan, UBSan and ASan stages skipped)"
   exit 0
 fi
 
-echo "== stage 5: ThreadSanitizer on the parallel miner + query engine =="
+echo "== stage 6: ThreadSanitizer on the parallel miner + query engine =="
 cmake -B build-tsan -S . -DRPM_SANITIZE=thread \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test \
-      engine_test
+      engine_test governance_test rpminer
 ./build-tsan/tests/rp_growth_parallel_test
 # Concurrent QuerySession::Run over one shared snapshot/planner.
 ./build-tsan/tests/engine_test
+# Budget checkpoints and prefix-commit truncation under TSan.
+./build-tsan/tests/governance_test
+# Fault campaign under TSan: injected faults fire from worker threads.
+./build-tsan/src/rpminer verify --faults=200 --seed=7
 
-echo "== stage 6: UBSan over the differential harness =="
+echo "== stage 7: UBSan over the differential harness + fault campaign =="
 cmake -B build-ubsan -S . -DRPM_SANITIZE=undefined \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j"${JOBS}" --target rpminer
 UBSAN_OPTIONS=halt_on_error=1 \
   ./build-ubsan/src/rpminer verify --cases=200 --seed=7
+UBSAN_OPTIONS=halt_on_error=1 \
+  ./build-ubsan/src/rpminer verify --faults=200 --seed=7
+
+echo "== stage 8: AddressSanitizer over the fault campaign =="
+# ASan is the natural probe for the injected-bad_alloc recovery paths:
+# a leaked node arena or a use-after-rollback in the prefix-commit walk
+# surfaces here even when behavior looks clean.
+cmake -B build-asan -S . -DRPM_SANITIZE=address \
+      -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j"${JOBS}" --target rpminer
+ASAN_OPTIONS=detect_leaks=1 \
+  ./build-asan/src/rpminer verify --cases=200 --seed=7
+ASAN_OPTIONS=detect_leaks=1 \
+  ./build-asan/src/rpminer verify --faults=200 --seed=7
 
 echo "verify: OK"

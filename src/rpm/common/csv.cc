@@ -12,12 +12,14 @@ Status CsvReader::Next(CsvRow* row, bool* done) {
     return Status::OK();
   }
   ++line_;
+  record_offset_ = consumed_;
 
   std::string field;
   bool in_quotes = false;
   bool any_char = false;
   for (;;) {
     int ci = in_->get();
+    if (ci != std::char_traits<char>::eof()) ++consumed_;
     if (ci == std::char_traits<char>::eof()) {
       if (in_quotes) {
         return Status::Corruption("unterminated quoted field at line " +
@@ -32,6 +34,7 @@ Status CsvReader::Next(CsvRow* row, bool* done) {
       if (c == '"') {
         if (in_->peek() == '"') {
           in_->get();
+          ++consumed_;
           field += '"';
         } else {
           in_quotes = false;

@@ -7,6 +7,7 @@
 #ifndef RPM_COMMON_CSV_H_
 #define RPM_COMMON_CSV_H_
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -35,10 +36,18 @@ class CsvReader {
   /// Line number of the most recently returned record (1-based).
   size_t line_number() const { return line_; }
 
+  /// Byte offset (0-based, from the start of the stream) where the most
+  /// recently returned record began. Error diagnostics combine it with
+  /// line_number() so a failure is addressable with `head -c` as well as
+  /// an editor.
+  uint64_t record_byte_offset() const { return record_offset_; }
+
  private:
   std::istream* in_;
   char delim_;
   size_t line_ = 0;
+  uint64_t consumed_ = 0;
+  uint64_t record_offset_ = 0;
 };
 
 /// Streaming CSV writer; quotes fields only when necessary.

@@ -1,0 +1,13 @@
+#include "rpm/common/failpoint.h"
+
+namespace rpm {
+
+namespace internal {
+std::atomic<FailpointHandler> g_failpoint_handler{nullptr};
+}  // namespace internal
+
+void SetFailpointHandler(FailpointHandler handler) {
+  internal::g_failpoint_handler.store(handler, std::memory_order_release);
+}
+
+}  // namespace rpm

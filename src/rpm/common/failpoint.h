@@ -1,0 +1,45 @@
+// Process-wide failpoint hook — the low-level half of the fault-injection
+// framework (DESIGN.md §7.4).
+//
+// Library code marks the operations that can fail in production (node
+// allocation, reader I/O, worker spawn, clock reads) with a named
+// RPM_FAULT_POINT site. In normal operation the hook is null and a site
+// costs one relaxed atomic load; when the seeded injector
+// (rpm/verify/fault_injection.h) is armed, the hook decides per hit
+// whether the site should simulate its failure.
+//
+// The hook lives in common/ (not verify/) so every layer can host sites
+// without a dependency cycle; only the CLI/harness layer links the
+// injector that installs a handler.
+
+#ifndef RPM_COMMON_FAILPOINT_H_
+#define RPM_COMMON_FAILPOINT_H_
+
+#include <atomic>
+
+namespace rpm {
+
+/// Handler invoked per failpoint hit while armed. Returns true when the
+/// site should simulate its failure. Must be thread-safe: sites fire from
+/// worker threads.
+using FailpointHandler = bool (*)(const char* site);
+
+namespace internal {
+/// The installed handler (null = disarmed). Defined in failpoint.cc.
+extern std::atomic<FailpointHandler> g_failpoint_handler;
+}  // namespace internal
+
+/// Installs (or, with nullptr, removes) the process-wide handler.
+void SetFailpointHandler(FailpointHandler handler);
+
+/// True when the named site should simulate a failure now. The disarmed
+/// fast path is a single relaxed atomic load — cheap enough for hot loops.
+inline bool FailpointTriggered(const char* site) {
+  FailpointHandler handler =
+      internal::g_failpoint_handler.load(std::memory_order_acquire);
+  return handler != nullptr && handler(site);
+}
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_FAILPOINT_H_

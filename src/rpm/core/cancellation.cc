@@ -1,0 +1,75 @@
+#include "rpm/core/cancellation.h"
+
+#include "rpm/common/failpoint.h"
+
+namespace rpm {
+
+QueryBudget::QueryBudget(const ResourceLimits& limits,
+                         const CancellationToken* cancel)
+    : limits_(limits),
+      cancel_(cancel),
+      deadline_(limits.timeout_ms > 0 ? Deadline::AfterMillis(limits.timeout_ms)
+                                      : Deadline::Infinite()) {}
+
+bool QueryBudget::Probe() {
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    TripStop(StopReason::kCancelled);
+  } else if (deadline_.Expired() ||
+             (!deadline_.infinite() && FailpointTriggered("clock.skip"))) {
+    // clock.skip simulates a scheduler stall / clock jump past the
+    // deadline; it only fires for queries that actually have one.
+    TripStop(StopReason::kDeadline);
+  }
+  return stop_requested();
+}
+
+void QueryBudget::AddTrackedBytes(uint64_t bytes) {
+  uint64_t live =
+      tracked_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = tracked_bytes_peak_.load(std::memory_order_relaxed);
+  while (live > peak && !tracked_bytes_peak_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  if (limits_.memory_budget_bytes > 0 && live > limits_.memory_budget_bytes) {
+    TripStop(StopReason::kMemory);
+  }
+}
+
+void QueryBudget::ReleaseTrackedBytes(uint64_t bytes) {
+  tracked_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void QueryBudget::TripStop(StopReason reason) {
+  StopReason expected = StopReason::kNone;
+  if (reason_.compare_exchange_strong(expected, reason,
+                                      std::memory_order_acq_rel)) {
+    stop_.store(true, std::memory_order_release);
+  }
+}
+
+Status QueryBudget::status() const {
+  switch (stop_reason()) {
+    case StopReason::kNone:
+    case StopReason::kPatternCap:
+      return Status::OK();
+    case StopReason::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case StopReason::kMemory:
+      return Status::ResourceExhausted("query memory budget exceeded");
+  }
+  return Status::Unknown("invalid stop reason");
+}
+
+ResourceUsage QueryBudget::usage() const {
+  ResourceUsage u;
+  u.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  u.nodes_built = nodes_built_.load(std::memory_order_relaxed);
+  u.tracked_bytes_peak = tracked_bytes_peak_.load(std::memory_order_relaxed);
+  u.patterns_emitted = patterns_.load(std::memory_order_relaxed);
+  return u;
+}
+
+}  // namespace rpm

@@ -1,11 +1,14 @@
 #include "rpm/core/rp_growth.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <utility>
 
+#include "rpm/common/failpoint.h"
 #include "rpm/common/logging.h"
 #include "rpm/common/stopwatch.h"
 #include "rpm/core/measures.h"
@@ -112,29 +115,42 @@ class Miner {
       : params_(params),
         options_(options),
         result_(result),
-        scratch_(scratch) {}
+        scratch_(scratch),
+        checkpoint_(options.budget) {}
 
-  /// Algorithm 4 over one (possibly conditional) tree. `suffix` holds the
-  /// items of alpha; the tree is consumed (ts-lists pushed up, nodes
-  /// detached) in the process.
-  void MineTree(TsPrefixTree* tree, Itemset* suffix) {
-    for (size_t rank = tree->num_ranks(); rank-- > 0;) {
-      if (tree->HeadOfRank(rank) != nullptr) {
-        ProcessRank(tree, rank, suffix);
-        tree->PushUpAndRemove(rank);
-      }
-    }
+  /// How one governed top-level subproblem ended. Truncation is
+  /// all-or-nothing per subproblem: anything but kComplete means the
+  /// subproblem's patterns must be dropped from the committed result.
+  enum class Outcome {
+    kComplete,  ///< Mined fully; eligible to commit.
+    kOverflow,  ///< Emitted more patterns than the cap headroom allows.
+    kHardStop,  ///< Deadline / memory / cancellation checkpoint fired.
+  };
+
+  /// Mines the top-level subproblem of `rank` (one iteration of
+  /// Algorithm 4's outer loop, minus the push-up — the driver pushes up
+  /// only after a commit). `cap_headroom` is how many patterns this
+  /// subproblem may emit before it is doomed to be dropped by the
+  /// max-patterns cut; UINT64_MAX = unlimited.
+  Outcome MineTopRank(TsPrefixTree* tree, size_t rank, Itemset* suffix,
+                      uint64_t cap_headroom) {
+    BeginSubproblem(cap_headroom);
+    ProcessRank(tree, rank, suffix);
+    return CurrentOutcome();
   }
 
   /// Mines one top-level projection: the independent subproblem of a
   /// single suffix item, pre-collected by ProjectSuffixItems (which also
   /// merged ts_beta, so no merge happens here).
-  void MineProjection(const std::vector<ItemId>& items_by_rank,
-                      SuffixProjection* projection) {
+  Outcome MineProjection(const std::vector<ItemId>& items_by_rank,
+                         SuffixProjection* projection,
+                         uint64_t cap_headroom) {
+    BeginSubproblem(cap_headroom);
     Frame& frame = scratch_->FrameAt(depth_);
     frame.paths.clear();
     frame.rank_storage.clear();
     for (const ProjectedPath& p : projection->paths) {
+      if (ShouldStop()) return CurrentOutcome();
       frame.paths.push_back({static_cast<uint32_t>(frame.rank_storage.size()),
                              static_cast<uint32_t>(p.ranks.size()), &p.ts});
       frame.rank_storage.insert(frame.rank_storage.end(), p.ranks.begin(),
@@ -143,9 +159,49 @@ class Miner {
     Itemset suffix;
     MineCollected(items_by_rank, frame, projection->ts_beta,
                   items_by_rank[projection->rank], &suffix);
+    return CurrentOutcome();
   }
 
+  /// Patterns emitted by the most recently mined subproblem (the commit
+  /// delta the drivers use for the max-patterns arithmetic).
+  uint64_t subproblem_emitted() const { return subproblem_emitted_; }
+
  private:
+  void BeginSubproblem(uint64_t cap_headroom) {
+    aborted_ = false;
+    overflowed_ = false;
+    subproblem_emitted_ = 0;
+    cap_headroom_ = cap_headroom;
+  }
+
+  Outcome CurrentOutcome() const {
+    if (aborted_) return Outcome::kHardStop;
+    if (overflowed_) return Outcome::kOverflow;
+    return Outcome::kComplete;
+  }
+
+  /// Budget checkpoint; sticky per subproblem. True = unwind now.
+  bool ShouldStop() {
+    if (aborted_ || overflowed_) return true;
+    if (checkpoint_.Check()) {
+      aborted_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Algorithm 4 over one conditional tree. `suffix` holds the items of
+  /// alpha; the tree is consumed (ts-lists pushed up, nodes detached) in
+  /// the process.
+  void MineTree(TsPrefixTree* tree, Itemset* suffix) {
+    for (size_t rank = tree->num_ranks(); rank-- > 0;) {
+      if (ShouldStop()) return;
+      if (tree->HeadOfRank(rank) != nullptr) {
+        ProcessRank(tree, rank, suffix);
+        tree->PushUpAndRemove(rank);
+      }
+    }
+  }
   /// True when beta (with the given full TS^beta) may still lead to
   /// recurring patterns — the paper's candidate test, or the weaker
   /// support-only gate in the ablation mode.
@@ -166,16 +222,19 @@ class Miner {
     frame.paths.clear();
     frame.rank_storage.clear();
     frame.beta_runs.clear();
-    tree->ForEachNodeOfRank(
+    tree->ForEachNodeOfRankWhile(
         rank, [&](const std::vector<uint32_t>& path, const TimestampList& ts) {
-          if (ts.empty() && path.empty()) return;
+          if (ShouldStop()) return false;
+          if (ts.empty() && path.empty()) return true;
           frame.paths.push_back(
               {static_cast<uint32_t>(frame.rank_storage.size()),
                static_cast<uint32_t>(path.size()), &ts});
           frame.rank_storage.insert(frame.rank_storage.end(), path.begin(),
                                     path.end());
           AppendSortedRuns(ts, &frame.beta_runs);
+          return true;
         });
+    if (aborted_ || overflowed_) return;  // Abandoned mid-walk.
     if (frame.beta_runs.empty()) return;  // No timestamps at this rank.
     MergeSortedRuns(frame.beta_runs.data(), frame.beta_runs.size(),
                     &frame.ts_beta, &scratch_->merge, &scratch_->counters);
@@ -190,6 +249,7 @@ class Miner {
   void MineCollected(const std::vector<ItemId>& items_by_rank, Frame& frame,
                      const TimestampList& ts_beta, ItemId item,
                      Itemset* suffix) {
+    if (ShouldStop()) return;
     ++result_->stats.patterns_examined;
 
     // One scan decides the gate AND yields IPI^beta for getRecurrence —
@@ -218,6 +278,10 @@ class Miner {
       pattern.intervals.assign(frame.intervals.begin(),
                                frame.intervals.end());
       ++result_->stats.patterns_emitted;
+      ++subproblem_emitted_;
+      // Past the cap headroom this subproblem is dropped no matter what
+      // else it finds — stop paying for it.
+      if (subproblem_emitted_ > cap_headroom_) overflowed_ = true;
       if (options_.sink) options_.sink(pattern);
       if (options_.store_patterns) {
         result_->patterns.push_back(std::move(pattern));
@@ -226,12 +290,15 @@ class Miner {
 
     const bool depth_ok = options_.max_pattern_length == 0 ||
                           suffix->size() < options_.max_pattern_length;
-    if (depth_ok) BuildConditionalAndRecurse(items_by_rank, frame, suffix);
+    if (depth_ok && !overflowed_) {
+      BuildConditionalAndRecurse(items_by_rank, frame, suffix);
+    }
     suffix->pop_back();
   }
 
   void BuildConditionalAndRecurse(const std::vector<ItemId>& items_by_rank,
                                   Frame& frame, Itemset* suffix) {
+    if (ShouldStop()) return;
     const size_t nranks = items_by_rank.size();
     if (frame.acc.size() < nranks) frame.acc.resize(nranks);
     if (frame.runs_by_rank.size() < nranks) frame.runs_by_rank.resize(nranks);
@@ -257,16 +324,25 @@ class Miner {
     if (frame.touched.empty()) return;
 
     // Merge each touched item's runs and keep items that can still extend
-    // beta (conditional Erec gate).
+    // beta (conditional Erec gate). On a stop, the remaining touched
+    // entries still need their runs cleared — the grow-only scratch
+    // invariant ("runs_by_rank[r] empty between subproblems") must hold
+    // for whatever this worker mines next.
     frame.kept.clear();
+    bool stopped = false;
     for (uint32_t r : frame.touched) {
+      if (!stopped && ShouldStop()) stopped = true;
+      if (stopped) {
+        frame.runs_by_rank[r].clear();
+        continue;
+      }
       MergeSortedRuns(frame.runs_by_rank[r].data(),
                       frame.runs_by_rank[r].size(), &frame.acc[r],
                       &scratch_->merge, &scratch_->counters);
       frame.runs_by_rank[r].clear();
       if (PassesGate(frame.acc[r])) frame.kept.push_back(r);
     }
-    if (frame.kept.empty()) {
+    if (stopped || frame.kept.empty()) {
       for (uint32_t r : frame.touched) frame.acc[r].clear();
       return;
     }
@@ -301,18 +377,31 @@ class Miner {
       cond.InsertPath(frame.mapped, *pr.ts);
     }
     ++result_->stats.conditional_trees;
+    QueryBudget* budget = checkpoint_.budget();
+    const size_t cond_bytes = budget != nullptr ? cond.ApproxBytes() : 0;
+    if (budget != nullptr) {
+      budget->AddNodes(cond.NodeCount());
+      budget->AddTrackedBytes(cond_bytes);  // May trip the memory stop.
+    }
     if (!cond.empty()) {
       ++depth_;
       MineTree(&cond, suffix);
       --depth_;
     }
+    if (budget != nullptr) budget->ReleaseTrackedBytes(cond_bytes);
   }
 
   const RpParams& params_;
   const RpGrowthOptions& options_;
   RpGrowthResult* result_;
   MinerScratch* scratch_;
+  BudgetCheckpointer checkpoint_;
   size_t depth_ = 0;  ///< Current recursion depth == frame index.
+  // Per-subproblem governance state (reset by BeginSubproblem):
+  bool aborted_ = false;     ///< A hard budget stop fired.
+  bool overflowed_ = false;  ///< Emitted past the cap headroom.
+  uint64_t subproblem_emitted_ = 0;
+  uint64_t cap_headroom_ = std::numeric_limits<uint64_t>::max();
 };
 
 /// Folds a scratch pool's kernel counters into the run's stats.
@@ -326,11 +415,56 @@ void FoldScratchStats(const MinerScratch& scratch, RpGrowthStats* stats) {
       std::max(stats->scratch_bytes_peak, scratch.ByteFootprint());
 }
 
+/// Sequential top-level loop (Algorithm 4's outer loop) with per-
+/// subproblem commit/rollback: a subproblem the budget hard-stops — or
+/// that would push the committed total past the max-patterns cap — is
+/// rolled out of the result wholesale and mining ends, so the result is
+/// always the complete patterns of a contiguous bottom-up prefix of
+/// suffix subproblems. Without a budget this degenerates to the plain
+/// loop (headroom infinite, checkpoints a single branch).
+void MineSequentialTopLevel(TsPrefixTree* tree, Miner* miner,
+                            QueryBudget* budget, RpGrowthResult* result) {
+  const uint64_t cap = budget != nullptr ? budget->limits().max_patterns : 0;
+  uint64_t committed = 0;
+  Itemset suffix;
+  for (size_t rank = tree->num_ranks(); rank-- > 0;) {
+    if (tree->HeadOfRank(rank) == nullptr) continue;
+    const size_t patterns_mark = result->patterns.size();
+    const size_t emitted_mark = result->stats.patterns_emitted;
+    const uint64_t headroom =
+        cap == 0 ? std::numeric_limits<uint64_t>::max() : cap - committed;
+    const Miner::Outcome outcome =
+        miner->MineTopRank(tree, rank, &suffix, headroom);
+    if (outcome == Miner::Outcome::kComplete) {
+      committed += miner->subproblem_emitted();
+      tree->PushUpAndRemove(rank);
+      continue;
+    }
+    // Drop the subproblem: roll its patterns out of the result. The
+    // exploration counters intentionally keep the attempted work.
+    result->patterns.resize(patterns_mark);
+    result->stats.patterns_emitted = emitted_mark;
+    result->truncated = true;
+    if (outcome == Miner::Outcome::kOverflow && budget != nullptr) {
+      budget->RequestStop(StopReason::kPatternCap);
+    }
+    break;
+  }
+  if (budget != nullptr) budget->AddPatterns(committed);
+}
+
 /// Parallel mining phase: decompose the tree into per-suffix-item
-/// projections and mine them on `threads` workers with thread-local
-/// results, then merge. Counters sum to exactly the sequential values
+/// projections and mine them on `threads` workers with per-projection
+/// results, then commit. Counters sum to exactly the sequential values
 /// because every subproblem is counted once, on whichever worker runs it
 /// (ts_beta merges are counted during projection, where they happen).
+///
+/// Budget governance commits the longest prefix (in bottom-up order —
+/// the order ProjectSuffixItems returns) of subproblems that completed
+/// and fit under the max-patterns cap; everything at and after the first
+/// incomplete or cap-crossing subproblem is dropped, including
+/// completed-but-later subproblems, so a max_patterns cut lands on the
+/// identical subproblem the sequential path cuts at.
 void MineParallel(TsPrefixTree* tree, const RpParams& params,
                   const RpGrowthOptions& options, size_t threads,
                   RpGrowthResult* result) {
@@ -362,39 +496,101 @@ void MineParallel(TsPrefixTree* tree, const RpParams& params,
     };
   }
 
-  const size_t workers = std::min(threads, projections.size());
-  std::vector<RpGrowthResult> locals(std::max<size_t>(workers, 1));
-  std::vector<MinerScratch> scratches(locals.size());
-  std::vector<double> busy_seconds(locals.size(), 0.0);
-  const std::vector<ItemId>& items_by_rank = tree->items_by_rank();
-  ParallelFor(projections.size(), workers, [&](size_t worker, size_t i) {
-    Stopwatch stopwatch;
-    SuffixProjection& projection = projections[order[i]];
-    Miner miner(params, worker_options, &locals[worker], &scratches[worker]);
-    miner.MineProjection(items_by_rank, &projection);
-    projection = SuffixProjection();  // Release the snapshot eagerly.
-    busy_seconds[worker] += stopwatch.ElapsedSeconds();
-  });
+  QueryBudget* budget = options.budget;
+  const uint64_t cap = budget != nullptr ? budget->limits().max_patterns : 0;
+  // A worker cannot know the committed total while mining out of order,
+  // but a subproblem whose own count exceeds the whole cap is doomed
+  // regardless of it — that is the only early-abort the cap allows
+  // without perturbing the deterministic cut.
+  const uint64_t worker_headroom =
+      cap == 0 ? std::numeric_limits<uint64_t>::max() : cap;
 
-  for (size_t w = 0; w < locals.size(); ++w) {
-    RpGrowthStats& partial = locals[w].stats;
-    result->stats.conditional_trees += partial.conditional_trees;
-    result->stats.patterns_examined += partial.patterns_examined;
-    result->stats.patterns_emitted += partial.patterns_emitted;
-    result->stats.mine_cpu_seconds += busy_seconds[w];
-    FoldScratchStats(scratches[w], &result->stats);
+  /// Per-projection (not per-worker) result so the commit walk below can
+  /// keep the exact bottom-up prefix of completed subproblems.
+  struct Subproblem {
+    RpGrowthResult local;
+    Miner::Outcome outcome = Miner::Outcome::kHardStop;  // = not dispatched.
+    uint64_t emitted = 0;
+  };
+  std::vector<Subproblem> subs(projections.size());
+
+  const size_t workers = std::min(threads, projections.size());
+  std::vector<MinerScratch> scratches(std::max<size_t>(workers, 1));
+  std::vector<double> busy_seconds(scratches.size(), 0.0);
+  const std::vector<ItemId>& items_by_rank = tree->items_by_rank();
+  std::function<bool()> should_stop;
+  if (budget != nullptr) {
+    should_stop = [budget] { return budget->stop_requested(); };
+  }
+  const size_t participants = ParallelFor(
+      projections.size(), workers,
+      [&](size_t worker, size_t i) {
+        if (FailpointTriggered("worker.task")) {
+          throw std::runtime_error("injected worker-task fault");
+        }
+        Stopwatch stopwatch;
+        SuffixProjection& projection = projections[order[i]];
+        Subproblem& sub = subs[order[i]];
+        Miner miner(params, worker_options, &sub.local, &scratches[worker]);
+        sub.outcome =
+            miner.MineProjection(items_by_rank, &projection, worker_headroom);
+        sub.emitted = miner.subproblem_emitted();
+        projection = SuffixProjection();  // Release the snapshot eagerly.
+        busy_seconds[worker] += stopwatch.ElapsedSeconds();
+      },
+      should_stop);
+
+  // Commit walk: keep subproblems in bottom-up order until the first one
+  // that is incomplete or would cross the max-patterns cap.
+  uint64_t committed = 0;
+  size_t cut = subs.size();
+  bool cap_cut = false;
+  for (size_t p = 0; p < subs.size(); ++p) {
+    const Subproblem& sub = subs[p];
+    if (sub.outcome == Miner::Outcome::kHardStop) {
+      cut = p;
+      break;
+    }
+    if (sub.outcome == Miner::Outcome::kOverflow ||
+        (cap != 0 && committed + sub.emitted > cap)) {
+      cut = p;
+      cap_cut = true;
+      break;
+    }
+    committed += sub.emitted;
+  }
+  for (size_t p = 0; p < cut; ++p) {
+    result->stats.patterns_emitted += subs[p].local.stats.patterns_emitted;
     result->patterns.insert(
         result->patterns.end(),
-        std::make_move_iterator(locals[w].patterns.begin()),
-        std::make_move_iterator(locals[w].patterns.end()));
+        std::make_move_iterator(subs[p].local.patterns.begin()),
+        std::make_move_iterator(subs[p].local.patterns.end()));
   }
-  result->stats.threads_used = std::max<size_t>(workers, 1);
+  if (cut < subs.size()) {
+    result->truncated = true;
+    if (cap_cut && budget != nullptr && !budget->hard_stopped()) {
+      budget->RequestStop(StopReason::kPatternCap);
+    }
+  }
+  // Exploration counters keep every attempted subproblem, committed or
+  // dropped — they account work done, not results kept.
+  for (const Subproblem& sub : subs) {
+    result->stats.conditional_trees += sub.local.stats.conditional_trees;
+    result->stats.patterns_examined += sub.local.stats.patterns_examined;
+  }
+  for (size_t w = 0; w < scratches.size(); ++w) {
+    result->stats.mine_cpu_seconds += busy_seconds[w];
+    FoldScratchStats(scratches[w], &result->stats);
+  }
+  if (budget != nullptr) budget->AddPatterns(committed);
+  result->stats.threads_used = std::max<size_t>(participants, size_t{1});
 }
 
 }  // namespace
 
 PreparedMining PrepareMining(const TransactionDatabase& db,
-                             const RpParams& params, PruningMode pruning) {
+                             const RpParams& params, PruningMode pruning,
+                             QueryBudget* budget) {
   RPM_CHECK(params.Validate().ok()) << params.ToString();
   PreparedMining prepared;
   prepared.params = params;
@@ -402,9 +598,12 @@ PreparedMining PrepareMining(const TransactionDatabase& db,
 
   // Pass 1: RP-list (Algorithm 1).
   Stopwatch phase;
-  prepared.list = BuildRpList(db, params);
+  prepared.list = BuildRpList(db, params, budget);
   prepared.num_items = prepared.list.entries().size();
   prepared.list_seconds = phase.ElapsedSeconds();
+  if (budget != nullptr && budget->hard_stopped()) {
+    return prepared;  // Aborted mid-scan; the caller must discard.
+  }
 
   // Candidate item order per pruning mode.
   if (pruning == PruningMode::kErec) {
@@ -432,14 +631,15 @@ PreparedMining PrepareMining(const TransactionDatabase& db,
 
   // Pass 2: RP-tree (Algorithms 2-3).
   phase.Restart();
-  prepared.tree = BuildRankedTree(db, prepared.items_by_rank);
+  prepared.tree = BuildRankedTree(db, prepared.items_by_rank, budget);
   prepared.initial_tree_nodes = prepared.tree.NodeCount();
   prepared.tree_seconds = phase.ElapsedSeconds();
   return prepared;
 }
 
 TsPrefixTree BuildRankedTree(const TransactionDatabase& db,
-                             const std::vector<ItemId>& items_by_rank) {
+                             const std::vector<ItemId>& items_by_rank,
+                             QueryBudget* budget) {
   std::vector<uint32_t> rank_of(db.ItemUniverseSize(), kNotCandidate);
   for (uint32_t rank = 0; rank < items_by_rank.size(); ++rank) {
     RPM_CHECK(items_by_rank[rank] < rank_of.size() &&
@@ -448,15 +648,28 @@ TsPrefixTree BuildRankedTree(const TransactionDatabase& db,
     rank_of[items_by_rank[rank]] = rank;
   }
   TsPrefixTree tree(items_by_rank);
+  BudgetCheckpointer checkpoint(budget);
+  size_t reported_bytes = 0;
   std::vector<uint32_t> ranks;
   for (const Transaction& tr : db.transactions()) {
+    if (checkpoint.Check()) break;  // Partial build; the caller discards.
     ranks.clear();
     for (ItemId item : tr.items) {
       if (rank_of[item] != kNotCandidate) ranks.push_back(rank_of[item]);
     }
     std::sort(ranks.begin(), ranks.end());
     tree.InsertTransaction(ranks, tr.ts);
+    if (budget != nullptr) {
+      const size_t now = tree.ApproxBytes();
+      if (now > reported_bytes) {
+        budget->AddTrackedBytes(now - reported_bytes);  // May trip memory.
+        reported_bytes = now;
+      }
+    }
   }
+  // Net the build-time accounting back out (the peak was captured); the
+  // caller re-tracks the finished tree for its mining phase.
+  if (budget != nullptr) budget->ReleaseTrackedBytes(reported_bytes);
   return tree;
 }
 
@@ -479,15 +692,21 @@ RpGrowthResult MineFromPrepared(const PreparedMining& prepared,
   result.stats.list_seconds = prepared.list_seconds;
   result.stats.tree_seconds = prepared.tree_seconds;
 
+  QueryBudget* budget = options.budget;
+  const size_t tree_bytes = budget != nullptr ? tree.ApproxBytes() : 0;
+  if (budget != nullptr) {
+    budget->AddNodes(tree.NodeCount());
+    budget->AddTrackedBytes(tree_bytes);  // May trip the memory stop.
+  }
+
   // Bottom-up mining (Algorithm 4): sequentially on this thread, or over
   // per-suffix-item projections on a worker pool.
   Stopwatch phase;
   const size_t threads = ResolveThreadCount(options.num_threads);
   if (threads <= 1) {
-    Itemset suffix;
     MinerScratch scratch;
     Miner miner(params, options, &result, &scratch);
-    miner.MineTree(&tree, &suffix);
+    MineSequentialTopLevel(&tree, &miner, budget, &result);
     FoldScratchStats(scratch, &result.stats);
     result.stats.mine_seconds = phase.ElapsedSeconds();
     result.stats.mine_cpu_seconds = result.stats.mine_seconds;
@@ -497,6 +716,10 @@ RpGrowthResult MineFromPrepared(const PreparedMining& prepared,
     result.stats.mine_seconds = phase.ElapsedSeconds();
   }
 
+  if (budget != nullptr) {
+    budget->ReleaseTrackedBytes(tree_bytes);
+    result.status = budget->status();
+  }
   SortPatternsCanonically(&result.patterns);
   result.stats.total_seconds = total.ElapsedSeconds();
   return result;
@@ -506,7 +729,22 @@ RpGrowthResult MineRecurringPatterns(const TransactionDatabase& db,
                                      const RpParams& params,
                                      const RpGrowthOptions& options) {
   Stopwatch total;
-  PreparedMining prepared = PrepareMining(db, params, options.pruning);
+  PreparedMining prepared =
+      PrepareMining(db, params, options.pruning, options.budget);
+  if (options.budget != nullptr && options.budget->hard_stopped()) {
+    // The build itself was stopped; a partial tree must never be mined
+    // (its ts-lists are incomplete, not a subproblem prefix).
+    RpGrowthResult result;
+    result.stats.num_items = prepared.num_items;
+    result.stats.num_candidate_items = prepared.num_candidate_items;
+    result.stats.initial_tree_nodes = prepared.initial_tree_nodes;
+    result.stats.list_seconds = prepared.list_seconds;
+    result.stats.tree_seconds = prepared.tree_seconds;
+    result.status = options.budget->status();
+    result.truncated = true;
+    result.stats.total_seconds = total.ElapsedSeconds();
+    return result;
+  }
   RpGrowthResult result = MineFromPrepared(
       prepared, std::move(prepared.tree), params, options);
   result.stats.total_seconds = total.ElapsedSeconds();

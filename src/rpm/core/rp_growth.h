@@ -18,6 +18,8 @@
 #include <functional>
 #include <vector>
 
+#include "rpm/common/status.h"
+#include "rpm/core/cancellation.h"
 #include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
 #include "rpm/core/rp_list.h"
@@ -60,6 +62,16 @@ struct RpGrowthOptions {
   /// serialized (never concurrent), but their *order* is only
   /// deterministic at num_threads == 1.
   size_t num_threads = 1;
+  /// Resource governance (DESIGN.md §7): deadline / memory / cancellation
+  /// checkpoints plus the max-patterns cap. Not owned; null = ungoverned
+  /// (zero overhead beyond one branch per checkpoint site). Truncation is
+  /// all-or-nothing per top-level suffix subproblem: the result holds the
+  /// complete patterns of a contiguous prefix of the bottom-up
+  /// (descending-rank) subproblem order, so a max_patterns cut is
+  /// bit-identical across sequential and parallel runs. Under an active
+  /// budget, `sink` is best-effort — it may observe patterns from
+  /// subproblems that are later dropped from the committed result.
+  QueryBudget* budget = nullptr;
 };
 
 /// Instrumentation for the performance study and the pruning ablation.
@@ -97,6 +109,19 @@ struct RpGrowthStats {
 struct RpGrowthResult {
   std::vector<RecurringPattern> patterns;
   RpGrowthStats stats;
+  /// Budget verdict: OK when the run completed (or was only cut by the
+  /// soft max-patterns cap); kDeadlineExceeded / kResourceExhausted /
+  /// kCancelled when a hard stop ended it early. Always OK without a
+  /// budget.
+  Status status;
+  /// True when one or more subproblems were dropped — `patterns` then
+  /// holds the committed bottom-up prefix. A non-OK status with
+  /// truncated == false means the budget tripped only after mining had
+  /// already completed (result is whole). Under truncation,
+  /// stats.patterns_emitted counts committed patterns only, while the
+  /// exploration counters (patterns_examined, conditional_trees, merge_*)
+  /// keep counting the work actually performed.
+  bool truncated = false;
 };
 
 /// Mines the complete set of recurring patterns of `db` under `params`.
@@ -144,17 +169,26 @@ struct PreparedMining {
   double tree_seconds = 0.0;
 };
 
-/// Runs passes 1-2 over `db` at `params` (which must validate).
+/// Runs passes 1-2 over `db` at `params` (which must validate). `budget`
+/// (optional) checkpoints both scans and accounts tree bytes while
+/// building; on a hard stop the returned build is partial and must be
+/// discarded, never cached (check budget->hard_stopped()).
 PreparedMining PrepareMining(const TransactionDatabase& db,
                              const RpParams& params,
-                             PruningMode pruning = PruningMode::kErec);
+                             PruningMode pruning = PruningMode::kErec,
+                             QueryBudget* budget = nullptr);
 
 /// Pass 2 only: builds the RP-tree of `db` over an externally supplied
 /// candidate order (every id in `items_by_rank` distinct and <
 /// db.ItemUniverseSize()). The streaming backend derives the order from
 /// StreamingRpList candidate maintenance instead of the batch RP-list.
+/// With a budget, the build checkpoints per transaction and reports the
+/// growing tree's bytes (released again before returning — the caller
+/// re-tracks the finished tree for the mining phase); a stopped build
+/// returns a partial tree the caller must discard.
 TsPrefixTree BuildRankedTree(const TransactionDatabase& db,
-                             const std::vector<ItemId>& items_by_rank);
+                             const std::vector<ItemId>& items_by_rank,
+                             QueryBudget* budget = nullptr);
 
 /// Pass 3 (bottom-up mining) over `tree`, consumed in the process. `tree`
 /// must come from `prepared` (the master or a Clone()), and `params` must

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "rpm/common/logging.h"
+#include "rpm/core/cancellation.h"
 #include "rpm/core/time_gap.h"
 
 namespace rpm {
 
-RpList BuildRpList(const TransactionDatabase& db, const RpParams& params) {
+RpList BuildRpList(const TransactionDatabase& db, const RpParams& params,
+                   QueryBudget* budget) {
   RPM_CHECK(params.Validate().ok()) << params.ToString();
 
   // Dense per-item scan state (Algorithm 1's idl / ps arrays).
@@ -19,7 +21,9 @@ RpList BuildRpList(const TransactionDatabase& db, const RpParams& params) {
   };
   std::vector<ScanState> state(db.ItemUniverseSize());
 
+  BudgetCheckpointer checkpoint(budget);
   for (const Transaction& tr : db.transactions()) {
+    if (checkpoint.Check()) break;  // Abandon the scan; caller discards.
     for (ItemId item : tr.items) {
       ScanState& s = state[item];
       if (s.ps == 0) {

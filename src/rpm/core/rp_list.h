@@ -22,6 +22,8 @@
 
 namespace rpm {
 
+class QueryBudget;
+
 /// Per-item aggregate after the scan (one row of Figure 4(e)).
 struct RpListEntry {
   ItemId item = kInvalidItem;
@@ -61,7 +63,7 @@ class RpList {
 
  private:
   friend RpList BuildRpList(const TransactionDatabase& db,
-                            const RpParams& params);
+                            const RpParams& params, QueryBudget* budget);
 
   std::vector<RpListEntry> entries_;
   std::vector<RpListEntry> candidates_;
@@ -73,7 +75,13 @@ class RpList {
 /// In the noise-tolerant mode (params.max_gap_violations > 0) the per-item
 /// bound is floor(support / minPS) instead of the paper's Erec — see
 /// measures.h for why Erec is unsound under gap tolerance.
-RpList BuildRpList(const TransactionDatabase& db, const RpParams& params);
+///
+/// `budget` (optional) adds a per-transaction stop checkpoint so a
+/// cancelled or expired query abandons the scan within one checkpoint
+/// interval; the returned list is then partial and the caller must treat
+/// the whole build as aborted (check budget->hard_stopped()).
+RpList BuildRpList(const TransactionDatabase& db, const RpParams& params,
+                   QueryBudget* budget = nullptr);
 
 }  // namespace rpm
 

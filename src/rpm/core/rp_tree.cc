@@ -1,8 +1,10 @@
 #include "rpm/core/rp_tree.h"
 
 #include <algorithm>
+#include <new>
 #include <vector>
 
+#include "rpm/common/failpoint.h"
 #include "rpm/common/logging.h"
 
 namespace rpm {
@@ -20,6 +22,9 @@ TsPrefixTree::Node* TsPrefixTree::GetOrCreateChild(Node* parent,
   for (Node* c = parent->first_child; c != nullptr; c = c->next_sibling) {
     if (c->rank == rank) return c;
   }
+  // Same failure surface a real arena-chunk exhaustion would have; the
+  // engine layer maps it to kResourceExhausted (DESIGN.md §7.4).
+  if (FailpointTriggered("rptree.alloc")) throw std::bad_alloc();
   Node* node = arena_.Create();
   node->rank = rank;
   node->seq = next_seq_++;
@@ -46,6 +51,7 @@ void TsPrefixTree::InsertTransaction(const std::vector<uint32_t>& ranks,
     node = GetOrCreateChild(node, rank);
   }
   node->ts_list.push_back(ts);
+  ++timestamp_count_;
 }
 
 void TsPrefixTree::InsertPath(const std::vector<uint32_t>& ranks,
@@ -57,6 +63,7 @@ void TsPrefixTree::InsertPath(const std::vector<uint32_t>& ranks,
     node = GetOrCreateChild(node, rank);
   }
   node->ts_list.insert(node->ts_list.end(), ts_list.begin(), ts_list.end());
+  timestamp_count_ += ts_list.size();
 }
 
 TsPrefixTree TsPrefixTree::Clone() const {
@@ -72,6 +79,7 @@ TsPrefixTree TsPrefixTree::Clone() const {
   for (size_t rank = 0; rank < heads_.size(); ++rank) {
     for (const Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
       Node* parent = clone_of[n->parent->seq];
+      if (FailpointTriggered("rptree.alloc")) throw std::bad_alloc();
       Node* node = copy.arena_.Create();
       node->rank = n->rank;
       node->seq = copy.next_seq_++;
@@ -89,6 +97,9 @@ TsPrefixTree TsPrefixTree::Clone() const {
       clone_of[n->seq] = node;
     }
   }
+  // Every live timestamp sits on some chained node (lists whose push-up
+  // parent is the root are dropped), so the chain walk copied all of them.
+  copy.timestamp_count_ = timestamp_count_;
   return copy;
 }
 
@@ -104,6 +115,8 @@ void TsPrefixTree::PushUpAndRemove(size_t rank) {
         parent->ts_list.insert(parent->ts_list.end(), n->ts_list.begin(),
                                n->ts_list.end());
       }
+    } else {
+      timestamp_count_ -= n->ts_list.size();  // Root discards its lists.
     }
     n->ts_list.clear();
     n->ts_list.shrink_to_fit();

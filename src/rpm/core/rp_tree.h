@@ -95,6 +95,22 @@ class TsPrefixTree {
     }
   }
 
+  /// ForEachNodeOfRank with early exit: fn returns false to stop the walk
+  /// (budget-governed miners abandon a rank mid-walk instead of paying for
+  /// the full node chain after a stop request).
+  template <typename Fn>
+  void ForEachNodeOfRankWhile(size_t rank, Fn&& fn) const {
+    std::vector<uint32_t> path;
+    for (const Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
+      path.clear();
+      for (const Node* a = n->parent; a != root_; a = a->parent) {
+        path.push_back(a->rank);
+      }
+      std::reverse(path.begin(), path.end());
+      if (!fn(path, n->ts_list)) return;
+    }
+  }
+
   /// Pushes every ts-list of `rank` to the respective parent and detaches
   /// the nodes (Algorithm 4 line 9 / Lemma 3). After this, HeadOfRank(rank)
   /// is nullptr. Precondition: all deeper ranks were already removed.
@@ -112,6 +128,17 @@ class TsPrefixTree {
   /// Number of live nodes, excluding the root (Lemma 2's size measure).
   size_t NodeCount() const { return live_nodes_; }
 
+  /// Timestamps currently stored across all ts-lists.
+  size_t TimestampCount() const { return timestamp_count_; }
+
+  /// Approximate live footprint in bytes: nodes plus stored timestamps,
+  /// maintained by O(1) counters. This is what query memory budgets
+  /// account against (transient per-path buffers are excluded — see
+  /// DESIGN.md §7.2).
+  size_t ApproxBytes() const {
+    return live_nodes_ * sizeof(Node) + timestamp_count_ * sizeof(Timestamp);
+  }
+
   bool empty() const { return live_nodes_ == 0; }
 
  private:
@@ -123,6 +150,7 @@ class TsPrefixTree {
   std::vector<Node*> heads_;
   std::vector<Node*> chain_tails_;  // O(1) chain append.
   size_t live_nodes_ = 0;
+  size_t timestamp_count_ = 0;  // Timestamps across all live ts-lists.
   uint32_t next_seq_ = 0;  // Next Node::seq (never reused after push-up).
 };
 

@@ -14,8 +14,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
+
+#include "rpm/common/failpoint.h"
 
 namespace rpm {
 
@@ -40,13 +43,31 @@ inline size_t ResolveThreadCount(size_t requested) {
 /// rethrown on the calling thread (previously it escaped a worker and
 /// terminated the process mid-join). Items already dispatched may or may
 /// not have run; callers treat a throwing ParallelFor as failed wholesale.
-inline void ParallelFor(size_t num_items, size_t num_workers,
-                        const std::function<void(size_t, size_t)>& fn) {
-  if (num_items == 0) return;
+///
+/// `should_stop` (optional) is a cooperative cancellation probe, polled
+/// between items on every worker: once it returns true, no further items
+/// are dispatched (in-flight items finish) and the call returns normally —
+/// cancellation is the caller's state, not an error. Callers that need to
+/// know which items ran must track that themselves (governed miners record
+/// per-item completion).
+///
+/// Thread spawning degrades instead of failing: if std::thread creation
+/// throws (resource exhaustion, simulated by the `threadpool.spawn`
+/// failpoint), the pool proceeds with however many workers exist — the
+/// calling thread always participates, so the floor is a plain sequential
+/// loop. Returns the number of workers that actually ran (0 when
+/// num_items == 0).
+inline size_t ParallelFor(size_t num_items, size_t num_workers,
+                          const std::function<void(size_t, size_t)>& fn,
+                          const std::function<bool()>& should_stop = nullptr) {
+  if (num_items == 0) return 0;
   const size_t workers = std::min(ResolveThreadCount(num_workers), num_items);
   if (workers <= 1) {
-    for (size_t i = 0; i < num_items; ++i) fn(0, i);
-    return;
+    for (size_t i = 0; i < num_items; ++i) {
+      if (should_stop && should_stop()) break;
+      fn(0, i);
+    }
+    return 1;
   }
   std::atomic<size_t> next{0};
   std::mutex error_mutex;
@@ -54,6 +75,10 @@ inline void ParallelFor(size_t num_items, size_t num_workers,
   auto drain = [&](size_t worker_id) {
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < num_items; i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (should_stop && should_stop()) {
+        next.store(num_items, std::memory_order_relaxed);
+        return;
+      }
       try {
         fn(worker_id, i);
       } catch (...) {
@@ -71,11 +96,17 @@ inline void ParallelFor(size_t num_items, size_t num_workers,
   std::vector<std::thread> threads;
   threads.reserve(workers - 1);
   for (size_t w = 1; w < workers; ++w) {
-    threads.emplace_back(drain, w);
+    if (FailpointTriggered("threadpool.spawn")) break;
+    try {
+      threads.emplace_back(drain, w);
+    } catch (const std::system_error&) {
+      break;  // Degrade to the workers spawned so far (possibly none).
+    }
   }
   drain(0);  // The calling thread is worker 0.
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+  return threads.size() + 1;
 }
 
 }  // namespace rpm

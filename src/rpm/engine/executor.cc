@@ -1,10 +1,14 @@
 #include "rpm/engine/executor.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
 #include "rpm/common/stopwatch.h"
+#include "rpm/core/cancellation.h"
 #include "rpm/core/pattern_filters.h"
 #include "rpm/core/rp_list.h"
 #include "rpm/core/streaming_rp_list.h"
@@ -14,10 +18,12 @@ namespace rpm::engine {
 
 namespace {
 
-RpGrowthOptions GrowthOptions(const Query& query, size_t num_threads) {
+RpGrowthOptions GrowthOptions(const Query& query, size_t num_threads,
+                              QueryBudget* budget) {
   RpGrowthOptions options;
   options.max_pattern_length = query.max_pattern_length;
   options.num_threads = num_threads;
+  options.budget = budget;
   if (query.top_k == 0) {
     // Top-k descent re-mines; streaming a round's discoveries to the
     // caller's sink would deliver discarded intermediates.
@@ -25,6 +31,43 @@ RpGrowthOptions GrowthOptions(const Query& query, size_t num_threads) {
     options.store_patterns = query.store_patterns;
   }
   return options;
+}
+
+/// Builds the query's budget when it has limits or a cancellation token;
+/// unlimited un-cancellable queries run budget-free (null) and skip every
+/// checkpoint. The unique_ptr owns storage; pass .get() downstream.
+std::unique_ptr<QueryBudget> MakeBudget(const Query& query) {
+  if (query.limits.unlimited() && query.cancel == nullptr) return nullptr;
+  return std::make_unique<QueryBudget>(query.limits, query.cancel);
+}
+
+/// Folds the budget verdict into `out` after execution. Runtime faults
+/// (bad_alloc, escaped worker exceptions) are reported in-band through
+/// QueryResult::status — not as a Result error — so batch drivers see a
+/// per-query outcome; Result errors remain reserved for malformed
+/// requests.
+void FinishGoverned(QueryBudget* budget, QueryResult* out) {
+  if (budget == nullptr) return;
+  if (out->status.ok()) out->status = budget->status();
+  out->resource_usage = budget->usage();
+}
+
+/// Maps an escaped execution exception onto the result: the query failed,
+/// delivered nothing, and says so cleanly. bad_alloc (real or injected via
+/// the rptree.alloc failpoint) is a resource verdict; anything else is
+/// surfaced verbatim.
+void AbsorbException(QueryResult* out) {
+  out->patterns.clear();
+  out->truncated = true;
+  try {
+    throw;
+  } catch (const std::bad_alloc&) {
+    out->status =
+        Status::ResourceExhausted("allocation failed during query execution");
+  } catch (const std::exception& e) {
+    out->status = Status::Unknown(std::string("query execution failed: ") +
+                                  e.what());
+  }
 }
 
 void ApplyFilters(const TransactionDatabase& db, const Query& query,
@@ -41,64 +84,89 @@ Result<QueryResult> ExecutePlanned(QueryPlanner& planner, const Query& query,
   Stopwatch total;
   QueryResult out;
   out.backend = backend;
+  std::unique_ptr<QueryBudget> budget_storage = MakeBudget(query);
+  QueryBudget* budget = budget_storage.get();
 
-  if (query.top_k > 0) {
-    if (!planner.snapshot().empty()) {
-      // Plan at the descent floor: every round's min_rec is >= the floor,
-      // so one cached build serves the whole descent (and any later
-      // same-period query).
-      TopKOptions top_k_options;
-      top_k_options.floor_min_rec = 1;
-      top_k_options.max_pattern_length = query.max_pattern_length;
-      top_k_options.max_gap_violations = query.params.max_gap_violations;
-      RpParams floor_params = query.params;
-      floor_params.min_rec = top_k_options.floor_min_rec;
+  try {
+    if (query.top_k > 0) {
+      if (!planner.snapshot().empty()) {
+        // Plan at the descent floor: every round's min_rec is >= the floor,
+        // so one cached build serves the whole descent (and any later
+        // same-period query).
+        TopKOptions top_k_options;
+        top_k_options.floor_min_rec = 1;
+        top_k_options.max_pattern_length = query.max_pattern_length;
+        top_k_options.max_gap_violations = query.params.max_gap_violations;
+        RpParams floor_params = query.params;
+        floor_params.min_rec = top_k_options.floor_min_rec;
+        Stopwatch plan_clock;
+        QueryPlanner::Plan plan = planner.PlanFor(floor_params, budget);
+        out.plan_seconds = plan_clock.ElapsedSeconds();
+        out.tree_reused = plan.reused;
+        if (budget != nullptr && budget->hard_stopped()) {
+          // Build aborted: no usable tree, so no descent. Deterministic
+          // empty result, flagged via status/truncated below.
+          out.truncated = true;
+        } else {
+          const PreparedMining& prepared = *plan.prepared;
+
+          std::vector<uint64_t> bounds;
+          bounds.reserve(prepared.list.entries().size());
+          for (const RpListEntry& e : prepared.list.entries()) {
+            bounds.push_back(e.erec);
+          }
+          Stopwatch exec_clock;
+          TopKResult top = MineTopKWithRounds(
+              query.params.period, query.params.min_ps, query.top_k,
+              TopKInitialMinRec(std::move(bounds), query.top_k,
+                                top_k_options.floor_min_rec),
+              top_k_options, [&](const RpParams& round_params) {
+                RpGrowthResult mined = MineFromPrepared(
+                    prepared, prepared.tree.Clone(), round_params,
+                    GrowthOptions(query, num_threads, budget));
+                out.stats = mined.stats;
+                // A budget stop mid-descent truncates every later round
+                // too (the stop is sticky), so the selection below ran on
+                // incomplete rounds: flag the whole top-k result. The
+                // descent still terminates promptly — stopped rounds
+                // abort at their first checkpoint.
+                if (mined.truncated) out.truncated = true;
+                return mined;
+              });
+          out.patterns = std::move(top.patterns);
+          out.top_k_rounds = top.rounds;
+          out.top_k_final_min_rec = top.final_min_rec;
+          ApplyFilters(planner.snapshot().db(), query, &out.patterns);
+          out.execute_seconds = exec_clock.ElapsedSeconds();
+        }
+      }
+    } else {
       Stopwatch plan_clock;
-      QueryPlanner::Plan plan = planner.PlanFor(floor_params);
+      QueryPlanner::Plan plan = planner.PlanFor(query.params, budget);
       out.plan_seconds = plan_clock.ElapsedSeconds();
       out.tree_reused = plan.reused;
-      const PreparedMining& prepared = *plan.prepared;
-
-      std::vector<uint64_t> bounds;
-      bounds.reserve(prepared.list.entries().size());
-      for (const RpListEntry& e : prepared.list.entries()) {
-        bounds.push_back(e.erec);
+      if (budget != nullptr && budget->hard_stopped()) {
+        // Build aborted mid-plan: the partial tree's ts-lists are
+        // incomplete (not a prefix of any canonical order), so mining it
+        // would fabricate recurrences. Deterministic empty result.
+        out.truncated = true;
+      } else {
+        Stopwatch exec_clock;
+        RpGrowthResult mined = MineFromPrepared(
+            *plan.prepared, plan.prepared->tree.Clone(), query.params,
+            GrowthOptions(query, num_threads, budget));
+        out.patterns = std::move(mined.patterns);
+        out.stats = mined.stats;
+        out.truncated = mined.truncated;
+        ApplyFilters(planner.snapshot().db(), query, &out.patterns);
+        out.execute_seconds = exec_clock.ElapsedSeconds();
       }
-      Stopwatch exec_clock;
-      TopKResult top =
-          MineTopKWithRounds(query.params.period, query.params.min_ps,
-                             query.top_k,
-                             TopKInitialMinRec(std::move(bounds), query.top_k,
-                                               top_k_options.floor_min_rec),
-                             top_k_options, [&](const RpParams& round_params) {
-                               RpGrowthResult mined = MineFromPrepared(
-                                   prepared, prepared.tree.Clone(),
-                                   round_params,
-                                   GrowthOptions(query, num_threads));
-                               out.stats = mined.stats;
-                               return mined;
-                             });
-      out.patterns = std::move(top.patterns);
-      out.top_k_rounds = top.rounds;
-      out.top_k_final_min_rec = top.final_min_rec;
-      ApplyFilters(planner.snapshot().db(), query, &out.patterns);
-      out.execute_seconds = exec_clock.ElapsedSeconds();
     }
-  } else {
-    Stopwatch plan_clock;
-    QueryPlanner::Plan plan = planner.PlanFor(query.params);
-    out.plan_seconds = plan_clock.ElapsedSeconds();
-    out.tree_reused = plan.reused;
-    Stopwatch exec_clock;
-    RpGrowthResult mined =
-        MineFromPrepared(*plan.prepared, plan.prepared->tree.Clone(),
-                         query.params, GrowthOptions(query, num_threads));
-    out.patterns = std::move(mined.patterns);
-    out.stats = mined.stats;
-    ApplyFilters(planner.snapshot().db(), query, &out.patterns);
-    out.execute_seconds = exec_clock.ElapsedSeconds();
+  } catch (...) {
+    AbsorbException(&out);
   }
 
+  FinishGoverned(budget, &out);
   out.session_tree_builds = planner.tree_builds();
   out.total_seconds = total.ElapsedSeconds();
   out.stats.total_seconds = out.total_seconds;
@@ -151,48 +219,68 @@ class StreamingExecutor : public Executor {
     QueryResult out;
     out.backend = name();
     const TransactionDatabase& db = planner.snapshot().db();
+    std::unique_ptr<QueryBudget> budget_storage = MakeBudget(query);
+    QueryBudget* budget = budget_storage.get();
 
-    // "Plan" = incremental ingestion in place of the batch RP-list scan,
-    // then tree construction over the stream-derived candidate order.
-    // Sorting candidates by (support desc, id asc) reproduces the batch
-    // RP-list order exactly (streaming support/Erec match Algorithm 1 per
-    // the verify harness), so the tree — and everything downstream — is
-    // bit-identical to the batch backends.
-    Stopwatch plan_clock;
-    PreparedMining prepared;
-    prepared.params = query.params;
-    prepared.pruning = PruningMode::kErec;
-    Stopwatch phase;
-    StreamingRpList stream(query.params.period, query.params.min_ps);
-    for (const Transaction& tr : db.transactions()) {
-      RPM_RETURN_NOT_OK(stream.ObserveTransaction(tr.ts, tr.items));
-    }
-    prepared.list_seconds = phase.ElapsedSeconds();
-    for (ItemId item = 0; item < stream.ItemUniverseSize(); ++item) {
-      if (stream.SupportOf(item) > 0) ++prepared.num_items;
-    }
-    prepared.items_by_rank = stream.CandidateItems(query.params.min_rec);
-    std::sort(prepared.items_by_rank.begin(), prepared.items_by_rank.end(),
-              [&](ItemId a, ItemId b) {
-                const uint64_t sa = stream.SupportOf(a);
-                const uint64_t sb = stream.SupportOf(b);
-                return sa != sb ? sa > sb : a < b;
-              });
-    prepared.num_candidate_items = prepared.items_by_rank.size();
-    phase.Restart();
-    prepared.tree = BuildRankedTree(db, prepared.items_by_rank);
-    prepared.initial_tree_nodes = prepared.tree.NodeCount();
-    prepared.tree_seconds = phase.ElapsedSeconds();
-    out.plan_seconds = plan_clock.ElapsedSeconds();
+    try {
+      // "Plan" = incremental ingestion in place of the batch RP-list scan,
+      // then tree construction over the stream-derived candidate order.
+      // Sorting candidates by (support desc, id asc) reproduces the batch
+      // RP-list order exactly (streaming support/Erec match Algorithm 1 per
+      // the verify harness), so the tree — and everything downstream — is
+      // bit-identical to the batch backends.
+      Stopwatch plan_clock;
+      PreparedMining prepared;
+      prepared.params = query.params;
+      prepared.pruning = PruningMode::kErec;
+      Stopwatch phase;
+      StreamingRpList stream(query.params.period, query.params.min_ps);
+      BudgetCheckpointer checkpoint(budget);
+      for (const Transaction& tr : db.transactions()) {
+        // A partial stream's candidate set is not a prefix of anything
+        // meaningful, so a stop here yields a deterministic EMPTY result
+        // (flagged below), never a partially-ingested mine.
+        if (checkpoint.Check()) break;
+        RPM_RETURN_NOT_OK(stream.ObserveTransaction(tr.ts, tr.items));
+      }
+      prepared.list_seconds = phase.ElapsedSeconds();
+      if (budget == nullptr || !budget->hard_stopped()) {
+        for (ItemId item = 0; item < stream.ItemUniverseSize(); ++item) {
+          if (stream.SupportOf(item) > 0) ++prepared.num_items;
+        }
+        prepared.items_by_rank = stream.CandidateItems(query.params.min_rec);
+        std::sort(prepared.items_by_rank.begin(), prepared.items_by_rank.end(),
+                  [&](ItemId a, ItemId b) {
+                    const uint64_t sa = stream.SupportOf(a);
+                    const uint64_t sb = stream.SupportOf(b);
+                    return sa != sb ? sa > sb : a < b;
+                  });
+        prepared.num_candidate_items = prepared.items_by_rank.size();
+        phase.Restart();
+        prepared.tree = BuildRankedTree(db, prepared.items_by_rank, budget);
+        prepared.initial_tree_nodes = prepared.tree.NodeCount();
+        prepared.tree_seconds = phase.ElapsedSeconds();
+      }
+      out.plan_seconds = plan_clock.ElapsedSeconds();
 
-    Stopwatch exec_clock;
-    RpGrowthResult mined =
-        MineFromPrepared(prepared, std::move(prepared.tree), query.params,
-                         GrowthOptions(query, /*num_threads=*/1));
-    out.patterns = std::move(mined.patterns);
-    out.stats = mined.stats;
-    ApplyFilters(db, query, &out.patterns);
-    out.execute_seconds = exec_clock.ElapsedSeconds();
+      if (budget != nullptr && budget->hard_stopped()) {
+        out.truncated = true;
+      } else {
+        Stopwatch exec_clock;
+        RpGrowthResult mined = MineFromPrepared(
+            prepared, std::move(prepared.tree), query.params,
+            GrowthOptions(query, /*num_threads=*/1, budget));
+        out.patterns = std::move(mined.patterns);
+        out.stats = mined.stats;
+        out.truncated = mined.truncated;
+        ApplyFilters(db, query, &out.patterns);
+        out.execute_seconds = exec_clock.ElapsedSeconds();
+      }
+    } catch (...) {
+      AbsorbException(&out);
+    }
+
+    FinishGoverned(budget, &out);
     out.session_tree_builds = planner.tree_builds();
     out.total_seconds = total.ElapsedSeconds();
     out.stats.total_seconds = out.total_seconds;

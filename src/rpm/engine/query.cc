@@ -9,6 +9,11 @@ Status Query::Validate() const {
         "store_patterns=false requires the raw pattern stream (no "
         "closed/maximal/top-k)");
   }
+  if (limits.max_patterns > 0 && top_k > 0) {
+    return Status::InvalidArgument(
+        "max_patterns is incompatible with top-k (the descent already "
+        "bounds the result; a mid-descent cap would corrupt selection)");
+  }
   return Status::OK();
 }
 
@@ -28,6 +33,15 @@ std::string Query::ToString() const {
   }
   if (closed) s += " closed";
   if (maximal) s += " maximal";
+  if (limits.timeout_ms > 0) {
+    s += " timeout-ms=" + std::to_string(limits.timeout_ms);
+  }
+  if (limits.memory_budget_bytes > 0) {
+    s += " max-memory-bytes=" + std::to_string(limits.memory_budget_bytes);
+  }
+  if (limits.max_patterns > 0) {
+    s += " max-patterns=" + std::to_string(limits.max_patterns);
+  }
   return s;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "rpm/common/status.h"
+#include "rpm/core/cancellation.h"
 #include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
 #include "rpm/core/rp_growth.h"
@@ -43,6 +44,16 @@ struct Query {
   /// carries stats but an empty pattern list. Incompatible with
   /// closed/maximal/top_k (those need the materialized set).
   bool store_patterns = true;
+  /// Resource governance (DESIGN.md §7): wall-clock deadline, tracked-
+  /// memory budget and max-patterns cap, all 0 = unlimited. The deadline
+  /// covers plan + execute of this query. max_patterns is incompatible
+  /// with top_k (the descent's selection and the cap's prefix-commit
+  /// semantics contradict each other).
+  ResourceLimits limits;
+  /// External cancellation (e.g. client disconnect). Not owned; may be
+  /// null; must outlive the query execution. Cancelling stops the query
+  /// within one checkpoint interval with StatusCode::kCancelled.
+  const CancellationToken* cancel = nullptr;
 
   /// OK iff params validate and the flag combination is coherent.
   Status Validate() const;
@@ -82,6 +93,18 @@ struct QueryResult {
   double execute_seconds = 0.0;
   /// End-to-end wall clock of this query (excludes snapshot load).
   double total_seconds = 0.0;
+  /// Budget verdict (DESIGN.md §7): OK when the query completed (or was
+  /// only cut by the soft max-patterns cap); kDeadlineExceeded /
+  /// kResourceExhausted / kCancelled when a hard stop ended it early —
+  /// `patterns` then holds the deterministic committed prefix (possibly
+  /// empty) with any closed/maximal filter applied to that prefix.
+  Status status;
+  /// True when the budget dropped part of the result (see
+  /// RpGrowthResult::truncated for the exact prefix-commit semantics).
+  bool truncated = false;
+  /// Budget accounting, populated whenever the query ran with limits or a
+  /// cancellation token (all-zero otherwise).
+  ResourceUsage resource_usage;
 };
 
 }  // namespace rpm::engine

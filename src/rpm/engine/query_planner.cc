@@ -32,7 +32,8 @@ QueryPlanner::QueryPlanner(std::shared_ptr<const DatasetSnapshot> snapshot)
   RPM_CHECK(snapshot_ != nullptr);
 }
 
-QueryPlanner::Plan QueryPlanner::PlanFor(const RpParams& params) {
+QueryPlanner::Plan QueryPlanner::PlanFor(const RpParams& params,
+                                         QueryBudget* budget) {
   RPM_CHECK(params.Validate().ok()) << params.ToString();
   if (Plan hit = FindServing(params); hit.prepared != nullptr) return hit;
   // Build outside the lock: concurrent planners for disjoint params
@@ -41,7 +42,12 @@ QueryPlanner::Plan QueryPlanner::PlanFor(const RpParams& params) {
   // for later queries — simpler than a per-key latch and harmless at
   // session query rates.
   auto built = std::make_shared<PreparedMining>(
-      PrepareMining(snapshot_->db(), params));
+      PrepareMining(snapshot_->db(), params, PruningMode::kErec, budget));
+  if (budget != nullptr && budget->hard_stopped()) {
+    // Aborted build: incomplete RP-list/tree. Hand it back for accounting
+    // but never cache it or count it as a session build.
+    return {std::move(built), /*reused=*/false};
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   for (const std::shared_ptr<const PreparedMining>& entry : cache_) {
     if (Serves(entry->params, params)) return {entry, /*reused=*/true};

@@ -24,6 +24,7 @@
 #include <mutex>
 #include <vector>
 
+#include "rpm/core/cancellation.h"
 #include "rpm/core/mining_params.h"
 #include "rpm/core/rp_growth.h"
 #include "rpm/engine/dataset_snapshot.h"
@@ -54,7 +55,13 @@ class QueryPlanner {
   /// exploration), else a fresh build at exactly `params` (cached for
   /// later queries). Mining always clones: plan.prepared->tree is never
   /// consumed.
-  Plan PlanFor(const RpParams& params);
+  ///
+  /// A non-null `budget` governs any fresh build (checkpoints in the
+  /// RP-list scan and tree construction). When the budget hard-stops
+  /// mid-build, the partial build is returned UNCACHED and uncounted — a
+  /// partial tree must never serve a later query — and the caller must
+  /// check budget->hard_stopped() before mining it.
+  Plan PlanFor(const RpParams& params, QueryBudget* budget = nullptr);
 
   const DatasetSnapshot& snapshot() const { return *snapshot_; }
   std::shared_ptr<const DatasetSnapshot> snapshot_ptr() const {

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "rpm/common/failpoint.h"
 #include "rpm/common/string_util.h"
 #include "rpm/timeseries/tdb_builder.h"
 
@@ -19,20 +20,47 @@ bool IsCommentOrBlank(std::string_view line) {
          t.front() == '@';
 }
 
-Status ParseItems(std::string_view text, const SpmfParseOptions& options,
+/// "line N (byte B)": every reader diagnostic carries the 1-based line AND
+/// the 0-based byte offset, so a failure in a multi-gigabyte file is
+/// addressable with `head -c` / `dd` as well as an editor.
+std::string At(size_t line_no, uint64_t byte_offset) {
+  std::string tag;
+  tag += "line ";
+  tag += std::to_string(line_no);
+  tag += " (byte ";
+  tag += std::to_string(byte_offset);
+  tag += ")";
+  return tag;
+}
+
+std::string Quoted(std::string_view tok) {
+  std::string q;
+  q += '\'';
+  q.append(tok.data(), tok.size());
+  q += '\'';
+  return q;
+}
+
+/// `text` must be a substring view into `line`; token byte offsets are
+/// derived from their position within it.
+Status ParseItems(std::string_view text, std::string_view line,
+                  uint64_t line_offset, const SpmfParseOptions& options,
                   ItemDictionary* dict, Itemset* out, size_t line_no) {
   out->clear();
   for (std::string_view tok : SplitWhitespace(text)) {
+    const uint64_t tok_offset =
+        line_offset + static_cast<uint64_t>(tok.data() - line.data());
     if (options.items_are_ids) {
       Result<uint32_t> id = ParseUint32(tok);
       if (!id.ok()) {
-        return Status::Corruption("line " + std::to_string(line_no) +
-                                  ": " + id.status().message());
+        return Status::Corruption(At(line_no, tok_offset) + ": bad item "
+                                  "token " + Quoted(tok) + ": " +
+                                  id.status().message());
       }
       if (*id == kInvalidItem) {
         return Status::Corruption(
-            "line " + std::to_string(line_no) + ": item id " +
-            std::to_string(*id) + " is the reserved invalid-item sentinel");
+            At(line_no, tok_offset) + ": item id " + std::to_string(*id) +
+            " is the reserved invalid-item sentinel");
       }
       out->push_back(*id);
     } else {
@@ -40,7 +68,7 @@ Status ParseItems(std::string_view text, const SpmfParseOptions& options,
     }
   }
   if (out->empty()) {
-    return Status::Corruption("line " + std::to_string(line_no) +
+    return Status::Corruption(At(line_no, line_offset) +
                               ": transaction with no items");
   }
   // Enforce the Transaction invariant (sorted ascending, duplicate-free)
@@ -49,7 +77,7 @@ Status ParseItems(std::string_view text, const SpmfParseOptions& options,
   auto dup = std::unique(out->begin(), out->end());
   if (dup != out->end()) {
     if (options.strict) {
-      return Status::Corruption("line " + std::to_string(line_no) +
+      return Status::Corruption(At(line_no, line_offset) +
                                 ": duplicate item in transaction");
     }
     out->erase(dup, out->end());
@@ -65,15 +93,26 @@ Result<TransactionDatabase> ReadSpmf(std::istream* in,
   ItemDictionary dict;
   std::string line;
   size_t line_no = 0;
+  uint64_t byte_offset = 0;
   Timestamp ts = 0;
   while (std::getline(*in, line)) {
     ++line_no;
+    const uint64_t line_offset = byte_offset;
+    byte_offset += line.size() + 1;  // getline consumed the '\n' too.
+    if (FailpointTriggered("io.read")) {
+      return Status::IOError("injected read fault at " +
+                             At(line_no, line_offset));
+    }
     if (options.allow_comments && IsCommentOrBlank(line)) continue;
     Itemset items;
-    RPM_RETURN_NOT_OK(ParseItems(line, options, &dict, &items, line_no));
+    RPM_RETURN_NOT_OK(ParseItems(line, line, line_offset, options, &dict,
+                                 &items, line_no));
     builder.AddTransaction(++ts, items);
   }
-  if (in->bad()) return Status::IOError("stream error while reading SPMF");
+  if (in->bad()) {
+    return Status::IOError("stream error while reading SPMF at " +
+                           At(line_no, byte_offset));
+  }
   return builder.Build(std::move(dict));
 }
 
@@ -83,25 +122,39 @@ Result<TransactionDatabase> ReadTimestampedSpmf(
   ItemDictionary dict;
   std::string line;
   size_t line_no = 0;
+  uint64_t byte_offset = 0;
   while (std::getline(*in, line)) {
     ++line_no;
+    const uint64_t line_offset = byte_offset;
+    byte_offset += line.size() + 1;
+    if (FailpointTriggered("io.read")) {
+      return Status::IOError("injected read fault at " +
+                             At(line_no, line_offset));
+    }
     if (options.allow_comments && IsCommentOrBlank(line)) continue;
     size_t bar = line.find('|');
     if (bar == std::string::npos) {
-      return Status::Corruption("line " + std::to_string(line_no) +
+      return Status::Corruption(At(line_no, line_offset) +
                                 ": missing '|' timestamp separator");
     }
-    Result<int64_t> ts = ParseInt64(Trim(std::string_view(line).substr(0, bar)));
+    const std::string_view ts_text =
+        Trim(std::string_view(line).substr(0, bar));
+    Result<int64_t> ts = ParseInt64(ts_text);
     if (!ts.ok()) {
-      return Status::Corruption("line " + std::to_string(line_no) + ": " +
-                                ts.status().message());
+      return Status::Corruption(At(line_no, line_offset) +
+                                ": bad timestamp token " + Quoted(ts_text) +
+                                ": " + ts.status().message());
     }
     Itemset items;
     RPM_RETURN_NOT_OK(ParseItems(std::string_view(line).substr(bar + 1),
-                                 options, &dict, &items, line_no));
+                                 line, line_offset, options, &dict, &items,
+                                 line_no));
     builder.AddTransaction(*ts, items);
   }
-  if (in->bad()) return Status::IOError("stream error while reading SPMF");
+  if (in->bad()) {
+    return Status::IOError("stream error while reading SPMF at " +
+                           At(line_no, byte_offset));
+  }
   return builder.Build(std::move(dict));
 }
 

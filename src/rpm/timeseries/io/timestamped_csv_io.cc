@@ -7,9 +7,26 @@
 #include <vector>
 
 #include "rpm/common/csv.h"
+#include "rpm/common/failpoint.h"
 #include "rpm/common/string_util.h"
 
 namespace rpm {
+
+namespace {
+
+/// "line N (byte B)" — matches the SPMF readers' diagnostic convention:
+/// line for editors, byte offset for `head -c`-style slicing.
+std::string At(const CsvReader& reader) {
+  std::string tag;
+  tag += "line ";
+  tag += std::to_string(reader.line_number());
+  tag += " (byte ";
+  tag += std::to_string(reader.record_byte_offset());
+  tag += ")";
+  return tag;
+}
+
+}  // namespace
 
 Result<EventCsvData> ReadEventCsv(std::istream* in,
                                   const EventCsvOptions& options) {
@@ -22,27 +39,30 @@ Result<EventCsvData> ReadEventCsv(std::istream* in,
     bool done = false;
     RPM_RETURN_NOT_OK(reader.Next(&row, &done));
     if (done) break;
+    if (FailpointTriggered("io.read")) {
+      return Status::IOError("injected read fault at " + At(reader));
+    }
     if (skip_header) {
       skip_header = false;
       continue;
     }
     if (row.size() == 1 && Trim(row[0]).empty()) continue;
     if (row.size() < 2) {
-      return Status::Corruption("line " +
-                                std::to_string(reader.line_number()) +
-                                ": expected 'timestamp,item'");
+      return Status::Corruption(At(reader) + ": expected 'timestamp,item'");
     }
-    Result<int64_t> ts = ParseInt64(Trim(row[0]));
+    const std::string_view ts_text = Trim(row[0]);
+    Result<int64_t> ts = ParseInt64(ts_text);
     if (!ts.ok()) {
-      return Status::Corruption("line " +
-                                std::to_string(reader.line_number()) + ": " +
-                                ts.status().message());
+      std::string msg = At(reader);
+      msg += ": bad timestamp token '";
+      msg.append(ts_text.data(), ts_text.size());
+      msg += "': ";
+      msg += ts.status().message();
+      return Status::Corruption(std::move(msg));
     }
     std::string_view name = Trim(row[1]);
     if (name.empty()) {
-      return Status::Corruption("line " +
-                                std::to_string(reader.line_number()) +
-                                ": empty item name");
+      return Status::Corruption(At(reader) + ": empty item name");
     }
     events.push_back({data.dictionary.GetOrAdd(name), *ts});
   }

@@ -19,6 +19,7 @@
 #include "rpm/timeseries/database_stats.h"
 #include "rpm/timeseries/io/spmf_io.h"
 #include "rpm/tools/mining_flags.h"
+#include "rpm/verify/fault_injection.h"
 #include "rpm/verify/harness.h"
 
 namespace rpm::tools {
@@ -136,6 +137,7 @@ int RunMultiQuery(QuerySession& session, const std::string& input,
 
   analysis::ExportOptions export_options;
   export_options.epoch_minutes = epoch;
+  size_t failed_queries = 0;
   out << "{\n";
   out << "  \"input\": \"" << analysis::JsonEscape(input) << "\",\n";
   out << "  \"transactions\": " << session.snapshot().size() << ",\n";
@@ -172,6 +174,10 @@ int RunMultiQuery(QuerySession& session, const std::string& input,
         << (result->tree_reused ? "true" : "false") << ",\n";
     out << "      \"tree_builds\": " << result->session_tree_builds
         << ",\n";
+    out << "      \"status\": \""
+        << StatusCodeToString(result->status.code()) << "\",\n";
+    out << "      \"truncated\": " << (result->truncated ? "true" : "false")
+        << ",\n";
     out << "      \"patterns_found\": " << result->patterns.size() << ",\n";
     if (parsed->query.top_k > 0) {
       out << "      \"top_k_rounds\": " << result->top_k_rounds << ",\n";
@@ -188,12 +194,22 @@ int RunMultiQuery(QuerySession& session, const std::string& input,
         << result->backend << "] " << parsed->query.ToString() << ": "
         << result->patterns.size() << " patterns, "
         << (result->tree_reused ? "tree reused" : "tree built") << "\n";
+    if (!result->status.ok()) {
+      ++failed_queries;
+      err << line_tag << "query failed: " << result->status.ToString()
+          << (result->truncated ? " (partial result emitted)" : "") << "\n";
+    }
   }
   out << "  ],\n";
   out << "  \"tree_builds\": " << session.tree_builds() << "\n";
   out << "}\n";
   err << lines.size() << " queries against one snapshot, "
       << session.tree_builds() << " tree build(s)\n";
+  if (failed_queries > 0) {
+    err << failed_queries << " of " << lines.size()
+        << " queries failed (see per-query \"status\" fields)\n";
+    return 2;
+  }
   return 0;
 }
 
@@ -266,6 +282,17 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
   Result<QueryResult> result = session.Run(*query, backend, exec);
   if (!result.ok()) return Fail(err, result.status());
   PrintMineSummary(*query, *result, err);
+  if (!result->status.ok()) {
+    // Governed failure: still print whatever the budget committed (the
+    // deterministic prefix), but exit non-zero so scripts notice.
+    err << "query stopped early: " << result->status.ToString()
+        << (result->truncated ? " (partial result below)" : "") << "\n";
+  } else if (result->truncated) {
+    // The soft max-patterns cap completed with an intentional cut: exit 0,
+    // but say so — the count above is a committed prefix, not the total.
+    err << "result truncated by --max-patterns (deterministic committed "
+           "prefix)\n";
+  }
 
   const TransactionDatabase& db = session.snapshot().db();
   if (with_stats && output_format == "text" && !db.empty()) {
@@ -275,14 +302,14 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
                  analysis::ComputePatternStats(p, db, query->params))
           << "\n";
     }
-    return 0;
+    return result->status.ok() ? 0 : 2;
   }
   if (Status s = WriteResults(result->patterns, db.dictionary(),
                               output_format, *epoch_minutes, &out);
       !s.ok()) {
     return Fail(err, s);
   }
-  return 0;
+  return result->status.ok() ? 0 : 2;
 }
 
 int CmdPfMine(int argc, const char* const* argv, std::ostream& out,
@@ -582,11 +609,21 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
                     "parallel miner, the streaming RP-list and the query "
                     "engine");
   uint64_t cases = 200, seed = 7, threads = 4, max_failures = 5;
+  uint64_t faults = 0, fault_ppm = 20000;
   bool no_oracle = false, no_parallel = false, no_streaming = false;
   bool no_engine = false, fixed_params = false;
   MiningQueryFlags mining;
   parser.AddUint64("cases", 200, "number of generated cases", &cases);
   parser.AddUint64("seed", 7, "case-stream seed (reproducible)", &seed);
+  parser.AddUint64("faults", 0,
+                   "run the seeded fault-injection campaign instead: N "
+                   "trials of injected allocation/IO/thread/clock faults "
+                   "(DESIGN.md §7.4)",
+                   &faults);
+  parser.AddUint64("fault-ppm", 20000,
+                   "per-hit fault fire probability, in parts per million "
+                   "(only with --faults)",
+                   &fault_ppm);
   parser.AddUint64("threads", 4, "worker threads for the parallel check",
                    &threads);
   parser.AddUint64("max-failures", 5,
@@ -608,6 +645,21 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   if (Status s = parser.Parse(argc, argv); !s.ok()) {
     err << s.ToString() << "\n" << parser.Help();
     return 1;
+  }
+  if (faults > 0) {
+    if (fault_ppm > 1000000) {
+      err << "--fault-ppm must be <= 1000000\n";
+      return 1;
+    }
+    FaultCampaignOptions campaign;
+    campaign.trials = faults;
+    campaign.seed = seed;
+    campaign.probability_ppm = static_cast<uint32_t>(fault_ppm);
+    campaign.parallel_threads = threads == 0 ? 4 : threads;
+    campaign.max_failures = max_failures == 0 ? 1 : max_failures;
+    FaultCampaignReport report = RunFaultCampaign(campaign);
+    out << report.ToString() << "\n";
+    return report.ok() ? 0 : 2;
   }
   if (cases == 0) {
     err << "--cases must be >= 1\n";

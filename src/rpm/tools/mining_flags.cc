@@ -26,6 +26,18 @@ void MiningQueryFlags::Register(FlagParser* parser) {
   parser->AddBool("closed", closed, "keep only closed patterns", &closed);
   parser->AddBool("maximal", maximal, "keep only maximal patterns",
                   &maximal);
+  parser->AddUint64("timeout-ms", timeout_ms,
+                    "wall-clock deadline per query; over-deadline queries "
+                    "stop with a deterministic partial result (0 = none)",
+                    &timeout_ms);
+  parser->AddUint64("max-memory-mb", max_memory_mb,
+                    "budget for tracked mining memory (RP-tree nodes + "
+                    "timestamps); 0 = unlimited",
+                    &max_memory_mb);
+  parser->AddUint64("max-patterns", max_patterns,
+                    "stop after this many patterns (deterministic prefix "
+                    "of the canonical order); 0 = unlimited",
+                    &max_patterns);
 }
 
 Result<engine::Query> MiningQueryFlags::ToQuery(size_t db_size) const {
@@ -44,6 +56,9 @@ Result<engine::Query> MiningQueryFlags::ToQuery(size_t db_size) const {
   query.max_pattern_length = max_len;
   query.closed = closed;
   query.maximal = maximal;
+  query.limits.timeout_ms = static_cast<int64_t>(timeout_ms);
+  query.limits.memory_budget_bytes = max_memory_mb * 1024 * 1024;
+  query.limits.max_patterns = max_patterns;
   RPM_RETURN_NOT_OK(query.Validate());
   return query;
 }

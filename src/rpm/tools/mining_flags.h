@@ -35,9 +35,14 @@ struct MiningQueryFlags {
   uint64_t max_len = 0;      ///< --max-length
   bool closed = false;       ///< --closed
   bool maximal = false;      ///< --maximal
+  // Resource governance (DESIGN.md §7); 0 = unlimited.
+  uint64_t timeout_ms = 0;     ///< --timeout-ms
+  uint64_t max_memory_mb = 0;  ///< --max-memory-mb
+  uint64_t max_patterns = 0;   ///< --max-patterns
 
-  /// Registers all nine flags on `parser`, using the current field values
-  /// as the advertised defaults. `this` must outlive parser.Parse().
+  /// Registers all twelve flags on `parser`, using the current field
+  /// values as the advertised defaults. `this` must outlive
+  /// parser.Parse().
   void Register(FlagParser* parser);
 
   /// Resolves the (parsed) fields against a database of `db_size`

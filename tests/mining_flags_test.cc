@@ -47,6 +47,9 @@ TEST(MiningFlagsTest, PinnedDefaults) {
   EXPECT_EQ(flags.max_len, 0u);
   EXPECT_FALSE(flags.closed);
   EXPECT_FALSE(flags.maximal);
+  EXPECT_EQ(flags.timeout_ms, 0u);
+  EXPECT_EQ(flags.max_memory_mb, 0u);
+  EXPECT_EQ(flags.max_patterns, 0u);
 }
 
 TEST(MiningFlagsTest, DefaultQueryIsPerOneMinPsOneMinRecOne) {
@@ -61,6 +64,27 @@ TEST(MiningFlagsTest, DefaultQueryIsPerOneMinPsOneMinRecOne) {
   EXPECT_FALSE(q.closed);
   EXPECT_FALSE(q.maximal);
   EXPECT_TRUE(q.store_patterns);
+  EXPECT_TRUE(q.limits.unlimited());
+  EXPECT_EQ(q.cancel, nullptr);
+}
+
+TEST(MiningFlagsTest, GovernanceFlagsFlowIntoQueryLimits) {
+  engine::Query q = ParseOrDie(
+      {"--per=2", "--timeout-ms=1500", "--max-memory-mb=64",
+       "--max-patterns=1000"},
+      /*db_size=*/100);
+  EXPECT_EQ(q.limits.timeout_ms, 1500);
+  EXPECT_EQ(q.limits.memory_budget_bytes, 64ull * 1024 * 1024);
+  EXPECT_EQ(q.limits.max_patterns, 1000u);
+  EXPECT_FALSE(q.limits.unlimited());
+}
+
+TEST(MiningFlagsTest, MaxPatternsRejectedWithTopK) {
+  MiningQueryFlags flags;
+  flags.per = 2;
+  flags.top_k = 5;
+  flags.max_patterns = 10;
+  EXPECT_FALSE(flags.ToQuery(100).ok());
 }
 
 TEST(MiningFlagsTest, ExplicitThresholdsFlowThrough) {

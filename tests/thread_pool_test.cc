@@ -5,7 +5,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
+
+#include "rpm/common/failpoint.h"
 
 namespace rpm {
 namespace {
@@ -73,6 +76,106 @@ TEST(ThreadPoolTest, InlinePathPropagatesExceptionsToo) {
                              throw std::logic_error("inline failure");
                            }),
                std::logic_error);
+}
+
+// --- Cancellation (should_stop) and degradation ------------------------------
+
+TEST(ThreadPoolTest, StopBeforeStartRunsNothing) {
+  std::atomic<size_t> executed{0};
+  const size_t participants = ParallelFor(
+      500, 4,
+      [&](size_t, size_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*should_stop=*/[] { return true; });
+  EXPECT_EQ(executed.load(), 0u);
+  EXPECT_GE(participants, 1u);
+}
+
+TEST(ThreadPoolTest, StopMidLoopParksRemainingItems) {
+  constexpr size_t kItems = 10000;
+  std::atomic<size_t> executed{0};
+  std::atomic<bool> stop{false};
+  ParallelFor(
+      kItems, 4,
+      [&](size_t, size_t) {
+        if (executed.fetch_add(1, std::memory_order_relaxed) == 50) {
+          stop.store(true, std::memory_order_release);
+        }
+      },
+      [&] { return stop.load(std::memory_order_acquire); });
+  // Cancellation is checked per item on every worker: once the flag rises,
+  // at most the in-flight items finish. Generous bound — the point is that
+  // nowhere near all 10000 ran.
+  EXPECT_LT(executed.load(), kItems / 2);
+}
+
+TEST(ThreadPoolTest, StopOnInlinePathParksImmediately) {
+  std::atomic<size_t> executed{0};
+  std::atomic<bool> stop{false};
+  const size_t participants = ParallelFor(
+      100, 1,
+      [&](size_t, size_t) {
+        if (executed.fetch_add(1, std::memory_order_relaxed) == 4) {
+          stop.store(true);
+        }
+      },
+      [&] { return stop.load(); });
+  EXPECT_EQ(participants, 1u);
+  EXPECT_EQ(executed.load(), 5u);  // Items 0..4, then the flag parks item 5.
+}
+
+TEST(ThreadPoolTest, CancelledRunStillReturnsNormally) {
+  // Cancellation is caller state, not an error: no exception, and the
+  // caller can keep using the pool afterwards.
+  std::atomic<size_t> executed{0};
+  ParallelFor(
+      1000, 4,
+      [&](size_t, size_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      },
+      [] { return true; });
+  ParallelFor(10, 2, [&](size_t, size_t) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_GE(executed.load(), 10u);
+}
+
+TEST(ThreadPoolTest, ExceptionWinsOverLateCancellation) {
+  // A task exception must surface even when a stop request races it.
+  std::atomic<bool> stop{false};
+  EXPECT_THROW(
+      ParallelFor(
+          5000, 4,
+          [&](size_t, size_t i) {
+            if (i == 3) {
+              stop.store(true, std::memory_order_release);
+              throw std::runtime_error("task 3 failed");
+            }
+          },
+          [&] { return stop.load(std::memory_order_acquire); }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SpawnFailureDegradesToCallingThread) {
+  // The threadpool.spawn failpoint simulates std::thread construction
+  // failing; ParallelFor must degrade to fewer workers (floor: the
+  // calling thread) and still run EVERY item exactly once.
+  SetFailpointHandler(
+      +[](const char* site) {
+        return std::string_view(site) == "threadpool.spawn";
+      });
+  constexpr size_t kItems = 300;
+  std::vector<std::atomic<int>> hits(kItems);
+  const size_t participants = ParallelFor(kItems, 8, [&](size_t, size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  SetFailpointHandler(nullptr);
+  EXPECT_EQ(participants, 1u) << "every spawn was failed; only the calling "
+                                 "thread should have participated";
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "item " << i;
+  }
 }
 
 }  // namespace
