@@ -1,17 +1,22 @@
 // Thread-scaling of parallel RP-growth on the Table-7 datasets: mines one
 // mining-heavy Table-4 cell per dataset at 1/2/4/8 worker threads and
 // reports wall seconds, per-phase split, and speedup vs the sequential
-// run. Emits BENCH_parallel_scaling.json (see bench_util.h JsonRecords)
-// next to the console table.
+// run — now including the partitioned RP-tree build (tree_s plus the
+// fold's partial/merge stats). Emits BENCH_parallel_scaling.json (see
+// bench_util.h JsonRecords; the document header carries
+// hardware_concurrency so readers can tell real scaling from a saturated
+// host) next to the console table.
 //
 // Expected shape: patterns_emitted is bit-identical across thread counts
 // (the bench aborts if not); mine-phase wall time falls with threads up to
-// the hardware's parallelism, while list/tree construction stays
-// sequential (Amdahl floor). On a single-core container every thread
-// count costs the same — the speedup column then just documents that the
-// parallel path adds no overhead.
+// the hardware's parallelism, and tree construction now partitions as
+// well (its Amdahl share shrinks to the partial-trie fold, which stays
+// sequential). On a single-core container every thread count costs the
+// same — the speedup column then just documents that the parallel path
+// adds no overhead.
 
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -55,9 +60,11 @@ int main() {
 
   JsonRecords json("parallel_scaling", scale);
   int mismatches = 0;
-  std::printf("%-12s %-8s %8s %10s %10s %10s %9s %10s\n", "dataset",
-              "threads", "patterns", "wall_s", "mine_s", "cpu_s", "speedup",
-              "mine_spdup");
+  std::printf("hardware_concurrency=%u\n\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-12s %-8s %8s %10s %10s %10s %10s %9s %10s %6s %8s\n",
+              "dataset", "threads", "patterns", "wall_s", "tree_s", "mine_s",
+              "cpu_s", "speedup", "mine_spdup", "build", "merge_ms");
   for (const Workload& w : workloads) {
     rpm::Result<rpm::RpParams> params = rpm::MakeParamsWithMinPsFraction(
         w.per, w.min_ps_frac, w.min_rec, w.db->size());
@@ -85,9 +92,12 @@ int main() {
           s.total_seconds > 0.0 ? base_wall / s.total_seconds : 0.0;
       const double mine_speedup =
           s.mine_seconds > 0.0 ? base_mine / s.mine_seconds : 0.0;
-      std::printf("%-12s %-8zu %8zu %10.3f %10.3f %10.3f %8.2fx %9.2fx\n",
+      std::printf("%-12s %-8zu %8zu %10.3f %10.3f %10.3f %10.3f %8.2fx "
+                  "%9.2fx %6zu %8.2f\n",
                   w.dataset, threads, s.patterns_emitted, s.total_seconds,
-                  s.mine_seconds, s.mine_cpu_seconds, speedup, mine_speedup);
+                  s.tree_seconds, s.mine_seconds, s.mine_cpu_seconds, speedup,
+                  mine_speedup, s.tree_build_threads,
+                  s.tree_merge_seconds * 1000.0);
       std::fflush(stdout);
 
       json.BeginRecord();
@@ -105,6 +115,11 @@ int main() {
       json.Add("mine_cpu_seconds", s.mine_cpu_seconds);
       json.Add("speedup", speedup);
       json.Add("mine_speedup", mine_speedup);
+      json.Add("tree_build_threads", s.tree_build_threads);
+      json.Add("tree_partials_merged", s.tree_partials_merged);
+      json.Add("tree_merge_seconds", s.tree_merge_seconds);
+      json.Add("scratch_bytes_peak", s.scratch_bytes_peak);
+      json.Add("scratch_bytes_total", s.scratch_bytes_total);
     }
     std::printf("\n");
   }

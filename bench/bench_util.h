@@ -14,10 +14,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "rpm/common/cpu_features.h"
 #include "rpm/common/string_util.h"
 #include "rpm/gen/paper_datasets.h"
 #include "rpm/timeseries/database_stats.h"
@@ -109,7 +111,11 @@ inline std::string JsonEscape(const std::string& s) {
 }
 
 /// Flat array-of-records JSON document builder for bench reports:
-/// {"bench": <name>, "scale": <s>, "records": [{...}, ...]}.
+/// {"bench": <name>, "scale": <s>, "hardware_concurrency": <hw>,
+///  "simd_level": <active dispatch level>, "records": [{...}, ...]}.
+/// The two host fields make snapshots self-describing: a diff tool can
+/// refuse to compare runs from machines with different core counts or a
+/// forced-scalar run against a vectorized one.
 /// Values are rendered on Add, so records may mix field sets freely
 /// (they shouldn't — keep them uniform for easy loading).
 class JsonRecords {
@@ -145,7 +151,11 @@ class JsonRecords {
     out += JsonEscape(bench_);
     out += "\",\n  \"scale\": ";
     out += rpm::FormatDouble(scale_, 4);
-    out += ",\n  \"records\": [\n";
+    out += ",\n  \"hardware_concurrency\": ";
+    out += std::to_string(std::thread::hardware_concurrency());
+    out += ",\n  \"simd_level\": \"";
+    out += rpm::SimdLevelName(rpm::ActiveSimdLevel());
+    out += "\",\n  \"records\": [\n";
     for (size_t r = 0; r < records_.size(); ++r) {
       out += "    {";
       for (size_t f = 0; f < records_[r].size(); ++f) {

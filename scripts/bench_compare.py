@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON snapshots (bench_util.h JsonRecords documents).
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json
+        [--threshold=0.10] [--min-seconds=0.02] [--fail-on-regression]
+
+Matches records by their parameter key (dataset, threads, per, minPS
+fraction, minRec), then:
+
+  * flags every per-stage time field (list/tree/mine/wall and the
+    partial-trie fold) that regressed by more than --threshold (default
+    10%), ignoring stages under --min-seconds in BOTH snapshots (pure
+    timer noise);
+  * flags any schedule-invariant counter (patterns, merge and gate-scan
+    counters) that changed at all — those are correctness drift, not
+    noise, and are always treated as regressions;
+  * refuses to compare times across snapshots taken at different scales,
+    hardware_concurrency or SIMD dispatch levels (counter checks still
+    run — they are machine-independent).
+
+Exit status: 0 unless --fail-on-regression is given and a regression was
+found (then 1); 2 on malformed input. scripts/verify.sh runs this as a
+non-fatal stage against the committed bench_runs/ smoke snapshots.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_FIELDS = [
+    "wall_seconds",
+    "list_seconds",
+    "tree_seconds",
+    "mine_seconds",
+    "tree_merge_seconds",
+]
+
+# Schedule-invariant counters: identical inputs must produce identical
+# values regardless of machine, threads or SIMD level.
+COUNTER_FIELDS = [
+    "patterns_emitted",
+    "merge_invocations",
+    "runs_merged",
+    "timestamps_merged",
+    "gate_lists_scanned",
+    "gate_gaps_scanned",
+]
+
+KEY_FIELDS = ["dataset", "threads", "per", "min_ps_frac", "min_rec"]
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot load {path}: {e}")
+    if "records" not in doc:
+        sys.exit(f"bench_compare: {path} is not a bench report (no records)")
+    return doc
+
+
+def record_key(rec):
+    return tuple(rec.get(k) for k in KEY_FIELDS)
+
+
+def fmt_key(key):
+    parts = [f"{name}={val}" for name, val in zip(KEY_FIELDS, key)
+             if val is not None]
+    return " ".join(parts)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative time regression to flag (0.10 = 10%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.02,
+                        help="ignore time stages below this in both runs")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any regression is flagged")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base.get("bench") != cur.get("bench"):
+        sys.exit(f"bench_compare: different benches: "
+                 f"{base.get('bench')!r} vs {cur.get('bench')!r}")
+
+    compare_times = True
+    for field, label in [("scale", "scale"),
+                         ("hardware_concurrency", "hardware_concurrency"),
+                         ("simd_level", "simd_level")]:
+        b, c = base.get(field), cur.get(field)
+        if b is not None and c is not None and b != c:
+            print(f"bench_compare: WARNING: {label} differs "
+                  f"({b} vs {c}) — skipping time comparison, "
+                  f"checking counters only")
+            compare_times = False
+
+    base_by_key = {record_key(r): r for r in base["records"]}
+    regressions = []
+    improvements = []
+    matched = 0
+    for rec in cur["records"]:
+        key = record_key(rec)
+        old = base_by_key.get(key)
+        if old is None:
+            print(f"  new record (no baseline): {fmt_key(key)}")
+            continue
+        matched += 1
+        for field in COUNTER_FIELDS:
+            if field in old and field in rec and old[field] != rec[field]:
+                regressions.append(
+                    f"{fmt_key(key)}: COUNTER {field} changed "
+                    f"{old[field]} -> {rec[field]}")
+        if not compare_times:
+            continue
+        for field in TIME_FIELDS:
+            if field not in old or field not in rec:
+                continue
+            b, c = float(old[field]), float(rec[field])
+            if b < args.min_seconds and c < args.min_seconds:
+                continue
+            if b <= 0.0:
+                continue
+            delta = (c - b) / b
+            line = (f"{fmt_key(key)}: {field} "
+                    f"{b:.3f}s -> {c:.3f}s ({delta:+.1%})")
+            if delta > args.threshold:
+                regressions.append(line)
+            elif delta < -args.threshold:
+                improvements.append(line)
+
+    dropped = set(base_by_key) - {record_key(r) for r in cur["records"]}
+    for key in sorted(dropped, key=str):
+        print(f"  dropped record (baseline only): {fmt_key(key)}")
+
+    print(f"bench_compare: {base.get('bench')} — {matched} record(s) "
+          f"matched, threshold {args.threshold:.0%}")
+    for line in improvements:
+        print(f"  improved:  {line}")
+    for line in regressions:
+        print(f"  REGRESSED: {line}")
+    if not regressions:
+        print("bench_compare: no per-stage regression")
+        return 0
+    print(f"bench_compare: {len(regressions)} regression(s) flagged")
+    return 1 if args.fail_on_regression else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@
 # (RPM_BENCH_SCALE set via the ctest "perf" label's environment) and
 # validates the JSON report it writes — catching both perf-pipeline rot
 # and cross-thread determinism violations, which the bench exits 1 on.
+# Stage 3b then diffs that report against the committed smoke-scale
+# snapshot with scripts/bench_compare.py (>10% per-stage regressions and
+# any schedule-invariant counter drift are reported; non-fatal).
 #
 # The harness stages run the differential correctness harness
 # (`rpminer verify`, DESIGN.md §5b): a bounded smoke pass on the release
@@ -49,8 +52,26 @@ for report in BENCH_hotpath.json BENCH_engine_reuse.json; do
   fi
 done
 
+echo "== stage 3b: bench regression gate (non-fatal, >10% per-stage) =="
+# Diffs the smoke run's JSON against the committed smoke-scale snapshot
+# (bench_runs/smoke/, same RPM_BENCH_SCALE as the perf label). Counter
+# drift is correctness; time regressions on a shared CI box are mostly
+# noise, so this stage reports without failing the build. Re-run with
+# --fail-on-regression locally when chasing a perf change.
+if command -v python3 >/dev/null 2>&1 && \
+   [[ -f bench_runs/smoke/BENCH_hotpath.json ]]; then
+  python3 scripts/bench_compare.py \
+    bench_runs/smoke/BENCH_hotpath.json build/BENCH_hotpath.json \
+    || echo "bench_compare: regression reported (non-fatal)"
+else
+  echo "bench_compare: skipped (python3 or smoke snapshot missing)"
+fi
+
 echo "== stage 4: differential harness smoke =="
 ./build/src/rpminer verify --cases=200 --seed=7
+# Same harness with SIMD dispatch forced off: the masked scalar fallback
+# and the plain scalar loops must also agree everywhere.
+RPM_FORCE_SCALAR=1 ./build/src/rpminer verify --cases=200 --seed=7
 
 echo "== stage 5: fault-injection campaign smoke (faults label) =="
 # Seeded fault campaign (DESIGN.md §7.4): every injected fault must

@@ -1,0 +1,44 @@
+#include "rpm/common/cpu_features.h"
+
+#include <cstdlib>
+
+namespace rpm {
+
+SimdLevel HardwareSimdLevel() {
+#if defined(__x86_64__)
+  // __builtin_cpu_supports reads CPUID once and caches inside libgcc.
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kSse2;  // Architectural baseline on x86-64.
+#elif defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return SimdLevel::kSse2;
+  return SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = [] {
+    const char* force = std::getenv("RPM_FORCE_SCALAR");
+    if (force != nullptr && force[0] == '1' && force[1] == '\0') {
+      return SimdLevel::kScalar;
+    }
+    return HardwareSimdLevel();
+  }();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kSse2:
+      return "sse2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace rpm

@@ -1,0 +1,52 @@
+// Runtime CPU-feature detection for the SIMD kernel dispatch.
+//
+// The columnar ts-list kernels (core/ts_block.h) exist in scalar, SSE2 and
+// AVX2 variants that are bit-identical by construction; which one runs is
+// decided once per process from CPUID, never per call. Setting
+// RPM_FORCE_SCALAR=1 in the environment pins the scalar path — CI uses it
+// to exercise the fallback arm on AVX2 hardware, and it is the escape
+// hatch if a vector unit ever misbehaves in production.
+
+#ifndef RPM_COMMON_CPU_FEATURES_H_
+#define RPM_COMMON_CPU_FEATURES_H_
+
+namespace rpm {
+
+/// Vector instruction tiers the kernels are compiled for, in strictly
+/// increasing capability order (comparable with <).
+enum class SimdLevel {
+  kScalar = 0,  ///< Portable C++ loop; every platform.
+  kSse2 = 1,    ///< 2 x 64-bit lanes (baseline on x86-64).
+  kAvx2 = 2,    ///< 4 x 64-bit lanes.
+};
+
+/// Best level the hardware supports (CPUID probe; kScalar off x86).
+/// Ignores RPM_FORCE_SCALAR — use it to ask "could we run AVX2 here?"
+/// (tests comparing explicit kernel variants gate on this).
+SimdLevel HardwareSimdLevel();
+
+/// The level the dispatched kernels actually use: HardwareSimdLevel()
+/// unless RPM_FORCE_SCALAR=1 was set when first called (the decision is
+/// latched process-wide on first use).
+SimdLevel ActiveSimdLevel();
+
+/// "scalar" / "sse2" / "avx2" — stable strings for stats and bench JSON.
+const char* SimdLevelName(SimdLevel level);
+
+/// 64-bit lanes processed per vector at `level` (1 for scalar). The
+/// gate-counter lane-utilization accounting uses this.
+inline int SimdGapLanes(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx2:
+      return 4;
+    case SimdLevel::kSse2:
+      return 2;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return 1;
+}
+
+}  // namespace rpm
+
+#endif  // RPM_COMMON_CPU_FEATURES_H_

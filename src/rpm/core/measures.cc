@@ -1,5 +1,7 @@
 #include "rpm/core/measures.h"
 
+#include <bit>
+
 #include "rpm/common/logging.h"
 #include "rpm/core/time_gap.h"
 
@@ -222,6 +224,178 @@ GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
   outcome.passes = erec >= params.min_rec;
   if (!outcome.passes) intervals->clear();
   return outcome;
+}
+
+// --- Columnar (SIMD) hot-path overloads ------------------------------------
+
+namespace {
+
+/// Crossover below which the scalar loops win: the mask pass streams the
+/// list once and the bit-walk touches it again, so the fixed cost (mask
+/// memset, dispatch, resize) only amortizes once the compare stream
+/// dominates. BM_MaskedGateAndIntervals vs BM_FusedGateAndIntervals puts
+/// the break-dense break-even near 256 gaps (sparse lists win earlier);
+/// 128 keeps short conditional-level lists on the branch-predicted scalar
+/// loop. Correctness is identical either side.
+constexpr size_t kMaskedScanMinGaps = 128;
+
+/// Gaps the dispatched kernel evaluates at full vector width for a list
+/// with `gaps` gaps (the rest run in its scalar tail). Zero when the
+/// active level is scalar — this feeds the lane-utilization counter, and
+/// a scalar "vector" of one lane utilizes nothing.
+size_t VectorizedGapCount(size_t gaps) {
+  const size_t lanes =
+      static_cast<size_t>(SimdGapLanes(ActiveSimdLevel()));
+  return lanes <= 1 ? 0 : gaps / lanes * lanes;
+}
+
+/// Invokes fn(g) for every break gap g (set bit) in ascending order.
+template <typename Fn>
+void ForEachBreak(const uint64_t* masks, size_t words, Fn&& fn) {
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t m = masks[w];
+    while (m != 0) {
+      fn((w << 6) + static_cast<size_t>(std::countr_zero(m)));
+      m &= m - 1;
+    }
+  }
+}
+
+/// Computes the break-mask column for `ts` into *scratch and accounts the
+/// scan. Returns the mask pointer.
+const uint64_t* ScanBreakMasks(const TimestampList& ts, Timestamp period,
+                               TsBlockScratch* scratch,
+                               GateCounters* counters) {
+  const size_t gaps = ts.size() - 1;
+  scratch->break_masks.resize(TsBlockWords(ts.size()));
+  ComputeBreakMasks(ts.data(), ts.size(), static_cast<uint64_t>(period),
+                    scratch->break_masks.data());
+  if (counters != nullptr) {
+    ++counters->lists_scanned;
+    counters->gaps_scanned += gaps;
+    counters->gaps_simd += VectorizedGapCount(gaps);
+  }
+  return scratch->break_masks.data();
+}
+
+/// Mask-driven FindInterestingIntervalsTolerantInto (max_violations >= 1).
+/// Runs absorb up to max_violations break gaps before splitting; every
+/// timestamp between run start and close is contiguous in index space, so
+/// the periodic support of a run [s .. e] is e - s + 1 — identical to the
+/// scalar counter.
+void TolerantIntervalsFromMasks(const TimestampList& ts,
+                                const uint64_t* masks, uint64_t min_ps,
+                                uint32_t max_violations,
+                                std::vector<PeriodicInterval>* out) {
+  const size_t n = ts.size();
+  size_t run_start = 0;
+  uint32_t violations = 0;
+  ForEachBreak(masks, TsBlockWords(n), [&](size_t g) {
+    if (violations < max_violations) {
+      ++violations;
+      return;
+    }
+    const uint64_t ps = g - run_start + 1;
+    if (ps >= min_ps) out->push_back({ts[run_start], ts[g], ps});
+    run_start = g + 1;
+    violations = 0;
+  });
+  const uint64_t ps = n - run_start;
+  if (ps >= min_ps) out->push_back({ts[run_start], ts[n - 1], ps});
+}
+
+}  // namespace
+
+GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
+                                    const RpParams& params,
+                                    std::vector<PeriodicInterval>* intervals,
+                                    TsBlockScratch* scratch,
+                                    GateCounters* counters) {
+  const size_t n = ts.size();
+  const size_t gaps = n < 2 ? 0 : n - 1;
+  if (scratch == nullptr || gaps < kMaskedScanMinGaps) {
+    // Short list (or no scratch): the scalar fused scan. Still account
+    // the volume so the counters describe every gate evaluation.
+    if (counters != nullptr && n != 0 &&
+        (params.max_gap_violations == 0 ||
+         ComputeTolerantRecurrenceBound(n, params.min_ps) >= params.min_rec)) {
+      ++counters->lists_scanned;
+      counters->gaps_scanned += gaps;
+    }
+    return ComputeGateAndIntervals(ts, params, intervals);
+  }
+
+  GateOutcome outcome;
+  intervals->clear();
+
+  if (params.max_gap_violations > 0) {
+    // Tolerant model: gate O(1) on support, scan survivors via masks.
+    outcome.recurrence_upper_bound =
+        ComputeTolerantRecurrenceBound(n, params.min_ps);
+    outcome.passes = outcome.recurrence_upper_bound >= params.min_rec;
+    if (outcome.passes) {
+      const uint64_t* masks =
+          ScanBreakMasks(ts, params.period, scratch, counters);
+      TolerantIntervalsFromMasks(ts, masks, params.min_ps,
+                                 params.max_gap_violations, intervals);
+    }
+    return outcome;
+  }
+
+  // Exact model: every maximal run is delimited by break gaps, so the
+  // fused Erec + Algorithm-5 bookkeeping collapses to a walk over set
+  // bits. A run closing at break gap g spans ts[run_start .. g]; its
+  // periodic support is the index span, exactly the scalar counter.
+  RPM_DCHECK(params.period > 0);
+  RPM_DCHECK(params.min_ps >= 1);
+  const uint64_t* masks = ScanBreakMasks(ts, params.period, scratch, counters);
+  uint64_t erec = 0;
+  size_t run_start = 0;
+  ForEachBreak(masks, TsBlockWords(n), [&](size_t g) {
+    const uint64_t ps = g - run_start + 1;
+    erec += ps / params.min_ps;
+    if (ps >= params.min_ps) intervals->push_back({ts[run_start], ts[g], ps});
+    run_start = g + 1;
+  });
+  const uint64_t ps = n - run_start;
+  erec += ps / params.min_ps;
+  if (ps >= params.min_ps) {
+    intervals->push_back({ts[run_start], ts[n - 1], ps});
+  }
+  outcome.recurrence_upper_bound = erec;
+  outcome.passes = erec >= params.min_rec;
+  if (!outcome.passes) intervals->clear();
+  return outcome;
+}
+
+uint64_t ComputeRecurrenceUpperBound(const TimestampList& ts,
+                                     const RpParams& params,
+                                     TsBlockScratch* scratch,
+                                     GateCounters* counters) {
+  if (params.max_gap_violations > 0) {
+    // O(1): no scan happens, so nothing to vectorize or count.
+    return ComputeTolerantRecurrenceBound(ts.size(), params.min_ps);
+  }
+  const size_t n = ts.size();
+  const size_t gaps = n < 2 ? 0 : n - 1;
+  if (scratch == nullptr || gaps < kMaskedScanMinGaps) {
+    if (counters != nullptr && n != 0) {
+      ++counters->lists_scanned;
+      counters->gaps_scanned += gaps;
+    }
+    return ComputeErec(ts, params.period, params.min_ps);
+  }
+  RPM_DCHECK(params.period > 0);
+  RPM_DCHECK(params.min_ps >= 1);
+  const uint64_t* masks = ScanBreakMasks(ts, params.period, scratch, counters);
+  uint64_t erec = 0;
+  size_t run_start = 0;
+  ForEachBreak(masks, TsBlockWords(n), [&](size_t g) {
+    erec += (g - run_start + 1) / params.min_ps;
+    run_start = g + 1;
+  });
+  erec += (n - run_start) / params.min_ps;
+  return erec;
 }
 
 }  // namespace rpm

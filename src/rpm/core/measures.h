@@ -15,6 +15,7 @@
 
 #include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
+#include "rpm/core/ts_block.h"
 #include "rpm/timeseries/types.h"
 
 namespace rpm {
@@ -116,6 +117,31 @@ struct GateOutcome {
 GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
                                     const RpParams& params,
                                     std::vector<PeriodicInterval>* intervals);
+
+// --- Columnar (SIMD) hot-path overloads ------------------------------------
+//
+// Identical results to the scratch-free entry points — the miners route
+// through these so long ts-lists use the core/ts_block.h break-mask
+// kernels (one vectorized compare pass, then a bit-walk that rebuilds the
+// exact run segmentation). Lists below the crossover length stay on the
+// scalar loops; either way the outcome is bit-identical, so callers never
+// need to know which path ran. `scratch` is the reusable mask buffer (one
+// per worker); `counters`, when non-null, accumulates scan volume for the
+// stats plumbing. Passing scratch == nullptr degrades to the scalar path.
+
+/// Scratch-backed fused gate + Algorithm-5 scan.
+GateOutcome ComputeGateAndIntervals(const TimestampList& ts,
+                                    const RpParams& params,
+                                    std::vector<PeriodicInterval>* intervals,
+                                    TsBlockScratch* scratch,
+                                    GateCounters* counters);
+
+/// Scratch-backed recurrence upper bound (Erec in the exact model; the
+/// O(1) support quotient under gap tolerance, which never scans).
+uint64_t ComputeRecurrenceUpperBound(const TimestampList& ts,
+                                     const RpParams& params,
+                                     TsBlockScratch* scratch,
+                                     GateCounters* counters);
 
 }  // namespace rpm
 

@@ -103,6 +103,32 @@ TsPrefixTree TsPrefixTree::Clone() const {
   return copy;
 }
 
+void TsPrefixTree::MergeAppendFrom(TsPrefixTree&& other) {
+  RPM_DCHECK(other.items_by_rank_ == items_by_rank_);
+  // Same ascending-rank chain walk as Clone(), for the same reason: paths
+  // carry strictly ascending ranks, so every node's parent is mapped
+  // before the node itself. target_of is the other-seq -> master-node map.
+  std::vector<Node*> target_of(other.next_seq_, nullptr);
+  target_of[other.root_->seq] = root_;
+  for (size_t rank = 0; rank < other.heads_.size(); ++rank) {
+    for (Node* n = other.heads_[rank]; n != nullptr; n = n->next_link) {
+      Node* node =
+          GetOrCreateChild(target_of[n->parent->seq], n->rank);
+      target_of[n->seq] = node;
+      if (n->ts_list.empty()) continue;
+      if (node->ts_list.empty()) {
+        node->ts_list = std::move(n->ts_list);
+      } else {
+        node->ts_list.insert(node->ts_list.end(), n->ts_list.begin(),
+                             n->ts_list.end());
+      }
+      n->ts_list.clear();
+    }
+  }
+  timestamp_count_ += other.timestamp_count_;
+  other.timestamp_count_ = 0;
+}
+
 void TsPrefixTree::PushUpAndRemove(size_t rank) {
   for (Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
     RPM_DCHECK(n->first_child == nullptr)

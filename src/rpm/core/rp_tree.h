@@ -125,6 +125,19 @@ class TsPrefixTree {
   /// from several threads on the same (unmutated) tree.
   TsPrefixTree Clone() const;
 
+  /// Folds `other` (same rank order, consumed) into this tree: every node
+  /// of `other` maps onto this tree's node with the same root path
+  /// (created when absent, via the same chain-appending GetOrCreateChild
+  /// the builders use) and its ts-list is appended — moved when the target
+  /// list is empty. The parallel tree build absorbs partition-local
+  /// partial tries with this, in partition order; because chains only grow
+  /// at node creation, the master's chain order after all folds equals the
+  /// sequential build's first-touch order, and each node's ts-list is the
+  /// identical database-order concatenation. Like the builders, may throw
+  /// under the "rptree.alloc" failpoint; `other` is unusable afterwards
+  /// either way.
+  void MergeAppendFrom(TsPrefixTree&& other);
+
   /// Number of live nodes, excluding the root (Lemma 2's size measure).
   size_t NodeCount() const { return live_nodes_; }
 

@@ -1,0 +1,219 @@
+#include "rpm/core/ts_block.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace rpm {
+
+namespace {
+
+inline uint64_t UnsignedGap(Timestamp prev, Timestamp cur) {
+  // Exact for sorted pairs: matches TimestampGap in core/time_gap.h.
+  return static_cast<uint64_t>(cur) - static_cast<uint64_t>(prev);
+}
+
+}  // namespace
+
+// --- Scalar reference kernels ----------------------------------------------
+
+void ComputeBreakMasksScalar(const Timestamp* ts, size_t n, uint64_t period,
+                             uint64_t* masks) {
+  const size_t gaps = n - 1;
+  std::memset(masks, 0, TsBlockWords(n) * sizeof(uint64_t));
+  for (size_t g = 0; g < gaps; ++g) {
+    if (UnsignedGap(ts[g], ts[g + 1]) > period) {
+      masks[g >> 6] |= uint64_t{1} << (g & 63);
+    }
+  }
+}
+
+void ComputeDeltasScalar(const Timestamp* ts, size_t n, uint64_t* out) {
+  const size_t gaps = n - 1;
+  for (size_t g = 0; g < gaps; ++g) {
+    out[g] = UnsignedGap(ts[g], ts[g + 1]);
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// --- SSE2 -------------------------------------------------------------------
+//
+// SSE2 has neither a 64-bit compare nor an unsigned one, so the unsigned
+// gap > period test is rebuilt from 32-bit pieces: for each qword,
+// (hi_a > hi_b) || (hi_a == hi_b && lo_a > lo_b) with the 32-bit halves
+// compared unsigned via the sign-bias trick. The subtraction itself is
+// native (psubq is SSE2) and is exactly the two's-complement unsigned
+// subtraction the scalar path performs.
+
+void ComputeBreakMasksSse2(const Timestamp* ts, size_t n, uint64_t period,
+                           uint64_t* masks) {
+  const size_t gaps = n - 1;
+  std::memset(masks, 0, TsBlockWords(n) * sizeof(uint64_t));
+  const __m128i per = _mm_set1_epi64x(static_cast<long long>(period));
+  const __m128i bias32 = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  size_t g = 0;
+  // Loads touch ts[g .. g+2]; g + 2 <= gaps keeps the last index <= n - 1.
+  for (; g + 2 <= gaps; g += 2) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts + g));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts + g + 1));
+    const __m128i d = _mm_sub_epi64(b, a);
+    // Unsigned 32-bit lane compares of d vs period.
+    const __m128i gt32 =
+        _mm_cmpgt_epi32(_mm_xor_si128(d, bias32), _mm_xor_si128(per, bias32));
+    const __m128i eq32 = _mm_cmpeq_epi32(d, per);
+    // Per qword: hi-lane gt, hi-lane eq, lo-lane gt, broadcast to the
+    // full qword, then combine.
+    const __m128i gt_hi = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(3, 3, 1, 1));
+    const __m128i eq_hi = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 1, 1));
+    const __m128i gt_lo = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(2, 2, 0, 0));
+    const __m128i brk = _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gt_lo));
+    const int bits = _mm_movemask_pd(_mm_castsi128_pd(brk));
+    masks[g >> 6] |= static_cast<uint64_t>(bits) << (g & 63);
+  }
+  for (; g < gaps; ++g) {
+    if (UnsignedGap(ts[g], ts[g + 1]) > period) {
+      masks[g >> 6] |= uint64_t{1} << (g & 63);
+    }
+  }
+}
+
+void ComputeDeltasSse2(const Timestamp* ts, size_t n, uint64_t* out) {
+  const size_t gaps = n - 1;
+  size_t g = 0;
+  for (; g + 2 <= gaps; g += 2) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts + g));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts + g + 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g),
+                     _mm_sub_epi64(b, a));
+  }
+  for (; g < gaps; ++g) {
+    out[g] = UnsignedGap(ts[g], ts[g + 1]);
+  }
+}
+
+// --- AVX2 -------------------------------------------------------------------
+//
+// AVX2 has a signed 64-bit compare (vpcmpgtq); the unsigned gap > period
+// test becomes signed by flipping the sign bit of both operands. Compiled
+// with a per-function target attribute so the translation unit itself
+// stays at the build's baseline ISA.
+
+__attribute__((target("avx2"))) void ComputeBreakMasksAvx2(
+    const Timestamp* ts, size_t n, uint64_t period, uint64_t* masks) {
+  const size_t gaps = n - 1;
+  std::memset(masks, 0, TsBlockWords(n) * sizeof(uint64_t));
+  const __m256i bias = _mm256_set1_epi64x(INT64_MIN);
+  const __m256i per_biased = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(period)), bias);
+  size_t g = 0;
+  // Loads touch ts[g .. g+4]; g + 4 <= gaps keeps the last index <= n - 1.
+  for (; g + 4 <= gaps; g += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + g));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + g + 1));
+    const __m256i d = _mm256_sub_epi64(b, a);
+    const __m256i brk =
+        _mm256_cmpgt_epi64(_mm256_xor_si256(d, bias), per_biased);
+    const int bits = _mm256_movemask_pd(_mm256_castsi256_pd(brk));
+    masks[g >> 6] |= static_cast<uint64_t>(bits) << (g & 63);
+  }
+  for (; g < gaps; ++g) {
+    if (UnsignedGap(ts[g], ts[g + 1]) > period) {
+      masks[g >> 6] |= uint64_t{1} << (g & 63);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void ComputeDeltasAvx2(const Timestamp* ts,
+                                                       size_t n,
+                                                       uint64_t* out) {
+  const size_t gaps = n - 1;
+  size_t g = 0;
+  for (; g + 4 <= gaps; g += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + g));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + g + 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + g),
+                        _mm256_sub_epi64(b, a));
+  }
+  for (; g < gaps; ++g) {
+    out[g] = UnsignedGap(ts[g], ts[g + 1]);
+  }
+}
+
+#else  // Non-x86: keep the exported symbols, forwarding to scalar.
+
+void ComputeBreakMasksSse2(const Timestamp* ts, size_t n, uint64_t period,
+                           uint64_t* masks) {
+  ComputeBreakMasksScalar(ts, n, period, masks);
+}
+
+void ComputeBreakMasksAvx2(const Timestamp* ts, size_t n, uint64_t period,
+                           uint64_t* masks) {
+  ComputeBreakMasksScalar(ts, n, period, masks);
+}
+
+void ComputeDeltasSse2(const Timestamp* ts, size_t n, uint64_t* out) {
+  ComputeDeltasScalar(ts, n, out);
+}
+
+void ComputeDeltasAvx2(const Timestamp* ts, size_t n, uint64_t* out) {
+  ComputeDeltasScalar(ts, n, out);
+}
+
+#endif
+
+// --- Dispatch ---------------------------------------------------------------
+
+namespace {
+
+using BreakMasksFn = void (*)(const Timestamp*, size_t, uint64_t, uint64_t*);
+using DeltasFn = void (*)(const Timestamp*, size_t, uint64_t*);
+
+BreakMasksFn ResolveBreakMasks() {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return ComputeBreakMasksAvx2;
+    case SimdLevel::kSse2:
+      return ComputeBreakMasksSse2;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return ComputeBreakMasksScalar;
+}
+
+DeltasFn ResolveDeltas() {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return ComputeDeltasAvx2;
+    case SimdLevel::kSse2:
+      return ComputeDeltasSse2;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return ComputeDeltasScalar;
+}
+
+}  // namespace
+
+void ComputeBreakMasks(const Timestamp* ts, size_t n, uint64_t period,
+                       uint64_t* masks) {
+  static const BreakMasksFn fn = ResolveBreakMasks();
+  fn(ts, n, period, masks);
+}
+
+void ComputeDeltas(const Timestamp* ts, size_t n, uint64_t* out) {
+  static const DeltasFn fn = ResolveDeltas();
+  fn(ts, n, out);
+}
+
+}  // namespace rpm

@@ -1,0 +1,108 @@
+// Columnar (structure-of-arrays) ts-list kernels for the mining hot path.
+//
+// Every periodicity measure reduces to one question per consecutive
+// timestamp pair: is the delta ts[g+1] - ts[g] within the period? The
+// miner's scalar loops interleave that comparison with run bookkeeping,
+// which serializes a pure data-parallel pass. These kernels split the work
+// into columns over 64-gap blocks:
+//
+//   delta column:  d[g]   = u64(ts[g+1]) - u64(ts[g])   (exact, unsigned)
+//   break column:  bit g of masks[g/64] = (d[g] > period)
+//
+// The break column is the one the gate consumes: ComputeBreakMasks fuses
+// the delta and the threshold compare into one streaming pass (no delta
+// store), emitting one bit per gap. Run segmentation then walks set bits
+// with countr_zero instead of branching per element — the measures layer
+// (measures.cc) rebuilds Erec / Algorithm-5 intervals from the masks with
+// results bit-identical to the scalar loops, because both evaluate exactly
+// the same unsigned comparison per gap (see core/time_gap.h for why
+// unsigned subtraction is exact for ordered int64 pairs; vector psubq IS
+// that unsigned subtraction).
+//
+// Each kernel exists in scalar, SSE2 and AVX2 variants; the unqualified
+// entry points dispatch once per process on CPUID (common/cpu_features.h,
+// RPM_FORCE_SCALAR=1 pins scalar). The per-level variants stay exported so
+// property tests can diff every compiled arm against scalar on one
+// machine. Vector loads never read past ts[n-1]: tails fall back to the
+// scalar loop, keeping the kernels ASan-clean by construction.
+
+#ifndef RPM_CORE_TS_BLOCK_H_
+#define RPM_CORE_TS_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rpm/common/cpu_features.h"
+#include "rpm/timeseries/types.h"
+
+namespace rpm {
+
+/// Gaps per break-mask word (the block granule of the columnar layout).
+inline constexpr size_t kTsBlockGaps = 64;
+
+/// Mask words needed for a list of `n` timestamps (n - 1 gaps).
+inline constexpr size_t TsBlockWords(size_t n) {
+  return n < 2 ? 0 : (n - 1 + kTsBlockGaps - 1) / kTsBlockGaps;
+}
+
+/// Reusable per-miner buffer for the break-mask column. Grow-only, like
+/// the other miner scratch slabs; one per worker, never shared across
+/// concurrent scans.
+struct TsBlockScratch {
+  std::vector<uint64_t> break_masks;
+
+  /// Bytes retained (feeds scratch_bytes accounting).
+  size_t ByteFootprint() const {
+    return break_masks.capacity() * sizeof(uint64_t);
+  }
+};
+
+/// Hot-path instrumentation for the vectorized gate, aggregated into
+/// RpGrowthStats by the miners. All three are schedule-invariant (they
+/// depend only on which ts-lists get scanned, which is identical across
+/// sequential and parallel runs on the same machine).
+struct GateCounters {
+  size_t lists_scanned = 0;  ///< Gate / interval scans performed.
+  size_t gaps_scanned = 0;   ///< Total timestamp gaps evaluated.
+  /// Gaps evaluated at full vector width (the rest ran in the scalar
+  /// tail or the short-list fallback). gaps_simd / gaps_scanned is the
+  /// SIMD lane-utilization figure the benches report.
+  size_t gaps_simd = 0;
+};
+
+// --- Break-mask column ------------------------------------------------------
+
+/// Fills masks[0 .. TsBlockWords(n)) for the sorted list ts[0..n): bit
+/// (g % 64) of masks[g / 64] is set iff u64(ts[g+1]) - u64(ts[g]) >
+/// period. Bits past the last gap are zero. Requires n >= 2 and ts sorted
+/// ascending (duplicates allowed: a zero delta is never a break since
+/// period >= 1). Dispatches to the best level once per process.
+void ComputeBreakMasks(const Timestamp* ts, size_t n, uint64_t period,
+                       uint64_t* masks);
+
+/// Per-level variants (identical contract). Sse2/Avx2 must only be called
+/// when HardwareSimdLevel() admits them; off x86 they are compiled as
+/// forwarding stubs to the scalar kernel so tests link everywhere.
+void ComputeBreakMasksScalar(const Timestamp* ts, size_t n, uint64_t period,
+                             uint64_t* masks);
+void ComputeBreakMasksSse2(const Timestamp* ts, size_t n, uint64_t period,
+                           uint64_t* masks);
+void ComputeBreakMasksAvx2(const Timestamp* ts, size_t n, uint64_t period,
+                           uint64_t* masks);
+
+// --- Delta column -----------------------------------------------------------
+
+/// Fills out[0 .. n-1) with the exact unsigned deltas
+/// u64(ts[g+1]) - u64(ts[g]). Requires n >= 2 and ts sorted ascending.
+/// Consumers that need Timestamp-typed inter-arrival times clamp with
+/// SaturatingGap semantics (see measures.cc InterArrivalTimes).
+void ComputeDeltas(const Timestamp* ts, size_t n, uint64_t* out);
+
+void ComputeDeltasScalar(const Timestamp* ts, size_t n, uint64_t* out);
+void ComputeDeltasSse2(const Timestamp* ts, size_t n, uint64_t* out);
+void ComputeDeltasAvx2(const Timestamp* ts, size_t n, uint64_t* out);
+
+}  // namespace rpm
+
+#endif  // RPM_CORE_TS_BLOCK_H_

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "rpm/common/cpu_features.h"
 #include "rpm/core/brute_force.h"
 #include "rpm/core/measures.h"
+#include "rpm/core/ts_block.h"
 #include "rpm/core/rp_growth.h"
 #include "rpm/core/rp_list.h"
 #include "rpm/core/streaming_rp_list.h"
@@ -144,6 +146,82 @@ void CompareInvariantStats(const RpGrowthStats& got,
               got_name, want_name);
   CompareStat("timestamps_merged", got.timestamps_merged,
               want.timestamps_merged, out, got_name, want_name);
+  CompareStat("gate_lists_scanned", got.gate_lists_scanned,
+              want.gate_lists_scanned, out, got_name, want_name);
+  CompareStat("gate_gaps_scanned", got.gate_gaps_scanned,
+              want.gate_gaps_scanned, out, got_name, want_name);
+  CompareStat("gate_gaps_simd", got.gate_gaps_simd, want.gate_gaps_simd,
+              out, got_name, want_name);
+}
+
+/// Check (e): the columnar kernels against the scalar measures, per item.
+/// Uses each item's full ts-list (the longest lists a case offers — the
+/// case generator's adversarial cases put INT64-extreme timestamps and
+/// run-boundary shapes here), comparing (i) the dispatched masked fused
+/// gate and Erec bound against the scalar loops and (ii) every compiled
+/// ComputeBreakMasks variant the hardware admits against the scalar
+/// kernel, bit for bit.
+void CheckSimd(const TransactionDatabase& db, const RpParams& params,
+               Collector* out) {
+  TsBlockScratch scratch;
+  std::vector<PeriodicInterval> masked_intervals;
+  std::vector<PeriodicInterval> scalar_intervals;
+  std::vector<uint64_t> want_masks;
+  std::vector<uint64_t> got_masks;
+  const SimdLevel hw = HardwareSimdLevel();
+  for (ItemId item = 0; item < db.ItemUniverseSize(); ++item) {
+    const TimestampList ts = db.TimestampsOf({item});
+    if (ts.empty()) continue;
+    const std::string tag = "item " + std::to_string(item);
+
+    const GateOutcome masked = ComputeGateAndIntervals(
+        ts, params, &masked_intervals, &scratch, nullptr);
+    const GateOutcome scalar =
+        ComputeGateAndIntervals(ts, params, &scalar_intervals);
+    if (masked.passes != scalar.passes ||
+        masked.recurrence_upper_bound != scalar.recurrence_upper_bound) {
+      out->Add(tag + ": gate " + std::to_string(masked.recurrence_upper_bound) +
+               (masked.passes ? " pass" : " fail") + " (masked) vs " +
+               std::to_string(scalar.recurrence_upper_bound) +
+               (scalar.passes ? " pass" : " fail") + " (scalar)");
+    }
+    if (masked_intervals != scalar_intervals) {
+      out->Add(tag + ": intervals " + IntervalsToString(masked_intervals) +
+               " (masked) vs " + IntervalsToString(scalar_intervals) +
+               " (scalar)");
+    }
+    const uint64_t masked_bound =
+        ComputeRecurrenceUpperBound(ts, params, &scratch, nullptr);
+    const uint64_t scalar_bound = ComputeRecurrenceUpperBound(ts, params);
+    if (masked_bound != scalar_bound) {
+      out->Add(tag + ": recurrence bound " + std::to_string(masked_bound) +
+               " (masked) vs " + std::to_string(scalar_bound) + " (scalar)");
+    }
+
+    if (ts.size() < 2) continue;
+    want_masks.assign(TsBlockWords(ts.size()), ~uint64_t{0});
+    ComputeBreakMasksScalar(ts.data(), ts.size(),
+                            static_cast<uint64_t>(params.period),
+                            want_masks.data());
+    const struct {
+      const char* name;
+      SimdLevel level;
+      void (*fn)(const Timestamp*, size_t, uint64_t, uint64_t*);
+    } variants[] = {
+        {"sse2", SimdLevel::kSse2, ComputeBreakMasksSse2},
+        {"avx2", SimdLevel::kAvx2, ComputeBreakMasksAvx2},
+    };
+    for (const auto& variant : variants) {
+      if (hw < variant.level) continue;
+      got_masks.assign(want_masks.size(), ~uint64_t{0});
+      variant.fn(ts.data(), ts.size(), static_cast<uint64_t>(params.period),
+                 got_masks.data());
+      if (got_masks != want_masks) {
+        out->Add(tag + ": break masks diverge between scalar and " +
+                 variant.name + " kernels");
+      }
+    }
+  }
 }
 
 void CheckStreaming(const TransactionDatabase& db, const RpParams& params,
@@ -324,6 +402,11 @@ std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
   if (options.check_engine) {
     Collector out("engine", options.max_divergences_per_check, &divergences);
     CheckEngine(db, params, seq, options, &out);
+  }
+
+  if (options.check_simd) {
+    Collector out("simd", options.max_divergences_per_check, &divergences);
+    CheckSimd(db, params, &out);
   }
 
   return divergences;

@@ -21,6 +21,16 @@
 //                     counters), plus the planner's loose->strict tree
 //                     reuse vs a fresh stricter run — reused results must
 //                     be bit-identical and reuse must actually trigger.
+//   (e) simd        — the columnar gate kernels (core/ts_block.h) vs the
+//                     scalar measures on every item's ts-list: the
+//                     dispatched masked ComputeGateAndIntervals /
+//                     ComputeRecurrenceUpperBound against the scalar
+//                     loops, and every compiled ComputeBreakMasks variant
+//                     the hardware admits against the scalar kernel.
+//
+// The parallel run of check (b) builds its RP-tree through the
+// partitioned parallel build, so (b) also differentially validates
+// parallel-vs-sequential tree construction on every case.
 //
 // The sequential miner is injectable so harness tests can plant a known
 // bug (e.g. an off-by-one on interval ends) and assert the checks catch
@@ -41,8 +51,8 @@ namespace rpm::verify {
 
 /// One observed disagreement between two implementations.
 struct Divergence {
-  /// Which cross-check noticed it: "oracle", "parallel", "streaming" or
-  /// "engine".
+  /// Which cross-check noticed it: "oracle", "parallel", "streaming",
+  /// "engine" or "simd".
   std::string check;
   /// Human-readable description, e.g.
   ///   "pattern {0 2}: support 5 (rp-growth) vs 6 (oracle)".
@@ -58,6 +68,7 @@ struct CrossCheckOptions {
   bool check_parallel = true;
   bool check_streaming = true;
   bool check_engine = true;
+  bool check_simd = true;
   /// Worker threads for the parallel run of check (b).
   size_t parallel_threads = 4;
   /// When set, replaces sequential RP-growth as the subject of checks (a)

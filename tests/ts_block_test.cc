@@ -1,0 +1,259 @@
+// Property tests for the columnar ts-list kernels (core/ts_block.h) and
+// the masked measures overloads (core/measures.h): every compiled kernel
+// variant and the masked fused gate must be bit-identical to the scalar
+// reference on randomized and adversarial inputs.
+
+#include "rpm/core/ts_block.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rpm/common/cpu_features.h"
+#include "rpm/common/random.h"
+#include "rpm/core/measures.h"
+#include "rpm/core/time_gap.h"
+
+namespace rpm {
+namespace {
+
+constexpr Timestamp kMin = std::numeric_limits<Timestamp>::min();
+constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+
+/// Sorted ascending list of `n` timestamps with gaps drawn around
+/// `period` so break bits are a real mix (not all-zero / all-one).
+/// Duplicates allowed when `dupes` is set (a zero gap is never a break).
+TimestampList RandomSortedList(Rng* rng, size_t n, uint64_t period,
+                               bool dupes) {
+  TimestampList ts;
+  ts.reserve(n);
+  Timestamp cur = static_cast<Timestamp>(rng->NextInt64(-1000000, 1000000));
+  for (size_t i = 0; i < n; ++i) {
+    ts.push_back(cur);
+    uint64_t gap = rng->NextUint64(2 * period + 2);
+    if (!dupes && gap == 0) gap = 1;
+    cur = static_cast<Timestamp>(static_cast<uint64_t>(cur) + gap);
+  }
+  return ts;
+}
+
+/// Bit-for-bit expectation straight from the scalar gap helpers.
+std::vector<uint64_t> ReferenceMasks(const TimestampList& ts,
+                                     uint64_t period) {
+  std::vector<uint64_t> masks(TsBlockWords(ts.size()), 0);
+  for (size_t g = 0; g + 1 < ts.size(); ++g) {
+    if (TimestampGap(ts[g], ts[g + 1]) > period) {
+      masks[g >> 6] |= uint64_t{1} << (g & 63);
+    }
+  }
+  return masks;
+}
+
+/// Runs every compiled variant the hardware admits (plus the dispatched
+/// entry point) against the reference, with poisoned output buffers so
+/// unwritten words and stale trailing bits get caught.
+void ExpectAllVariantsMatch(const TimestampList& ts, uint64_t period) {
+  ASSERT_GE(ts.size(), 2u);
+  const std::vector<uint64_t> want = ReferenceMasks(ts, period);
+  const SimdLevel hw = HardwareSimdLevel();
+  struct Variant {
+    const char* name;
+    SimdLevel level;
+    void (*fn)(const Timestamp*, size_t, uint64_t, uint64_t*);
+  };
+  const Variant variants[] = {
+      {"scalar", SimdLevel::kScalar, ComputeBreakMasksScalar},
+      {"sse2", SimdLevel::kSse2, ComputeBreakMasksSse2},
+      {"avx2", SimdLevel::kAvx2, ComputeBreakMasksAvx2},
+      {"dispatched", SimdLevel::kScalar, ComputeBreakMasks},
+  };
+  for (const Variant& v : variants) {
+    if (hw < v.level) continue;
+    std::vector<uint64_t> got(want.size(), ~uint64_t{0});
+    v.fn(ts.data(), ts.size(), period, got.data());
+    EXPECT_EQ(got, want) << v.name << " kernel, n=" << ts.size()
+                         << " period=" << period;
+  }
+}
+
+TEST(TsBlockTest, WordArithmetic) {
+  EXPECT_EQ(TsBlockWords(0), 0u);
+  EXPECT_EQ(TsBlockWords(1), 0u);
+  EXPECT_EQ(TsBlockWords(2), 1u);
+  EXPECT_EQ(TsBlockWords(65), 1u);   // 64 gaps.
+  EXPECT_EQ(TsBlockWords(66), 2u);   // 65 gaps.
+  EXPECT_EQ(TsBlockWords(129), 2u);  // 128 gaps.
+  EXPECT_EQ(TsBlockWords(130), 3u);
+}
+
+TEST(TsBlockTest, BreakMasksMatchScalarOnRandomLists) {
+  Rng rng(20260808);
+  // Lengths straddle every boundary the kernels care about: vector-lane
+  // tails (±1 around multiples of 2 and 4) and mask-word edges (64/65).
+  const size_t lengths[] = {2,  3,  4,  5,  7,  8,   9,   31,  32, 33,
+                            63, 64, 65, 66, 96, 127, 128, 129, 257};
+  const uint64_t periods[] = {1, 2, 3, 7, 100};
+  for (size_t n : lengths) {
+    for (uint64_t period : periods) {
+      for (bool dupes : {false, true}) {
+        ExpectAllVariantsMatch(RandomSortedList(&rng, n, period, dupes),
+                               period);
+      }
+    }
+  }
+}
+
+TEST(TsBlockTest, BreakMasksAdversarialExtremes) {
+  // Timestamps straddling most of the int64 range: the gaps overflow
+  // int64 (the PR 3 UB class) and must still compare correctly as u64.
+  const TimestampList straddle = {kMin, kMin + 1, -2, 0, 1,
+                                  kMax - 3, kMax - 1, kMax};
+  for (uint64_t period :
+       {uint64_t{1}, uint64_t{1000}, static_cast<uint64_t>(kMax)}) {
+    ExpectAllVariantsMatch(straddle, period);
+  }
+  // All gaps equal the period exactly: <= is not <, so no breaks.
+  TimestampList exact;
+  for (int i = 0; i < 130; ++i) exact.push_back(static_cast<Timestamp>(7 * i));
+  ExpectAllVariantsMatch(exact, 7);
+  std::vector<uint64_t> masks(TsBlockWords(exact.size()), ~uint64_t{0});
+  ComputeBreakMasks(exact.data(), exact.size(), 7, masks.data());
+  for (uint64_t word : masks) EXPECT_EQ(word, 0u);
+  // Gaps of period + 1 everywhere: every gap breaks, and the bits past
+  // the last gap must still be zero.
+  TimestampList broken;
+  for (int i = 0; i < 100; ++i) broken.push_back(static_cast<Timestamp>(8 * i));
+  ComputeBreakMasks(broken.data(), broken.size(), 7, masks.data());
+  ASSERT_EQ(TsBlockWords(broken.size()), 2u);
+  EXPECT_EQ(masks[0], ~uint64_t{0});
+  EXPECT_EQ(masks[1], (uint64_t{1} << 35) - 1);  // 99 gaps: bits 64..98.
+}
+
+TEST(TsBlockTest, DeltasMatchScalar) {
+  Rng rng(77);
+  const SimdLevel hw = HardwareSimdLevel();
+  for (size_t n : {2u, 5u, 64u, 65u, 200u}) {
+    const TimestampList ts = RandomSortedList(&rng, n, 10, true);
+    std::vector<uint64_t> want(n - 1);
+    for (size_t g = 0; g + 1 < n; ++g) want[g] = TimestampGap(ts[g], ts[g + 1]);
+    std::vector<uint64_t> got(n - 1, ~uint64_t{0});
+    ComputeDeltasScalar(ts.data(), n, got.data());
+    EXPECT_EQ(got, want);
+    if (hw >= SimdLevel::kSse2) {
+      got.assign(n - 1, ~uint64_t{0});
+      ComputeDeltasSse2(ts.data(), n, got.data());
+      EXPECT_EQ(got, want);
+    }
+    if (hw >= SimdLevel::kAvx2) {
+      got.assign(n - 1, ~uint64_t{0});
+      ComputeDeltasAvx2(ts.data(), n, got.data());
+      EXPECT_EQ(got, want);
+    }
+    got.assign(n - 1, ~uint64_t{0});
+    ComputeDeltas(ts.data(), n, got.data());
+    EXPECT_EQ(got, want);
+  }
+}
+
+/// The masked fused gate against the scalar one, exact and tolerant
+/// models, across the crossover threshold in both directions.
+TEST(TsBlockTest, MaskedGateMatchesScalarGate) {
+  Rng rng(424242);
+  TsBlockScratch scratch;
+  std::vector<PeriodicInterval> masked;
+  std::vector<PeriodicInterval> scalar;
+  for (size_t n : {1u, 2u, 16u, 31u, 32u, 33u, 64u, 65u, 127u, 300u}) {
+    for (uint64_t period : {uint64_t{1}, uint64_t{3}, uint64_t{9}}) {
+      for (uint32_t tolerance : {0u, 1u, 3u}) {
+        for (int rep = 0; rep < 8; ++rep) {
+          TimestampList ts = RandomSortedList(&rng, n, period, false);
+          RpParams params;
+          params.period = static_cast<Timestamp>(period);
+          params.min_ps = 1 + rng.NextUint64(4);
+          params.min_rec = 1 + rng.NextUint64(3);
+          params.max_gap_violations = tolerance;
+          const GateOutcome m =
+              ComputeGateAndIntervals(ts, params, &masked, &scratch, nullptr);
+          const GateOutcome s = ComputeGateAndIntervals(ts, params, &scalar);
+          EXPECT_EQ(m.passes, s.passes);
+          EXPECT_EQ(m.recurrence_upper_bound, s.recurrence_upper_bound);
+          EXPECT_EQ(masked, scalar)
+              << "n=" << n << " per=" << period << " tol=" << tolerance
+              << " minPS=" << params.min_ps << " minRec=" << params.min_rec;
+          EXPECT_EQ(ComputeRecurrenceUpperBound(ts, params, &scratch, nullptr),
+                    ComputeRecurrenceUpperBound(ts, params));
+        }
+      }
+    }
+  }
+}
+
+TEST(TsBlockTest, MaskedGateAdversarialExtremes) {
+  TsBlockScratch scratch;
+  std::vector<PeriodicInterval> masked;
+  std::vector<PeriodicInterval> scalar;
+  // Long straddling list: alternating tight runs and int64-overflowing
+  // gaps, crossing the masked-path threshold so the kernels really run.
+  TimestampList ts;
+  Timestamp cur = kMin;
+  for (int run = 0; run < 10; ++run) {
+    for (int i = 0; i < 7; ++i) {
+      ts.push_back(cur);
+      cur += 2;
+    }
+    // Jump across a tenth of the u64 span (cannot be <= any valid period).
+    cur = static_cast<Timestamp>(static_cast<uint64_t>(cur) +
+                                 (~uint64_t{0} / 12));
+  }
+  for (uint64_t min_ps : {uint64_t{1}, uint64_t{7}, uint64_t{8}}) {
+    for (uint32_t tolerance : {0u, 2u}) {
+      RpParams params;
+      params.period = 2;
+      params.min_ps = min_ps;
+      params.min_rec = 1;
+      params.max_gap_violations = tolerance;
+      const GateOutcome m =
+          ComputeGateAndIntervals(ts, params, &masked, &scratch, nullptr);
+      const GateOutcome s = ComputeGateAndIntervals(ts, params, &scalar);
+      EXPECT_EQ(m.passes, s.passes);
+      EXPECT_EQ(m.recurrence_upper_bound, s.recurrence_upper_bound);
+      EXPECT_EQ(masked, scalar) << "minPS=" << min_ps << " tol=" << tolerance;
+    }
+  }
+}
+
+TEST(TsBlockTest, GateCountersAccountScans) {
+  TsBlockScratch scratch;
+  GateCounters counters;
+  std::vector<PeriodicInterval> intervals;
+  RpParams params;
+  params.period = 3;
+  params.min_ps = 2;
+  params.min_rec = 1;
+  Rng rng(5);
+  const TimestampList long_list = RandomSortedList(&rng, 201, 3, false);
+  ComputeGateAndIntervals(long_list, params, &intervals, &scratch, &counters);
+  EXPECT_EQ(counters.lists_scanned, 1u);
+  EXPECT_EQ(counters.gaps_scanned, 200u);
+  const size_t lanes = static_cast<size_t>(SimdGapLanes(ActiveSimdLevel()));
+  EXPECT_EQ(counters.gaps_simd, lanes <= 1 ? 0u : 200 / lanes * lanes);
+  // Short lists fall back to the scalar loop but still count the volume.
+  const TimestampList short_list = RandomSortedList(&rng, 10, 3, false);
+  ComputeGateAndIntervals(short_list, params, &intervals, &scratch, &counters);
+  EXPECT_EQ(counters.lists_scanned, 2u);
+  EXPECT_EQ(counters.gaps_scanned, 209u);
+  EXPECT_EQ(counters.gaps_simd, lanes <= 1 ? 0u : 200 / lanes * lanes);
+}
+
+TEST(TsBlockTest, ScratchFootprintTracksCapacity) {
+  TsBlockScratch scratch;
+  EXPECT_EQ(scratch.ByteFootprint(), 0u);
+  scratch.break_masks.resize(16);
+  EXPECT_GE(scratch.ByteFootprint(), 16 * sizeof(uint64_t));
+}
+
+}  // namespace
+}  // namespace rpm
