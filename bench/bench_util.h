@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -88,6 +89,24 @@ inline std::string FracLabel(double frac) {
 // bench_runs/*.txt); JsonRecords adds a structured twin (BENCH_*.json)
 // that scripts can diff across runs without scraping the tables.
 
+// The build stamps every bench binary with the git commit it was built
+// from (bench/CMakeLists.txt passes -DRPM_GIT_COMMIT=<short-hash> at
+// configure time); out-of-git builds fall back to "unknown".
+#ifndef RPM_GIT_COMMIT
+#define RPM_GIT_COMMIT "unknown"
+#endif
+
+/// UTC wall-clock in ISO 8601 ("2026-08-08T14:03:07Z"), for provenance
+/// stamps in bench reports.
+inline std::string IsoTimestampUtc() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
 inline std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -112,10 +131,12 @@ inline std::string JsonEscape(const std::string& s) {
 
 /// Flat array-of-records JSON document builder for bench reports:
 /// {"bench": <name>, "scale": <s>, "hardware_concurrency": <hw>,
-///  "simd_level": <active dispatch level>, "records": [{...}, ...]}.
-/// The two host fields make snapshots self-describing: a diff tool can
+///  "simd_level": <active dispatch level>, "git_commit": <build commit>,
+///  "generated_at": <ISO UTC>, "records": [{...}, ...]}.
+/// The host fields make snapshots self-describing: a diff tool can
 /// refuse to compare runs from machines with different core counts or a
-/// forced-scalar run against a vectorized one.
+/// forced-scalar run against a vectorized one, and the provenance pair
+/// answers "which build produced this file, when" long after the run.
 /// Values are rendered on Add, so records may mix field sets freely
 /// (they shouldn't — keep them uniform for easy loading).
 class JsonRecords {
@@ -155,6 +176,10 @@ class JsonRecords {
     out += std::to_string(std::thread::hardware_concurrency());
     out += ",\n  \"simd_level\": \"";
     out += rpm::SimdLevelName(rpm::ActiveSimdLevel());
+    out += "\",\n  \"git_commit\": \"";
+    out += JsonEscape(RPM_GIT_COMMIT);
+    out += "\",\n  \"generated_at\": \"";
+    out += JsonEscape(IsoTimestampUtc());
     out += "\",\n  \"records\": [\n";
     for (size_t r = 0; r < records_.size(); ++r) {
       out += "    {";

@@ -13,9 +13,10 @@
 # (RPM_BENCH_SCALE set via the ctest "perf" label's environment) and
 # validates the JSON report it writes — catching both perf-pipeline rot
 # and cross-thread determinism violations, which the bench exits 1 on.
-# Stage 3b then diffs that report against the committed smoke-scale
-# snapshot with scripts/bench_compare.py (>10% per-stage regressions and
-# any schedule-invariant counter drift are reported; non-fatal).
+# Stage 3b then diffs the hot-path and incremental reports against the
+# committed smoke-scale snapshots with scripts/bench_compare.py (>10%
+# per-stage regressions and any schedule-invariant counter drift are
+# reported; non-fatal) after running the comparer's fatal --selftest.
 #
 # The harness stages run the differential correctness harness
 # (`rpminer verify`, DESIGN.md §5b): a bounded smoke pass on the release
@@ -40,9 +41,15 @@ cmake --build build -j"${JOBS}"
 echo "== stage 2: query-engine suite (engine label) =="
 (cd build && ctest --output-on-failure -L engine -LE perf)
 
+echo "== stage 2b: incremental windowed suite (incremental label) =="
+# The windowed-miner unit tests plus the windowed ts-list coverage, named
+# in the output so sliding-window regressions don't hide in stage 1.
+(cd build && ctest --output-on-failure -L incremental -LE perf)
+
 echo "== stage 3: bench smoke (hot-path kernel + engine reuse, perf label) =="
 (cd build && ctest --output-on-failure -L perf)
-for report in BENCH_hotpath.json BENCH_engine_reuse.json; do
+for report in BENCH_hotpath.json BENCH_engine_reuse.json \
+              BENCH_incremental.json; do
   if command -v python3 >/dev/null 2>&1; then
     python3 -m json.tool "build/${report}" >/dev/null \
       && echo "${report}: valid JSON"
@@ -58,13 +65,20 @@ echo "== stage 3b: bench regression gate (non-fatal, >10% per-stage) =="
 # drift is correctness; time regressions on a shared CI box are mostly
 # noise, so this stage reports without failing the build. Re-run with
 # --fail-on-regression locally when chasing a perf change.
-if command -v python3 >/dev/null 2>&1 && \
-   [[ -f bench_runs/smoke/BENCH_hotpath.json ]]; then
-  python3 scripts/bench_compare.py \
-    bench_runs/smoke/BENCH_hotpath.json build/BENCH_hotpath.json \
-    || echo "bench_compare: regression reported (non-fatal)"
+if command -v python3 >/dev/null 2>&1; then
+  # The comparer's own contract checks are cheap and fatal.
+  python3 scripts/bench_compare.py --selftest
+  for report in BENCH_hotpath.json BENCH_incremental.json; do
+    if [[ -f "bench_runs/smoke/${report}" ]]; then
+      python3 scripts/bench_compare.py \
+        "bench_runs/smoke/${report}" "build/${report}" \
+        || echo "bench_compare: regression reported (non-fatal)"
+    else
+      echo "bench_compare: ${report} skipped (smoke snapshot missing)"
+    fi
+  done
 else
-  echo "bench_compare: skipped (python3 or smoke snapshot missing)"
+  echo "bench_compare: skipped (python3 missing)"
 fi
 
 echo "== stage 4: differential harness smoke =="
@@ -88,12 +102,15 @@ echo "== stage 6: ThreadSanitizer on the parallel miner + query engine =="
 cmake -B build-tsan -S . -DRPM_SANITIZE=thread \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test \
-      engine_test governance_test rpminer
+      engine_test governance_test windowed_miner_test rpminer
 ./build-tsan/tests/rp_growth_parallel_test
 # Concurrent QuerySession::Run over one shared snapshot/planner.
 ./build-tsan/tests/engine_test
 # Budget checkpoints and prefix-commit truncation under TSan.
 ./build-tsan/tests/governance_test
+# Windowed maintenance (single-threaded by contract, but its budget
+# cancellation test crosses threads through the token).
+./build-tsan/tests/windowed_miner_test
 # Fault campaign under TSan: injected faults fire from worker threads.
 ./build-tsan/src/rpminer verify --faults=200 --seed=7
 

@@ -129,6 +129,61 @@ void TsPrefixTree::MergeAppendFrom(TsPrefixTree&& other) {
   other.timestamp_count_ = 0;
 }
 
+TsPrefixTree::RetireStats TsPrefixTree::RetireBefore(Timestamp cutoff) {
+  RetireStats stats;
+  // Pass 1: filter expired timestamps out of every chained node's list.
+  // std::remove_if keeps relative order, so a concatenation of sorted
+  // runs stays one (each run just loses a prefix-or-scattered subset that
+  // was < cutoff; what survives of any sorted run is still sorted).
+  for (size_t rank = 0; rank < heads_.size(); ++rank) {
+    for (Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
+      if (n->ts_list.empty()) continue;
+      const size_t before = n->ts_list.size();
+      n->ts_list.erase(
+          std::remove_if(n->ts_list.begin(), n->ts_list.end(),
+                         [cutoff](Timestamp t) { return t < cutoff; }),
+          n->ts_list.end());
+      stats.timestamps_retired += before - n->ts_list.size();
+    }
+  }
+  timestamp_count_ -= stats.timestamps_retired;
+  // Pass 2: detach empty leaves, deepest ranks first. Children always
+  // carry a strictly higher rank than their parent (paths are ascending),
+  // so a prefix node whose entire subtree expired is itself a childless
+  // empty node by the time its rank is swept. Chains are rebuilt keeping
+  // the survivors' original order.
+  for (size_t rank = heads_.size(); rank-- > 0;) {
+    Node* new_head = nullptr;
+    Node* new_tail = nullptr;
+    for (Node* n = heads_[rank]; n != nullptr;) {
+      Node* next = n->next_link;
+      if (n->ts_list.empty() && n->first_child == nullptr) {
+        n->ts_list.shrink_to_fit();
+        Node** slot = &n->parent->first_child;
+        while (*slot != n) {
+          RPM_DCHECK(*slot != nullptr);
+          slot = &(*slot)->next_sibling;
+        }
+        *slot = n->next_sibling;
+        --live_nodes_;
+        ++stats.nodes_retired;
+      } else {
+        n->next_link = nullptr;
+        if (new_tail == nullptr) {
+          new_head = n;
+        } else {
+          new_tail->next_link = n;
+        }
+        new_tail = n;
+      }
+      n = next;
+    }
+    heads_[rank] = new_head;
+    chain_tails_[rank] = new_tail;
+  }
+  return stats;
+}
+
 void TsPrefixTree::PushUpAndRemove(size_t rank) {
   for (Node* n = heads_[rank]; n != nullptr; n = n->next_link) {
     RPM_DCHECK(n->first_child == nullptr)

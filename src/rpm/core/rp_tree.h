@@ -138,6 +138,24 @@ class TsPrefixTree {
   /// either way.
   void MergeAppendFrom(TsPrefixTree&& other);
 
+  /// Outcome of a RetireBefore sweep.
+  struct RetireStats {
+    size_t timestamps_retired = 0;
+    size_t nodes_retired = 0;
+  };
+
+  /// Retires every timestamp < `cutoff` from all ts-lists, then detaches
+  /// nodes left with no timestamps and no live children — the lazy
+  /// expiry sweep of the windowed miner (DESIGN.md §9). Filtering keeps
+  /// relative order, so each surviving list is still a concatenation of
+  /// sorted runs and node-link chains keep their original order (the
+  /// determinism contract of Clone/MergeAppendFrom). Like PushUpAndRemove,
+  /// retired nodes stay in the arena until the tree dies; the windowed
+  /// miner's per-delta trees are transient, so the slabs are reclaimed at
+  /// the end of every delta, and long-lived trees are rebuilt by its
+  /// compaction policy instead of being retired in place forever.
+  RetireStats RetireBefore(Timestamp cutoff);
+
   /// Number of live nodes, excluding the root (Lemma 2's size measure).
   size_t NodeCount() const { return live_nodes_; }
 

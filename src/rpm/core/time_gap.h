@@ -50,6 +50,22 @@ inline Timestamp SaturatingGap(Timestamp prev, Timestamp cur) {
                    : static_cast<Timestamp>(gap);
 }
 
+/// The inclusive start of the sliding window [now - window, now],
+/// saturating at the Timestamp minimum. Precondition: window >= 0. The
+/// naive `now - window` is undefined behaviour when `now` sits near
+/// INT64_MIN; saturation gives the only sensible reading — a window wider
+/// than the remaining timestamp range retires nothing, i.e. behaves as
+/// unbounded. Shared by WindowedRpList, WindowedMiner and the engine's
+/// windowed executor so every layer agrees on the cutoff bit-for-bit.
+inline Timestamp SaturatingWindowStart(Timestamp now, Timestamp window) {
+  if (TimestampGap(std::numeric_limits<Timestamp>::min(), now) <
+      static_cast<uint64_t>(window)) {
+    return std::numeric_limits<Timestamp>::min();
+  }
+  return static_cast<Timestamp>(static_cast<uint64_t>(now) -
+                                static_cast<uint64_t>(window));
+}
+
 }  // namespace rpm
 
 #endif  // RPM_CORE_TIME_GAP_H_

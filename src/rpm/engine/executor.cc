@@ -13,6 +13,7 @@
 #include "rpm/core/rp_list.h"
 #include "rpm/core/streaming_rp_list.h"
 #include "rpm/core/top_k.h"
+#include "rpm/core/windowed_miner.h"
 
 namespace rpm::engine {
 
@@ -290,6 +291,92 @@ class StreamingExecutor : public Executor {
   }
 };
 
+/// Replays the snapshot in delta-sized batches through the incremental
+/// sliding-window miner and reports the final live window's committed
+/// set. On a budget stop mid-stream, the committed set of the prefix of
+/// completed deltas IS the deterministic truncated result — the
+/// transactional semantics of WindowedMiner::ApplyDelta (DESIGN.md §9).
+class WindowedExecutor : public Executor {
+ public:
+  const char* name() const override {
+    return BackendName(BackendKind::kWindowed);
+  }
+
+  Result<QueryResult> Execute(QueryPlanner& planner, const Query& query,
+                              const ExecOptions&) const override {
+    RPM_RETURN_NOT_OK(query.Validate());
+    if (query.window <= 0) {
+      return Status::InvalidArgument(
+          "windowed backend requires --window > 0 (the sliding-window "
+          "width in time units)");
+    }
+    if (query.params.max_gap_violations > 0) {
+      return Status::InvalidArgument(
+          "windowed backend implements the exact model only "
+          "(--tolerance must be 0)");
+    }
+    if (query.top_k > 0) {
+      return Status::InvalidArgument(
+          "windowed backend does not support top-k queries");
+    }
+    if (query.limits.max_patterns > 0) {
+      return Status::InvalidArgument(
+          "windowed backend does not support max-patterns (a capped "
+          "sub-mine would corrupt the per-delta diffs)");
+    }
+    if (!query.store_patterns) {
+      return Status::InvalidArgument(
+          "windowed backend maintains the committed pattern set; "
+          "store_patterns=false is not supported");
+    }
+    Stopwatch total;
+    QueryResult out;
+    out.backend = name();
+    const TransactionDatabase& db = planner.snapshot().db();
+    std::unique_ptr<QueryBudget> budget_storage = MakeBudget(query);
+    QueryBudget* budget = budget_storage.get();
+
+    try {
+      WindowedMinerOptions miner_options;
+      miner_options.max_pattern_length = query.max_pattern_length;
+      WindowedMiner miner(query.params, query.window, miner_options);
+      const size_t delta = query.delta == 0
+                               ? std::max<size_t>(db.size(), 1)
+                               : static_cast<size_t>(query.delta);
+      Stopwatch exec_clock;
+      const std::vector<Transaction>& txns = db.transactions();
+      for (size_t offset = 0; offset < txns.size(); offset += delta) {
+        const size_t end = std::min(txns.size(), offset + delta);
+        std::vector<Transaction> batch(txns.begin() + offset,
+                                       txns.begin() + end);
+        PatternDelta pd = miner.ApplyDelta(batch, budget);
+        if (!pd.applied) {
+          // Refused delta: the miner still holds the committed prefix.
+          out.truncated = true;
+          if (!pd.status.ok() && budget == nullptr) out.status = pd.status;
+          break;
+        }
+        if (query.sink) {
+          for (const RecurringPattern& p : pd.added) query.sink(p);
+        }
+      }
+      out.patterns = miner.patterns();
+      out.stats = miner.mining_stats();
+      out.windowed = miner.counters();
+      ApplyFilters(db, query, &out.patterns);
+      out.execute_seconds = exec_clock.ElapsedSeconds();
+    } catch (...) {
+      AbsorbException(&out);
+    }
+
+    FinishGoverned(budget, &out);
+    out.session_tree_builds = planner.tree_builds();
+    out.total_seconds = total.ElapsedSeconds();
+    out.stats.total_seconds = out.total_seconds;
+    return out;
+  }
+};
+
 }  // namespace
 
 const char* BackendName(BackendKind kind) {
@@ -300,6 +387,8 @@ const char* BackendName(BackendKind kind) {
       return "parallel";
     case BackendKind::kStreaming:
       return "streaming";
+    case BackendKind::kWindowed:
+      return "windowed";
   }
   return "unknown";
 }
@@ -308,20 +397,24 @@ Result<BackendKind> ParseBackend(const std::string& name) {
   if (name == "sequential") return BackendKind::kSequential;
   if (name == "parallel") return BackendKind::kParallel;
   if (name == "streaming") return BackendKind::kStreaming;
+  if (name == "windowed") return BackendKind::kWindowed;
   return Status::InvalidArgument(
       "unknown backend '" + name +
-      "' (expected sequential, parallel or streaming)");
+      "' (expected sequential, parallel, streaming or windowed)");
 }
 
 const Executor& GetExecutor(BackendKind kind) {
   static const SequentialExecutor sequential;
   static const ParallelExecutor parallel;
   static const StreamingExecutor streaming;
+  static const WindowedExecutor windowed;
   switch (kind) {
     case BackendKind::kParallel:
       return parallel;
     case BackendKind::kStreaming:
       return streaming;
+    case BackendKind::kWindowed:
+      return windowed;
     case BackendKind::kSequential:
       break;
   }

@@ -10,6 +10,14 @@
 //                schedule-invariant counters match sequential exactly.
 //   streaming  — RP-list replaced by incremental StreamingRpList
 //                ingestion; exact model only (tolerance=0, no top-k).
+//   windowed   — the snapshot replayed in Query::delta-sized batches
+//                through the incremental sliding-window miner
+//                (core/windowed_miner.h); the result is the final live
+//                window's committed pattern set. Exact model only, no
+//                top-k / max-patterns / sinkless runs; requires
+//                Query::window > 0. `sink`, when set, receives every
+//                per-delta *added* pattern in delta order — the
+//                dashboard-diff consumption model.
 
 #ifndef RPM_ENGINE_EXECUTOR_H_
 #define RPM_ENGINE_EXECUTOR_H_
@@ -23,9 +31,9 @@
 
 namespace rpm::engine {
 
-enum class BackendKind { kSequential, kParallel, kStreaming };
+enum class BackendKind { kSequential, kParallel, kStreaming, kWindowed };
 
-/// "sequential" / "parallel" / "streaming".
+/// "sequential" / "parallel" / "streaming" / "windowed".
 const char* BackendName(BackendKind kind);
 
 /// Inverse of BackendName; InvalidArgument on anything else.

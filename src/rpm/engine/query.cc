@@ -14,6 +14,14 @@ Status Query::Validate() const {
         "max_patterns is incompatible with top-k (the descent already "
         "bounds the result; a mid-descent cap would corrupt selection)");
   }
+  if (window < 0) {
+    return Status::InvalidArgument("window must be >= 0 (time units)");
+  }
+  if (delta > 0 && window == 0) {
+    return Status::InvalidArgument(
+        "delta requires a window (--window > 0 selects the sliding-window "
+        "model)");
+  }
   return Status::OK();
 }
 
@@ -30,6 +38,10 @@ std::string Query::ToString() const {
   }
   if (max_pattern_length > 0) {
     s += " max-length=" + std::to_string(max_pattern_length);
+  }
+  if (window > 0) {
+    s += " window=" + std::to_string(window);
+    if (delta > 0) s += " delta=" + std::to_string(delta);
   }
   if (closed) s += " closed";
   if (maximal) s += " maximal";

@@ -20,6 +20,7 @@
 #include "rpm/core/mining_params.h"
 #include "rpm/core/pattern.h"
 #include "rpm/core/rp_growth.h"
+#include "rpm/core/windowed_miner.h"
 
 namespace rpm::engine {
 
@@ -54,6 +55,14 @@ struct Query {
   /// null; must outlive the query execution. Cancelling stops the query
   /// within one checkpoint interval with StatusCode::kCancelled.
   const CancellationToken* cancel = nullptr;
+  /// Windowed backend only: width of the sliding window [now - W, now]
+  /// in time units. Must be > 0 for --backend=windowed (and is ignored
+  /// by the other backends). See executor.h / DESIGN.md §9.
+  Timestamp window = 0;
+  /// Windowed backend only: transactions per incremental delta when the
+  /// snapshot is replayed through the windowed miner. 0 = the whole
+  /// snapshot as one delta.
+  uint64_t delta = 0;
 
   /// OK iff params validate and the flag combination is coherent.
   Status Validate() const;
@@ -105,6 +114,9 @@ struct QueryResult {
   /// Budget accounting, populated whenever the query ran with limits or a
   /// cancellation token (all-zero otherwise).
   ResourceUsage resource_usage;
+  /// Windowed-backend maintenance counters (all-zero for the other
+  /// backends). Schedule-invariant like the stats counters.
+  WindowedCounters windowed;
 };
 
 }  // namespace rpm::engine

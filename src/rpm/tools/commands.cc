@@ -117,6 +117,13 @@ void PrintMineSummary(const Query& query, const QueryResult& result,
         << result.stats.tree_merge_seconds << "s]";
   }
   if (result.tree_reused) err << " [tree reused]";
+  if (result.backend == "windowed") {
+    err << " [windowed " << result.windowed.deltas_applied << " deltas / "
+        << result.windowed.timestamps_appended << " appended / "
+        << result.windowed.timestamps_retired << " retired / "
+        << result.windowed.nodes_retired << " nodes retired / "
+        << result.windowed.compactions << " compactions]";
+  }
   err << "\n";
 }
 
@@ -244,7 +251,7 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
                    "1 = sequential); results are identical either way",
                    &threads);
   parser.AddString("backend", "",
-                   "executor: sequential|parallel|streaming "
+                   "executor: sequential|parallel|streaming|windowed "
                    "(default: sequential, parallel when --threads != 1)",
                    &backend_name);
   parser.AddString("queries", "",
@@ -627,7 +634,7 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   uint64_t cases = 200, seed = 7, threads = 4, max_failures = 5;
   uint64_t faults = 0, fault_ppm = 20000;
   bool no_oracle = false, no_parallel = false, no_streaming = false;
-  bool no_engine = false, fixed_params = false;
+  bool no_engine = false, no_windowed = false, fixed_params = false;
   MiningQueryFlags mining;
   parser.AddUint64("cases", 200, "number of generated cases", &cases);
   parser.AddUint64("seed", 7, "case-stream seed (reproducible)", &seed);
@@ -652,6 +659,9 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
                  "skip the streaming-vs-batch RP-list check", &no_streaming);
   parser.AddBool("no-engine", false,
                  "skip the query-engine purity/reuse check", &no_engine);
+  parser.AddBool("no-windowed", false,
+                 "skip the windowed-vs-batch incremental check",
+                 &no_windowed);
   parser.AddBool("fixed-params", false,
                  "mine every generated database at the --per/--min-ps/"
                  "--min-rec/--tolerance flags instead of the case's own "
@@ -689,6 +699,7 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   options.cross_check.check_parallel = !no_parallel;
   options.cross_check.check_streaming = !no_streaming;
   options.cross_check.check_engine = !no_engine;
+  options.cross_check.check_windowed = !no_windowed;
   options.cross_check.parallel_threads = threads;
   if (fixed_params) {
     if (mining.min_ps_pct >= 0.0) {
@@ -697,7 +708,7 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
       return 1;
     }
     if (mining.top_k > 0 || mining.closed || mining.maximal ||
-        mining.max_len > 0) {
+        mining.max_len > 0 || mining.window > 0 || mining.delta > 0) {
       err << "--fixed-params supports threshold flags only "
              "(per/min-ps/min-rec/tolerance)\n";
       return 1;

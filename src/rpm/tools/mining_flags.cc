@@ -38,6 +38,14 @@ void MiningQueryFlags::Register(FlagParser* parser) {
                     "stop after this many patterns (deterministic prefix "
                     "of the canonical order); 0 = unlimited",
                     &max_patterns);
+  parser->AddInt64("window", window,
+                   "sliding-window width in time units for "
+                   "--backend=windowed (0 = not windowed)",
+                   &window);
+  parser->AddUint64("delta", delta,
+                    "transactions per incremental batch for "
+                    "--backend=windowed (0 = one batch)",
+                    &delta);
 }
 
 Result<engine::Query> MiningQueryFlags::ToQuery(size_t db_size) const {
@@ -59,6 +67,8 @@ Result<engine::Query> MiningQueryFlags::ToQuery(size_t db_size) const {
   query.limits.timeout_ms = static_cast<int64_t>(timeout_ms);
   query.limits.memory_budget_bytes = max_memory_mb * 1024 * 1024;
   query.limits.max_patterns = max_patterns;
+  query.window = window;
+  query.delta = delta;
   RPM_RETURN_NOT_OK(query.Validate());
   return query;
 }
@@ -77,7 +87,8 @@ Result<ParsedQueryLine> ParseMiningQuery(const std::string& line,
   std::string backend_name = "sequential";
   uint64_t threads = 0;
   parser.AddString("backend", backend_name,
-                   "executor: sequential|parallel|streaming", &backend_name);
+                   "executor: sequential|parallel|streaming|windowed",
+                   &backend_name);
   parser.AddUint64("threads", threads,
                    "parallel-backend workers (0 = hardware threads)",
                    &threads);

@@ -39,8 +39,11 @@ struct MiningQueryFlags {
   uint64_t timeout_ms = 0;     ///< --timeout-ms
   uint64_t max_memory_mb = 0;  ///< --max-memory-mb
   uint64_t max_patterns = 0;   ///< --max-patterns
+  // Sliding-window model (--backend=windowed); 0 = not windowed.
+  int64_t window = 0;  ///< --window
+  uint64_t delta = 0;  ///< --delta
 
-  /// Registers all twelve flags on `parser`, using the current field
+  /// Registers all fourteen flags on `parser`, using the current field
   /// values as the advertised defaults. `this` must outlive
   /// parser.Parse().
   void Register(FlagParser* parser);

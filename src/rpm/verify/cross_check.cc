@@ -2,16 +2,19 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "rpm/common/cpu_features.h"
 #include "rpm/core/brute_force.h"
 #include "rpm/core/measures.h"
+#include "rpm/core/time_gap.h"
 #include "rpm/core/ts_block.h"
 #include "rpm/core/rp_growth.h"
 #include "rpm/core/rp_list.h"
 #include "rpm/core/streaming_rp_list.h"
+#include "rpm/core/windowed_miner.h"
 #include "rpm/engine/session.h"
 
 namespace rpm::verify {
@@ -356,6 +359,105 @@ void CheckEngine(const TransactionDatabase& db, const RpParams& params,
                   out);
 }
 
+/// Check (f): the incremental sliding-window miner vs batch re-mining.
+/// The case's transaction stream is replayed through a WindowedMiner in
+/// multi-transaction deltas under two window regimes — a tight window
+/// (half the case's time span) that exercises expiry, retirement and
+/// compaction, and an effectively unbounded window that pins the
+/// everything-stays-live path. After EVERY delta:
+///   * windowed ≡ batch — the committed pattern set must equal a
+///     from-scratch MineRecurringPatterns over the live window contents;
+///   * diff identity — (previous set − removed − changed) ∪ changed-new ∪
+///     added must reconstruct the committed set exactly.
+/// Finally the engine's windowed backend replays the same schedule and
+/// must land on the same final set.
+void CheckWindowed(const TransactionDatabase& db, const RpParams& params,
+                   Collector* out) {
+  const std::vector<Transaction>& txns = db.transactions();
+  if (txns.empty()) return;
+
+  const Timestamp span = SaturatingGap(txns.front().ts, txns.back().ts);
+  struct Config {
+    Timestamp window;
+    size_t delta;
+  };
+  const Config configs[] = {
+      {std::max<Timestamp>(1, span / 2), std::max<size_t>(1, txns.size() / 4)},
+      {std::numeric_limits<Timestamp>::max(), txns.size()},
+  };
+
+  std::vector<RecurringPattern> tight_final;
+  for (size_t ci = 0; ci < 2; ++ci) {
+    const Config& config = configs[ci];
+    // A tiny compaction floor so the reclamation path actually runs on
+    // harness-sized cases (the production default of 64 would rarely
+    // trigger here).
+    WindowedMinerOptions wopt;
+    wopt.compact_min_stored = 4;
+    WindowedMiner miner(params, config.window, wopt);
+
+    std::vector<RecurringPattern> prev;
+    for (size_t offset = 0; offset < txns.size(); offset += config.delta) {
+      const size_t end = std::min(txns.size(), offset + config.delta);
+      std::vector<Transaction> batch(txns.begin() + offset,
+                                     txns.begin() + end);
+      PatternDelta pd = miner.ApplyDelta(batch);
+      const std::string tag = "window=" + std::to_string(config.window) +
+                              " delta@" + std::to_string(offset);
+      if (!pd.applied) {
+        out->Add(tag + ": delta refused: " + pd.status.ToString());
+        return;
+      }
+
+      // Diff reconstruction identity.
+      std::vector<Itemset> dropped;
+      dropped.reserve(pd.removed.size() + pd.changed.size());
+      for (const RecurringPattern& p : pd.removed) dropped.push_back(p.items);
+      for (const RecurringPattern& p : pd.changed) dropped.push_back(p.items);
+      std::sort(dropped.begin(), dropped.end());
+      std::vector<RecurringPattern> rebuilt;
+      for (const RecurringPattern& p : prev) {
+        if (!std::binary_search(dropped.begin(), dropped.end(), p.items)) {
+          rebuilt.push_back(p);
+        }
+      }
+      rebuilt.insert(rebuilt.end(), pd.changed.begin(), pd.changed.end());
+      rebuilt.insert(rebuilt.end(), pd.added.begin(), pd.added.end());
+      SortPatternsCanonically(&rebuilt);
+      if (rebuilt != miner.patterns()) {
+        out->Add(tag + ": diff (added=" + std::to_string(pd.added.size()) +
+                 " removed=" + std::to_string(pd.removed.size()) +
+                 " changed=" + std::to_string(pd.changed.size()) +
+                 ") does not reconstruct the committed pattern set");
+      }
+
+      // Windowed ≡ batch-mine-of-window-contents.
+      RpGrowthResult fresh =
+          MineRecurringPatterns(miner.WindowSnapshot(), params);
+      DiffPatternSets(miner.patterns(), fresh.patterns, "windowed", "batch",
+                      out);
+      prev = miner.patterns();
+    }
+    if (ci == 0) tight_final = std::move(prev);
+  }
+
+  // Engine arm: the windowed backend replaying the tight schedule must
+  // commit exactly the direct miner's final set.
+  engine::QuerySession session(engine::DatasetSnapshot::Create(db));
+  engine::Query query;
+  query.params = params;
+  query.window = configs[0].window;
+  query.delta = configs[0].delta;
+  Result<engine::QueryResult> run =
+      session.Run(query, engine::BackendKind::kWindowed);
+  if (!run.ok()) {
+    out->Add("engine windowed backend failed: " + run.status().ToString());
+    return;
+  }
+  DiffPatternSets(run->patterns, tight_final, "engine-windowed", "direct",
+                  out);
+}
+
 }  // namespace
 
 std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
@@ -407,6 +509,13 @@ std::vector<Divergence> CrossCheckCase(const TransactionDatabase& db,
   if (options.check_simd) {
     Collector out("simd", options.max_divergences_per_check, &divergences);
     CheckSimd(db, params, &out);
+  }
+
+  // The windowed miner implements the exact model only.
+  if (options.check_windowed && params.max_gap_violations == 0) {
+    Collector out("windowed", options.max_divergences_per_check,
+                  &divergences);
+    CheckWindowed(db, params, &out);
   }
 
   return divergences;

@@ -27,6 +27,14 @@
 //                     ComputeRecurrenceUpperBound against the scalar
 //                     loops, and every compiled ComputeBreakMasks variant
 //                     the hardware admits against the scalar kernel.
+//   (f) windowed    — the incremental sliding-window miner
+//                     (core/windowed_miner.h) replaying the case in
+//                     deltas: after EVERY delta, the committed pattern
+//                     set vs a from-scratch batch mine of the live
+//                     window, the per-delta diff's reconstruction
+//                     identity, and the engine's windowed backend
+//                     end-to-end. Exact model only (skipped when
+//                     params.max_gap_violations > 0).
 //
 // The parallel run of check (b) builds its RP-tree through the
 // partitioned parallel build, so (b) also differentially validates
@@ -52,7 +60,7 @@ namespace rpm::verify {
 /// One observed disagreement between two implementations.
 struct Divergence {
   /// Which cross-check noticed it: "oracle", "parallel", "streaming",
-  /// "engine" or "simd".
+  /// "engine", "simd" or "windowed".
   std::string check;
   /// Human-readable description, e.g.
   ///   "pattern {0 2}: support 5 (rp-growth) vs 6 (oracle)".
@@ -69,6 +77,7 @@ struct CrossCheckOptions {
   bool check_streaming = true;
   bool check_engine = true;
   bool check_simd = true;
+  bool check_windowed = true;
   /// Worker threads for the parallel run of check (b).
   size_t parallel_threads = 4;
   /// When set, replaces sequential RP-growth as the subject of checks (a)

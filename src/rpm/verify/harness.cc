@@ -21,6 +21,10 @@ VerifyReport RunVerification(const VerifyOptions& options) {
       ++report.streaming_checks;
     }
     if (options.cross_check.check_engine) ++report.engine_checks;
+    if (options.cross_check.check_windowed &&
+        c.params.max_gap_violations == 0) {
+      ++report.windowed_checks;
+    }
 
     std::vector<Divergence> divergences =
         CrossCheckCase(c.db, c.params, options.cross_check);
@@ -58,7 +62,8 @@ std::string FormatReport(const VerifyReport& report,
   s += "checks: oracle " + std::to_string(report.oracle_checks) +
        ", parallel " + std::to_string(report.parallel_checks) +
        ", streaming " + std::to_string(report.streaming_checks) +
-       ", engine " + std::to_string(report.engine_checks) + "\n";
+       ", engine " + std::to_string(report.engine_checks) +
+       ", windowed " + std::to_string(report.windowed_checks) + "\n";
   if (report.ok()) {
     s += "result: OK — all implementations agree on every case\n";
     return s;

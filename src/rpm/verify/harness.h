@@ -54,6 +54,8 @@ struct VerifyReport {
   uint64_t streaming_checks = 0;
   /// Query-engine purity/reuse checks executed.
   uint64_t engine_checks = 0;
+  /// Windowed ≡ batch-of-window checks executed (exact-model cases only).
+  uint64_t windowed_checks = 0;
   std::vector<CaseFailure> failures;
 
   bool ok() const { return failures.empty(); }

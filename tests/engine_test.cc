@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -231,6 +232,105 @@ TEST(ExecutorTest, StreamingRejectsToleranceAndTopK) {
   Query topk = MakeQuery(PaperExampleParams());
   topk.top_k = 3;
   EXPECT_FALSE(session.Run(topk, BackendKind::kStreaming).ok());
+}
+
+TEST(ExecutorTest, WindowedBackendMatchesSequentialWithCoveringWindow) {
+  // A window wider than the whole snapshot never expires anything, so the
+  // final committed set must equal the sequential result, for any delta.
+  for (uint64_t seed = 51; seed <= 53; ++seed) {
+    TransactionDatabase db = MakeRandomDb(RandomDbSpec{}, seed);
+    RpParams params = PaperExampleParams();
+    RpGrowthResult fresh = MineRecurringPatterns(db, params);
+
+    QuerySession session(DatasetSnapshot::Create(db));
+    for (uint64_t delta : {uint64_t{0}, uint64_t{1}, uint64_t{7}}) {
+      Query q = MakeQuery(params);
+      q.window = std::numeric_limits<Timestamp>::max();
+      q.delta = delta;
+      Result<QueryResult> got = session.Run(q, BackendKind::kWindowed);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->patterns, fresh.patterns)
+          << "seed " << seed << " delta " << delta;
+      EXPECT_EQ(got->backend, "windowed");
+      EXPECT_FALSE(got->tree_reused);
+      const uint64_t expected_deltas =
+          delta == 0 ? 1 : (db.size() + delta - 1) / delta;
+      EXPECT_EQ(got->windowed.deltas_applied, expected_deltas);
+      EXPECT_EQ(got->windowed.transactions_expired, 0u);
+    }
+  }
+}
+
+TEST(ExecutorTest, WindowedSinkReceivesPerDeltaAdditions) {
+  // With a covering window nothing is ever removed, so the union of the
+  // per-delta added sets is exactly the final pattern set.
+  QuerySession session(DatasetSnapshot::Create(PaperExampleDb()));
+  Query q = MakeQuery(PaperExampleParams());
+  q.window = 1000;
+  q.delta = 3;
+  std::vector<RecurringPattern> sunk;
+  q.sink = [&](const RecurringPattern& p) { sunk.push_back(p); };
+  Result<QueryResult> got = session.Run(q, BackendKind::kWindowed);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  SortPatternsCanonically(&sunk);
+  EXPECT_EQ(sunk, got->patterns);
+  EXPECT_EQ(got->patterns, PaperExamplePatterns());
+}
+
+TEST(ExecutorTest, WindowedRejectsOutOfModelQueries) {
+  QuerySession session(DatasetSnapshot::Create(PaperExampleDb()));
+
+  // No window at all.
+  EXPECT_FALSE(
+      session.Run(MakeQuery(PaperExampleParams()), BackendKind::kWindowed)
+          .ok());
+
+  Query tolerant = MakeQuery(PaperExampleParams());
+  tolerant.window = 1000;
+  tolerant.params.max_gap_violations = 1;
+  EXPECT_FALSE(session.Run(tolerant, BackendKind::kWindowed).ok());
+
+  Query topk = MakeQuery(PaperExampleParams());
+  topk.window = 1000;
+  topk.top_k = 3;
+  EXPECT_FALSE(session.Run(topk, BackendKind::kWindowed).ok());
+
+  Query capped = MakeQuery(PaperExampleParams());
+  capped.window = 1000;
+  capped.limits.max_patterns = 5;
+  EXPECT_FALSE(session.Run(capped, BackendKind::kWindowed).ok());
+
+  // Other backends ignore window/delta; a windowed query on them is fine.
+  Query windowed = MakeQuery(PaperExampleParams());
+  windowed.window = 1000;
+  windowed.delta = 2;
+  EXPECT_TRUE(session.Run(windowed, BackendKind::kSequential).ok());
+}
+
+TEST(ExecutorTest, ParseBackendRoundTripsWindowed) {
+  Result<BackendKind> parsed = ParseBackend("windowed");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, BackendKind::kWindowed);
+  EXPECT_STREQ(BackendName(BackendKind::kWindowed), "windowed");
+  EXPECT_FALSE(ParseBackend("windows").ok());
+}
+
+TEST(ExecutorTest, WindowedCancellationYieldsCommittedPrefix) {
+  // Cancel before the run: the windowed executor must surface the
+  // cancellation with zero committed deltas, deterministically.
+  QuerySession session(DatasetSnapshot::Create(PaperExampleDb()));
+  Query q = MakeQuery(PaperExampleParams());
+  q.window = 1000;
+  q.delta = 4;
+  CancellationToken cancel;
+  cancel.Cancel();
+  q.cancel = &cancel;
+  Result<QueryResult> got = session.Run(q, BackendKind::kWindowed);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->status.IsCancelled()) << got->status.ToString();
+  EXPECT_TRUE(got->truncated);
+  EXPECT_TRUE(got->patterns.empty());
+  EXPECT_EQ(got->windowed.deltas_applied, 0u);
 }
 
 TEST(ExecutorTest, PaperExampleThroughEveryBackend) {

@@ -50,6 +50,8 @@ TEST(MiningFlagsTest, PinnedDefaults) {
   EXPECT_EQ(flags.timeout_ms, 0u);
   EXPECT_EQ(flags.max_memory_mb, 0u);
   EXPECT_EQ(flags.max_patterns, 0u);
+  EXPECT_EQ(flags.window, 0);
+  EXPECT_EQ(flags.delta, 0u);
 }
 
 TEST(MiningFlagsTest, DefaultQueryIsPerOneMinPsOneMinRecOne) {
@@ -77,6 +79,27 @@ TEST(MiningFlagsTest, GovernanceFlagsFlowIntoQueryLimits) {
   EXPECT_EQ(q.limits.memory_budget_bytes, 64ull * 1024 * 1024);
   EXPECT_EQ(q.limits.max_patterns, 1000u);
   EXPECT_FALSE(q.limits.unlimited());
+}
+
+TEST(MiningFlagsTest, WindowAndDeltaFlowIntoQuery) {
+  engine::Query q = ParseOrDie({"--per=2", "--window=500", "--delta=100"},
+                               /*db_size=*/100);
+  EXPECT_EQ(q.window, 500);
+  EXPECT_EQ(q.delta, 100u);
+}
+
+TEST(MiningFlagsTest, DeltaWithoutWindowRejected) {
+  MiningQueryFlags flags;
+  flags.delta = 10;
+  EXPECT_FALSE(flags.ToQuery(100).ok());
+  flags.window = 500;
+  EXPECT_TRUE(flags.ToQuery(100).ok());
+}
+
+TEST(MiningFlagsTest, NegativeWindowRejected) {
+  MiningQueryFlags flags;
+  flags.window = -1;
+  EXPECT_FALSE(flags.ToQuery(100).ok());
 }
 
 TEST(MiningFlagsTest, MaxPatternsRejectedWithTopK) {
@@ -163,6 +186,17 @@ TEST(ParseMiningQueryTest, SharesTheMinPsPctResolution) {
       ParseMiningQuery("--per=2 --min-ps-pct=10", /*db_size=*/50);
   ASSERT_TRUE(line.ok());
   EXPECT_EQ(line->query.params.min_ps, 5u);
+}
+
+TEST(ParseMiningQueryTest, WindowedBackendLine) {
+  Result<ParsedQueryLine> line = ParseMiningQuery(
+      "--per=2 --min-ps=3 --min-rec=2 --backend=windowed --window=500 "
+      "--delta=50",
+      /*db_size=*/100);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(line->backend, engine::BackendKind::kWindowed);
+  EXPECT_EQ(line->query.window, 500);
+  EXPECT_EQ(line->query.delta, 50u);
 }
 
 TEST(ParseMiningQueryTest, RejectsUnknownFlagsAndPositionals) {

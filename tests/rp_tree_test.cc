@@ -223,5 +223,122 @@ TEST(TsPrefixTreeTest, CloneOfEmptyTree) {
   EXPECT_EQ(tree.NodeCount(), 0u);
 }
 
+// --- RetireBefore: the windowed miner's lazy expiry sweep.
+
+/// Sum of every ts-list entry below `rank_count` ranks via the public walk.
+size_t CountTimestamps(const TsPrefixTree& tree) {
+  size_t n = 0;
+  for (size_t rank = 0; rank < tree.num_ranks(); ++rank) {
+    tree.ForEachNodeOfRank(rank, [&](const std::vector<uint32_t>&,
+                                     const TimestampList& ts) {
+      n += ts.size();
+    });
+  }
+  return n;
+}
+
+TEST(TsPrefixTreeTest, RetireBeforeDropsOldTimestampsOnly) {
+  TsPrefixTree tree = BuildPaperTree();
+  const size_t nodes_before = tree.NodeCount();
+  const size_t ts_before = tree.TimestampCount();
+  TsPrefixTree::RetireStats stats = tree.RetireBefore(5);
+  // Table 1 has 4 transactions below ts 5; each contributes one tail
+  // timestamp.
+  EXPECT_EQ(stats.timestamps_retired, 4u);
+  EXPECT_EQ(tree.TimestampCount(), ts_before - 4);
+  EXPECT_EQ(CountTimestamps(tree), ts_before - 4);
+  // Every node with an emptied ts-list in Figure 5(b) still has a live
+  // descendant or sibling-path timestamps... except the pure prefix
+  // {a,b} (ts 1,14): ts 14 survives, so no node dies here.
+  EXPECT_EQ(stats.nodes_retired, nodes_before - tree.NodeCount());
+  // No surviving timestamp is below the cutoff.
+  for (size_t rank = 0; rank < tree.num_ranks(); ++rank) {
+    tree.ForEachNodeOfRank(rank, [&](const std::vector<uint32_t>&,
+                                     const TimestampList& ts) {
+      for (Timestamp t : ts) EXPECT_GE(t, 5);
+    });
+  }
+}
+
+TEST(TsPrefixTreeTest, RetireBeforeDetachesEmptyChildlessNodes) {
+  // Two leaf paths: {0,1} live only at ts 2, {0} at ts 10. Retiring past
+  // 2 must drop the {0,1} leaf (empty + childless) but keep its parent
+  // {0}, which still holds ts 10.
+  TsPrefixTree tree({A, B});
+  tree.InsertTransaction({0, 1}, 2);
+  tree.InsertTransaction({0}, 10);
+  ASSERT_EQ(tree.NodeCount(), 2u);
+  TsPrefixTree::RetireStats stats = tree.RetireBefore(5);
+  EXPECT_EQ(stats.timestamps_retired, 1u);
+  EXPECT_EQ(stats.nodes_retired, 1u);
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_EQ(tree.HeadOfRank(1), nullptr);
+  ASSERT_NE(tree.HeadOfRank(0), nullptr);
+  // The chain of rank 0 is intact and walkable.
+  size_t visits = 0;
+  tree.ForEachNodeOfRank(0, [&](const std::vector<uint32_t>& path,
+                                const TimestampList& ts) {
+    ++visits;
+    EXPECT_TRUE(path.empty());
+    EXPECT_EQ(ts, (TimestampList{10}));
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(TsPrefixTreeTest, RetireBeforeCascadesUpEmptyPrefixes) {
+  // A single deep path whose only timestamp expires: every node on the
+  // path empties bottom-up and the whole path is detached.
+  TsPrefixTree tree({A, B, C});
+  tree.InsertTransaction({0, 1, 2}, 3);
+  ASSERT_EQ(tree.NodeCount(), 3u);
+  TsPrefixTree::RetireStats stats = tree.RetireBefore(100);
+  EXPECT_EQ(stats.timestamps_retired, 1u);
+  EXPECT_EQ(stats.nodes_retired, 3u);
+  EXPECT_EQ(tree.NodeCount(), 0u);
+  EXPECT_TRUE(tree.empty());
+  for (size_t rank = 0; rank < 3; ++rank) {
+    EXPECT_EQ(tree.HeadOfRank(rank), nullptr);
+  }
+  // The tree stays usable after a full retire.
+  tree.InsertTransaction({0, 2}, 200);
+  EXPECT_EQ(tree.NodeCount(), 2u);
+  EXPECT_EQ(tree.TimestampCount(), 1u);
+}
+
+TEST(TsPrefixTreeTest, RetireBeforeNoOpCutoff) {
+  TsPrefixTree tree = BuildPaperTree();
+  const size_t nodes = tree.NodeCount();
+  const size_t ts = tree.TimestampCount();
+  TsPrefixTree::RetireStats stats = tree.RetireBefore(0);
+  EXPECT_EQ(stats.timestamps_retired, 0u);
+  EXPECT_EQ(stats.nodes_retired, 0u);
+  EXPECT_EQ(tree.NodeCount(), nodes);
+  EXPECT_EQ(tree.TimestampCount(), ts);
+}
+
+TEST(TsPrefixTreeTest, RetireBeforePreservesChainOrderAndRuns) {
+  // Node-link chain order and the sorted-runs property of ts-lists are
+  // the determinism contract the miners rely on: after retiring, each
+  // surviving list must still be the original subsequence (order kept).
+  TsPrefixTree tree({A, B});
+  tree.InsertTransaction({0, 1}, 1);
+  tree.InsertTransaction({0}, 2);
+  tree.InsertTransaction({0, 1}, 3);
+  tree.InsertTransaction({0}, 4);
+  tree.InsertTransaction({0, 1}, 5);
+  tree.RetireBefore(3);
+  std::vector<TimestampList> lists;
+  tree.ForEachNodeOfRank(1, [&](const std::vector<uint32_t>&,
+                                const TimestampList& ts) {
+    lists.push_back(ts);
+  });
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0], (TimestampList{3, 5}));
+  tree.ForEachNodeOfRank(0, [&](const std::vector<uint32_t>&,
+                                const TimestampList& ts) {
+    EXPECT_EQ(ts, (TimestampList{4}));
+  });
+}
+
 }  // namespace
 }  // namespace rpm

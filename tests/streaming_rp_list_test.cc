@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "rpm/core/measures.h"
 #include "rpm/core/rp_list.h"
 #include "test_util.h"
 
@@ -235,6 +236,183 @@ TEST(StreamingRpListTest, ExtremeTimestampGapClosesRun) {
 TEST(StreamingRpListDeathTest, InvalidConstruction) {
   EXPECT_DEATH(StreamingRpList(0, 1), "Check failed");
   EXPECT_DEATH(StreamingRpList(1, 0), "Check failed");
+}
+
+// --- WindowedRpList: the sliding-window counterpart. The invariant under
+// test everywhere: after any Append/ExpireBefore/Compact sequence the
+// aggregates equal what a batch Algorithm 1 scan over the live window
+// contents would report.
+
+/// Feeds the paper example, expires everything below `cutoff`, and
+/// compares every aggregate against a batch RP-list over the filtered
+/// database.
+void ExpectWindowMatchesBatch(const WindowedRpList& window,
+                              const TransactionDatabase& db,
+                              Timestamp cutoff) {
+  std::vector<Transaction> live;
+  for (const Transaction& tr : db.transactions()) {
+    if (tr.ts >= cutoff) live.push_back(tr);
+  }
+  const TransactionDatabase live_db(live);
+  RpParams params;
+  params.period = window.period();
+  params.min_ps = window.min_ps();
+  params.min_rec = 1;
+  const RpList batch = BuildRpList(live_db, params);
+  for (ItemId item = 0; item < db.ItemUniverseSize(); ++item) {
+    uint64_t support = 0, erec = 0;
+    for (const RpListEntry& e : batch.entries()) {
+      if (e.item != item) continue;
+      support = e.support;
+      erec = e.erec;
+    }
+    EXPECT_EQ(window.SupportOf(item), support) << "item " << item;
+    EXPECT_EQ(window.ErecOf(item), erec) << "item " << item;
+    const std::vector<PeriodicInterval> intervals = FindInterestingIntervals(
+        live_db.TimestampsOf({item}), params.period, params.min_ps);
+    EXPECT_EQ(window.InterestingIntervalsOf(item), intervals)
+        << "item " << item;
+    EXPECT_EQ(window.RecurrenceOf(item), intervals.size()) << "item " << item;
+  }
+}
+
+WindowedRpList FeedWindowedPaperExample() {
+  WindowedRpList window(/*period=*/2, /*min_ps=*/3);
+  const TransactionDatabase db = PaperExampleDb();
+  for (const Transaction& tr : db.transactions()) {
+    for (ItemId item : tr.items) {
+      EXPECT_TRUE(window.Append(item, tr.ts).ok());
+    }
+  }
+  return window;
+}
+
+TEST(WindowedRpListTest, MatchesBatchBeforeAnyExpiry) {
+  WindowedRpList window = FeedWindowedPaperExample();
+  ExpectWindowMatchesBatch(window, PaperExampleDb(),
+                           std::numeric_limits<Timestamp>::min());
+}
+
+TEST(WindowedRpListTest, MatchesBatchAfterEveryCutoff) {
+  // Slide the cutoff across the whole example one timestamp at a time;
+  // after each ExpireBefore the live aggregates must equal a batch scan
+  // of the suffix. This covers cutoffs inside runs, at run starts and
+  // past entire runs.
+  const TransactionDatabase db = PaperExampleDb();
+  WindowedRpList window = FeedWindowedPaperExample();
+  for (Timestamp cutoff = 1; cutoff <= 15; ++cutoff) {
+    window.ExpireBefore(cutoff);
+    ExpectWindowMatchesBatch(window, db, cutoff);
+  }
+  EXPECT_EQ(window.live_timestamp_count(), 0u);
+}
+
+TEST(WindowedRpListTest, ExpiryExactlyOnPeriodBoundary) {
+  // Item with one run {10, 12, 14} at period 2. A cutoff AT an element
+  // keeps it (expiry is strictly-below); the surviving suffix is still
+  // one run with the shortened ps.
+  WindowedRpList window(/*period=*/2, /*min_ps=*/2);
+  for (Timestamp ts : {10, 12, 14}) {
+    ASSERT_TRUE(window.Append(0, ts).ok());
+  }
+  ASSERT_EQ(window.ErecOf(0), 1u);
+  window.ExpireBefore(12);
+  EXPECT_EQ(window.SupportOf(0), 2u);  // {12, 14} survive.
+  EXPECT_EQ(window.ErecOf(0), 1u);     // ps=2 still >= min_ps.
+  ASSERT_EQ(window.InterestingIntervalsOf(0).size(), 1u);
+  EXPECT_EQ(window.InterestingIntervalsOf(0)[0],
+            (PeriodicInterval{12, 14, 2}));
+  window.ExpireBefore(13);
+  EXPECT_EQ(window.SupportOf(0), 1u);  // {14}: ps=1 < min_ps.
+  EXPECT_EQ(window.ErecOf(0), 0u);
+  EXPECT_TRUE(window.InterestingIntervalsOf(0).empty());
+}
+
+TEST(WindowedRpListTest, DuplicateAppendAtTheExpiryCut) {
+  // An item appended twice at one timestamp dedupes to one event; when
+  // the cutoff lands exactly there the single survivor must not be
+  // double-counted by expiry either.
+  WindowedRpList window(/*period=*/2, /*min_ps=*/1);
+  ASSERT_TRUE(window.Append(0, 5).ok());
+  ASSERT_TRUE(window.Append(0, 7).ok());
+  ASSERT_TRUE(window.Append(0, 7).ok());  // Dedup no-op.
+  EXPECT_EQ(window.SupportOf(0), 2u);
+  EXPECT_EQ(window.counters().timestamps_appended, 2u);
+  window.ExpireBefore(7);
+  EXPECT_EQ(window.SupportOf(0), 1u);
+  EXPECT_EQ(window.counters().timestamps_retired, 1u);
+  // Appending again at the cut timestamp is legal (ts == cutoff) and
+  // dedupes against the live survivor.
+  EXPECT_TRUE(window.Append(0, 7).ok());
+  EXPECT_EQ(window.SupportOf(0), 1u);
+}
+
+TEST(WindowedRpListTest, RejectsAppendBelowCutoffOrOutOfOrder) {
+  WindowedRpList window(/*period=*/2, /*min_ps=*/1);
+  ASSERT_TRUE(window.Append(0, 10).ok());
+  Status out_of_order = window.Append(0, 9);
+  EXPECT_TRUE(out_of_order.IsInvalidArgument()) << out_of_order.ToString();
+  window.ExpireBefore(12);
+  Status below = window.Append(0, 11);
+  EXPECT_FALSE(below.ok());
+  EXPECT_TRUE(window.Append(0, 12).ok());
+}
+
+TEST(WindowedRpListTest, Int64ExtremeExpiry) {
+  constexpr Timestamp kMax = std::numeric_limits<Timestamp>::max();
+  constexpr Timestamp kMin = std::numeric_limits<Timestamp>::min();
+  WindowedRpList window(/*period=*/10, /*min_ps=*/1);
+  ASSERT_TRUE(window.Append(0, kMin).ok());
+  ASSERT_TRUE(window.Append(0, kMin + 5).ok());
+  ASSERT_TRUE(window.Append(0, kMax).ok());
+  // One run {kMin, kMin+5} (gap 5 <= 10) + singleton {kMax}: the 2^64-1
+  // wide gap must not wrap into "within period".
+  EXPECT_EQ(window.ErecOf(0), 3u);
+  window.ExpireBefore(kMin + 1);
+  EXPECT_EQ(window.SupportOf(0), 2u);
+  EXPECT_EQ(window.ErecOf(0), 2u);
+  window.ExpireBefore(kMax);
+  EXPECT_EQ(window.SupportOf(0), 1u);
+  EXPECT_EQ(window.InterestingIntervalsOf(0)[0],
+            (PeriodicInterval{kMax, kMax, 1}));
+}
+
+TEST(WindowedRpListTest, CompactPreservesAggregatesAndCountsOnce) {
+  const TransactionDatabase db = PaperExampleDb();
+  WindowedRpList window = FeedWindowedPaperExample();
+  window.ExpireBefore(7);
+  const size_t live = window.live_timestamp_count();
+  ASSERT_LT(live, window.stored_timestamp_count());
+  window.Compact();
+  EXPECT_EQ(window.stored_timestamp_count(), live);
+  EXPECT_EQ(window.live_timestamp_count(), live);
+  EXPECT_EQ(window.counters().compactions, 1u);
+  ExpectWindowMatchesBatch(window, db, 7);
+  // A second Compact with nothing to reclaim is not counted.
+  window.Compact();
+  EXPECT_EQ(window.counters().compactions, 1u);
+  // The structure keeps working after compaction: item a had {7,11,12,14}
+  // live, the append makes it five.
+  EXPECT_TRUE(window.Append(0, 20).ok());
+  EXPECT_EQ(window.SupportOf(0), 5u);
+}
+
+TEST(WindowedRpListTest, StaleCutoffIsANoOp) {
+  WindowedRpList window(/*period=*/2, /*min_ps=*/1);
+  ASSERT_TRUE(window.Append(0, 5).ok());
+  ASSERT_TRUE(window.Append(0, 6).ok());
+  window.ExpireBefore(6);
+  const uint64_t retired = window.counters().timestamps_retired;
+  window.ExpireBefore(4);  // Regressing cutoff: must change nothing.
+  window.ExpireBefore(6);  // Same cutoff: idempotent.
+  EXPECT_EQ(window.counters().timestamps_retired, retired);
+  EXPECT_EQ(window.SupportOf(0), 1u);
+  EXPECT_EQ(window.cutoff(), Timestamp{6});
+}
+
+TEST(WindowedRpListDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(WindowedRpList(0, 1), "Check failed");
+  EXPECT_DEATH(WindowedRpList(1, 0), "Check failed");
 }
 
 }  // namespace
