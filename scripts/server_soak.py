@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Multi-tenant soak of `rpminer serve` (DESIGN.md §10).
+
+Drives a real server process past saturation and asserts the four serve
+contracts end to end:
+
+  1. Admission: a hot tenant configured with max_concurrent=1/max_queued=0
+     and hammered from several parallel connections sees OVERLOADED
+     rejections carrying a positive retry_after_ms — while seven other
+     tenants are never starved.
+  2. Correctness under load: every completed canonical query returns a
+     patterns_json whose unescaped bytes are identical to a standalone
+     `rpminer mine --output-format=json` run on the same dataset.
+  3. Wire discipline: every request gets exactly one well-formed JSON
+     response line that echoes its id — nothing dropped, nothing mangled.
+  4. Lifecycle: SIGTERM drains cleanly (no force-closed sessions) and the
+     process exits 0.
+
+Usage: scripts/server_soak.py [path/to/rpminer]   (default ./build/src/rpminer)
+Exit 0 on success; nonzero with a diagnostic on any contract violation.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+
+HOT_CONNECTIONS = 6
+HOT_QUERIES_PER_CONNECTION = 30
+COLD_TENANTS = 7
+COLD_QUERIES_PER_TENANT = 5
+
+CANONICAL_QUERY = {"per": 2, "min_ps": 3, "min_rec": 2}
+
+failures = []
+failures_lock = threading.Lock()
+
+
+def fail(message):
+    with failures_lock:
+        failures.append(message)
+
+
+def write_dataset(path):
+    """Deterministic tspmf dataset with planted periodic structure plus
+    LCG noise — big enough that queries take real time (so the hot
+    tenant's parallel connections actually overlap)."""
+    state = 0x9E3779B97F4A7C15
+    noise_items = [chr(ord("e") + i) for i in range(8)]
+    with open(path, "w", encoding="ascii") as out:
+        for t in range(1, 4001):
+            items = []
+            if t % 2 == 0:
+                items += ["a", "b"]
+            if t % 3 == 0:
+                items += ["c", "d"]
+            for item in noise_items:
+                state = (state * 6364136223846793005 + 1442695040888963407) % (
+                    1 << 64
+                )
+                if (state >> 33) % 100 < 30:
+                    items.append(item)
+            if items:
+                out.write("%d|%s\n" % (t, " ".join(sorted(set(items)))))
+
+
+class LineClient:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self.sock.settimeout(30)
+        self.buffer = b""
+
+    def call(self, request):
+        self.sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+        line, self.buffer = self.buffer.split(b"\n", 1)
+        return line.decode("utf-8")
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def check_response(line, request_id, worker):
+    """Contract 3: one parseable JSON object echoing the request id."""
+    try:
+        response = json.loads(line)
+    except json.JSONDecodeError:
+        fail("%s: unparseable response line: %r" % (worker, line[:200]))
+        return None
+    if not isinstance(response, dict) or response.get("id") != request_id:
+        fail("%s: response does not echo id %r: %r"
+             % (worker, request_id, line[:200]))
+        return None
+    if "status" not in response:
+        fail("%s: response missing status: %r" % (worker, line[:200]))
+        return None
+    return response
+
+
+def cold_tenant_worker(port, tenant, expected_json, stats):
+    """A well-behaved tenant: canonical queries, all must complete and
+    match the standalone miner byte for byte."""
+    try:
+        client = LineClient(port)
+    except OSError as e:
+        fail("%s: connect failed: %s" % (tenant, e))
+        return
+    try:
+        for i in range(COLD_QUERIES_PER_TENANT):
+            request_id = "%s-%d" % (tenant, i)
+            request = dict(
+                CANONICAL_QUERY,
+                op="query",
+                id=request_id,
+                tenant=tenant,
+                dataset="data",
+                meta=False,
+            )
+            response = check_response(client.call(request), request_id, tenant)
+            if response is None:
+                continue
+            if response["status"] != "OK":
+                fail("%s: canonical query not OK: %s" % (tenant, response))
+                continue
+            if response.get("truncated"):
+                fail("%s: canonical query truncated" % tenant)
+            if response.get("patterns_json") != expected_json:
+                fail("%s: patterns_json differs from standalone mine "
+                     "(lengths %d vs %d)"
+                     % (tenant, len(response.get("patterns_json") or ""),
+                        len(expected_json)))
+            stats["cold_ok"] += 1
+    except (OSError, ConnectionError) as e:
+        fail("%s: connection error mid-soak: %s" % (tenant, e))
+    finally:
+        client.close()
+
+
+def hot_tenant_worker(port, index, stats):
+    """One of the hot tenant's parallel connections: distinct query shapes
+    (cache-busting) against a 1-slot/0-queue quota. Every response must be
+    OK or OVERLOADED-with-retry-hint."""
+    worker = "hot-%d" % index
+    try:
+        client = LineClient(port)
+    except OSError as e:
+        fail("%s: connect failed: %s" % (worker, e))
+        return
+    try:
+        for i in range(HOT_QUERIES_PER_CONNECTION):
+            shape = index * HOT_QUERIES_PER_CONNECTION + i
+            request_id = "%s-%d" % (worker, i)
+            request = {
+                "op": "query",
+                "id": request_id,
+                "tenant": "hot",
+                "dataset": "data",
+                "per": 2 + shape % 4,
+                "min_ps": 1 + shape % 3,
+                "min_rec": 2 + shape % 5,
+                "tolerance": shape % 2,
+                "meta": False,
+            }
+            response = check_response(client.call(request), request_id, worker)
+            if response is None:
+                continue
+            status = response["status"]
+            if status == "OK":
+                stats["hot_ok"] += 1
+            elif status == "OVERLOADED":
+                if response.get("retry_after_ms", 0) <= 0:
+                    fail("%s: OVERLOADED without a positive retry_after_ms: %s"
+                         % (worker, response))
+                if not response.get("rejected_by"):
+                    fail("%s: OVERLOADED without rejected_by" % worker)
+                stats["hot_overloaded"] += 1
+            else:
+                fail("%s: unexpected status %s: %s"
+                     % (worker, status, response))
+    except (OSError, ConnectionError) as e:
+        fail("%s: connection error mid-soak: %s" % (worker, e))
+    finally:
+        client.close()
+
+
+def main():
+    rpminer = sys.argv[1] if len(sys.argv) > 1 else "./build/src/rpminer"
+    if not os.path.exists(rpminer):
+        print("server_soak: rpminer binary not found at %s" % rpminer)
+        return 2
+
+    with tempfile.TemporaryDirectory(prefix="rpm_soak_") as tmp:
+        dataset = os.path.join(tmp, "soak.tspmf")
+        write_dataset(dataset)
+
+        # Ground truth: the standalone miner's exact JSON bytes.
+        mine = subprocess.run(
+            [rpminer, "mine", "--input=%s" % dataset, "--per=2",
+             "--min-ps=3", "--min-rec=2", "--output-format=json"],
+            capture_output=True, text=True, timeout=120)
+        if mine.returncode != 0:
+            print("server_soak: standalone mine failed:\n%s" % mine.stderr)
+            return 2
+        expected_json = mine.stdout
+
+        config = os.path.join(tmp, "tenants.jsonl")
+        with open(config, "w", encoding="ascii") as out:
+            out.write('{"tenant":"hot","max_concurrent":1,"max_queued":0}\n')
+
+        server = subprocess.Popen(
+            [rpminer, "serve", "data=%s" % dataset, "--port=0",
+             "--config=%s" % config],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            # The CLI announces the resolved ephemeral port on stderr,
+            # after a line per loaded dataset.
+            port = None
+            for _ in range(16):
+                banner = server.stderr.readline()
+                if "listening on 127.0.0.1:" in banner:
+                    port = int(banner.rsplit(":", 1)[1])
+                    break
+            if port is None:
+                print("server_soak: no listening banner on stderr")
+                return 2
+
+            stats = {"cold_ok": 0, "hot_ok": 0, "hot_overloaded": 0}
+            threads = [
+                threading.Thread(
+                    target=cold_tenant_worker,
+                    args=(port, "tenant-%d" % i, expected_json, stats))
+                for i in range(1, COLD_TENANTS + 1)
+            ] + [
+                threading.Thread(target=hot_tenant_worker,
+                                 args=(port, i, stats))
+                for i in range(HOT_CONNECTIONS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            # Contract 1: the hot tenant actually hit its quota, and the
+            # cold tenants all completed in spite of it.
+            if stats["hot_overloaded"] == 0:
+                fail("hot tenant never saw OVERLOADED "
+                     "(%d OK)" % stats["hot_ok"])
+            if stats["hot_ok"] == 0:
+                fail("hot tenant never completed a query")
+            if stats["cold_ok"] != COLD_TENANTS * COLD_QUERIES_PER_TENANT:
+                fail("cold tenants completed %d/%d queries"
+                     % (stats["cold_ok"],
+                        COLD_TENANTS * COLD_QUERIES_PER_TENANT))
+
+            # Contract 4: SIGTERM -> clean drain -> exit 0.
+            server.send_signal(signal.SIGTERM)
+            try:
+                _, stderr_rest = server.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+                fail("server did not exit within 30s of SIGTERM")
+                stderr_rest = ""
+            else:
+                if server.returncode != 0:
+                    fail("server exited %d after SIGTERM" % server.returncode)
+                if "drain: complete" not in stderr_rest:
+                    fail("drain completion not reported:\n%s"
+                         % stderr_rest[-2000:])
+                elif "(0 session(s) force-closed)" not in stderr_rest:
+                    fail("drain force-closed sessions:\n%s"
+                         % stderr_rest[-2000:])
+
+            print("server_soak: %d cold OK, hot %d OK / %d OVERLOADED"
+                  % (stats["cold_ok"], stats["hot_ok"],
+                     stats["hot_overloaded"]))
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+    if failures:
+        print("server_soak: FAIL (%d violation(s))" % len(failures))
+        for message in failures[:20]:
+            print("  - " + message)
+        return 1
+    print("server_soak: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,12 @@ echo "== stage 2b: incremental windowed suite (incremental label) =="
 # in the output so sliding-window regressions don't hide in stage 1.
 (cd build && ctest --output-on-failure -L incremental -LE perf)
 
+echo "== stage 2c: serve suite (serve label) =="
+# The query-server stack (DESIGN.md §10): wire parser, admission control,
+# single-flight cache, service semantics, the socket server with its
+# failpoints, and the planner-cache stress tests.
+(cd build && ctest --output-on-failure -L serve -LE perf)
+
 echo "== stage 3: bench smoke (hot-path kernel + engine reuse, perf label) =="
 (cd build && ctest --output-on-failure -L perf)
 for report in BENCH_hotpath.json BENCH_engine_reuse.json \
@@ -93,6 +99,17 @@ echo "== stage 5: fault-injection campaign smoke (faults label) =="
 # poisoned planner cache.
 ./build/src/rpminer verify --faults=200 --seed=7
 
+echo "== stage 5b: multi-tenant server soak =="
+# Drives a real `rpminer serve` process past saturation: a hot tenant
+# must see OVERLOADED with retry hints while seven cold tenants get
+# byte-identical answers to standalone mine, then SIGTERM must drain
+# cleanly with exit 0 (scripts/server_soak.py, DESIGN.md §10).
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/server_soak.py ./build/src/rpminer
+else
+  echo "server_soak: skipped (python3 missing)"
+fi
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "verify: OK (TSan, UBSan and ASan stages skipped)"
   exit 0
@@ -102,7 +119,8 @@ echo "== stage 6: ThreadSanitizer on the parallel miner + query engine =="
 cmake -B build-tsan -S . -DRPM_SANITIZE=thread \
       -DRPM_BUILD_BENCHMARKS=OFF -DRPM_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test \
-      engine_test governance_test windowed_miner_test rpminer
+      engine_test governance_test windowed_miner_test \
+      serve_server_test planner_stress_test rpminer
 ./build-tsan/tests/rp_growth_parallel_test
 # Concurrent QuerySession::Run over one shared snapshot/planner.
 ./build-tsan/tests/engine_test
@@ -111,6 +129,10 @@ cmake --build build-tsan -j"${JOBS}" --target rp_growth_parallel_test \
 # Windowed maintenance (single-threaded by contract, but its budget
 # cancellation test crosses threads through the token).
 ./build-tsan/tests/windowed_miner_test
+# The socket server: concurrent sessions, admission, drain, failpoints.
+./build-tsan/tests/serve_server_test
+# Planner cache under eviction churn + epoch swaps with pinned readers.
+./build-tsan/tests/planner_stress_test
 # Fault campaign under TSan: injected faults fire from worker threads.
 ./build-tsan/src/rpminer verify --faults=200 --seed=7
 

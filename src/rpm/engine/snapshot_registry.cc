@@ -1,0 +1,91 @@
+#include "rpm/engine/snapshot_registry.h"
+
+#include <utility>
+
+namespace rpm::engine {
+
+namespace {
+
+RegisteredDataset MakeEntry(const std::string& name, uint64_t epoch,
+                            std::shared_ptr<const DatasetSnapshot> snapshot) {
+  RegisteredDataset entry;
+  entry.name = name;
+  entry.epoch = epoch;
+  entry.planner = std::make_shared<QueryPlanner>(snapshot);
+  entry.snapshot = std::move(snapshot);
+  return entry;
+}
+
+}  // namespace
+
+Status SnapshotRegistry::Register(
+    const std::string& name,
+    std::shared_ptr<const DatasetSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot register a null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (datasets_.count(name) > 0) {
+    return Status::AlreadyExists("dataset '" + name +
+                                 "' is already registered (swap to replace)");
+  }
+  datasets_.emplace(name, MakeEntry(name, 1, std::move(snapshot)));
+  return Status::OK();
+}
+
+Result<RegisteredDataset> SnapshotRegistry::Swap(
+    const std::string& name,
+    std::shared_ptr<const DatasetSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot swap in a null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not registered");
+  }
+  it->second = MakeEntry(name, it->second.epoch + 1, std::move(snapshot));
+  return it->second;
+}
+
+Result<RegisteredDataset> SnapshotRegistry::Publish(
+    const std::string& name,
+    std::shared_ptr<const DatasetSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("cannot publish a null snapshot");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    it = datasets_.emplace(name, MakeEntry(name, 1, std::move(snapshot)))
+             .first;
+  } else {
+    it->second = MakeEntry(name, it->second.epoch + 1, std::move(snapshot));
+  }
+  return it->second;
+}
+
+Result<RegisteredDataset> SnapshotRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::NotFound("dataset '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<RegisteredDataset> SnapshotRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<RegisteredDataset> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, entry] : datasets_) out.push_back(entry);
+  return out;  // std::map iterates name-sorted.
+}
+
+size_t SnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datasets_.size();
+}
+
+}  // namespace rpm::engine

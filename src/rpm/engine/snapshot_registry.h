@@ -1,0 +1,81 @@
+// Epoch-aware registry of named DatasetSnapshots — the server's dataset
+// catalog (DESIGN.md §10), usable by any long-lived host of many datasets.
+//
+// Each name maps to a (snapshot, planner, epoch) triple. Swapping a name
+// publishes a NEW triple under epoch+1 and leaves the old one untouched:
+// in-flight queries that pinned the old entry (shared_ptr) finish against
+// the exact snapshot and planner cache they started with, and the old
+// epoch's memory is reclaimed when the last pin drops. The registry never
+// mutates a published snapshot or planner — hot-swap is publication, not
+// modification — so readers need no locking beyond the registry's own
+// lookup mutex.
+//
+// Epochs also version downstream caches: a result cached under
+// (name, epoch, params) can never be served after a swap, because the new
+// entry's epoch differs (serve/result_cache.h keys on it).
+
+#ifndef RPM_ENGINE_SNAPSHOT_REGISTRY_H_
+#define RPM_ENGINE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/engine/dataset_snapshot.h"
+#include "rpm/engine/query_planner.h"
+
+namespace rpm::engine {
+
+/// One published (name, epoch) generation. Copies pin the snapshot and
+/// planner: holding an Entry keeps its generation alive across swaps.
+struct RegisteredDataset {
+  std::string name;
+  /// 1 on first registration, +1 per swap. Never reused within a name.
+  uint64_t epoch = 0;
+  std::shared_ptr<const DatasetSnapshot> snapshot;
+  /// The generation's shared planner: queries of all tenants against this
+  /// (name, epoch) share one build cache (QueryPlanner is thread-safe).
+  std::shared_ptr<QueryPlanner> planner;
+};
+
+/// Thread-safe name -> current-generation map.
+class SnapshotRegistry {
+ public:
+  /// Publishes `snapshot` under `name` at epoch 1.
+  /// AlreadyExists when the name is taken (use Swap to replace).
+  Status Register(const std::string& name,
+                  std::shared_ptr<const DatasetSnapshot> snapshot);
+
+  /// Replaces the current generation of `name` with `snapshot` at
+  /// epoch+1 and returns the NEW entry. NotFound when the name was never
+  /// registered. Old-generation pins stay valid.
+  Result<RegisteredDataset> Swap(
+      const std::string& name,
+      std::shared_ptr<const DatasetSnapshot> snapshot);
+
+  /// Register-or-swap: the hot-swap entry point for `{"op":"swap"}`.
+  Result<RegisteredDataset> Publish(
+      const std::string& name,
+      std::shared_ptr<const DatasetSnapshot> snapshot);
+
+  /// Current generation of `name`; NotFound otherwise. The returned copy
+  /// pins the generation.
+  Result<RegisteredDataset> Get(const std::string& name) const;
+
+  /// Current generations, sorted by name (deterministic for `list`).
+  std::vector<RegisteredDataset> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RegisteredDataset> datasets_;
+};
+
+}  // namespace rpm::engine
+
+#endif  // RPM_ENGINE_SNAPSHOT_REGISTRY_H_

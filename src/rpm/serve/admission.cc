@@ -1,0 +1,135 @@
+#include "rpm/serve/admission.h"
+
+#include <chrono>
+#include <utility>
+
+namespace rpm::serve {
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    tenant_ = std::move(other.tenant_);
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release(tenant_);
+  controller_ = nullptr;
+}
+
+AdmissionController::AdmissionController(const Options& options,
+                                         const TenantRegistry* tenants)
+    : options_(options), tenants_(tenants) {}
+
+AdmissionController::Decision AdmissionController::Admit(
+    const std::string& tenant) {
+  const TenantQuotas& quotas = tenants_->QuotasFor(tenant);
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  Decision decision;
+  if (shutdown_) {
+    decision.outcome = Outcome::kShutdown;
+    return decision;
+  }
+
+  TenantState& state = per_tenant_[tenant];
+  auto slot_free = [&] {
+    return state.running < quotas.max_concurrent &&
+           global_running_ < options_.global_max_concurrent;
+  };
+
+  if (!slot_free()) {
+    // Invariant A2: queue only when both queues have room; otherwise
+    // reject right now with a load-proportional retry hint.
+    if (state.queued >= quotas.max_queued) {
+      decision.outcome = Outcome::kRejected;
+      decision.rejected_by = "tenant";
+      decision.retry_after_ms =
+          options_.retry_after_base_ms *
+          static_cast<int64_t>(1 + state.running + state.queued);
+      ++stats_.rejected_tenant;
+      MaybeErase(tenant);
+      return decision;
+    }
+    if (global_queued_ >= options_.global_max_queued) {
+      decision.outcome = Outcome::kRejected;
+      decision.rejected_by = "global";
+      decision.retry_after_ms =
+          options_.retry_after_base_ms *
+          static_cast<int64_t>(1 + global_running_ + global_queued_);
+      ++stats_.rejected_global;
+      MaybeErase(tenant);
+      return decision;
+    }
+
+    ++state.queued;
+    ++global_queued_;
+    ++stats_.queued_total;
+    // Bounded 50ms waits keep the loop responsive to Shutdown() even if a
+    // notify is missed; correctness rests on re-checking the predicate.
+    while (!shutdown_ && !slot_free()) {
+      wake_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    --state.queued;
+    --global_queued_;
+    if (shutdown_) {
+      decision.outcome = Outcome::kShutdown;
+      MaybeErase(tenant);
+      wake_.notify_all();  // Let sibling waiters observe shutdown too.
+      return decision;
+    }
+  }
+
+  ++state.running;
+  ++global_running_;
+  ++stats_.admitted;
+  decision.outcome = Outcome::kAdmitted;
+  decision.ticket = Ticket(this, tenant);
+  return decision;
+}
+
+void AdmissionController::Release(const std::string& tenant) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = per_tenant_.find(tenant);
+    if (it != per_tenant_.end() && it->second.running > 0) {
+      --it->second.running;
+      MaybeErase(tenant);
+    }
+    if (global_running_ > 0) --global_running_;
+  }
+  wake_.notify_all();
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+}
+
+void AdmissionController::MaybeErase(const std::string& tenant) {
+  auto it = per_tenant_.find(tenant);
+  if (it != per_tenant_.end() && it->second.running == 0 &&
+      it->second.queued == 0) {
+    per_tenant_.erase(it);
+  }
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+uint64_t AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return global_running_;
+}
+
+}  // namespace rpm::serve

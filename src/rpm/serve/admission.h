@@ -1,0 +1,127 @@
+// Per-tenant + global admission control for the query server
+// (DESIGN.md §10).
+//
+// Every query holds an admission slot while it executes. A tenant may run
+// at most quota.max_concurrent queries at once and wait in a bounded queue
+// of quota.max_queued more; the process shares one global pool of
+// options.global_max_concurrent slots with its own bounded queue. A
+// request that cannot be queued — tenant queue full OR global queue
+// full — is rejected IMMEDIATELY with a retry-after hint rather than
+// stalled, so saturation surfaces as fast, explicit OVERLOADED responses
+// and one hot tenant's backlog can never occupy the accept loop or
+// another tenant's slots.
+//
+// Invariants (asserted by tests/serve_admission_test.cc):
+//   A1  at any instant, per-tenant running <= quota.max_concurrent and
+//       total running <= global_max_concurrent;
+//   A2  a request is queued only when BOTH queues have room — otherwise
+//       it is rejected without blocking;
+//   A3  Shutdown() wakes every queued waiter with kShutdown (drain never
+//       leaves a thread parked in admission);
+//   A4  tickets are released exactly once (RAII), so slots cannot leak on
+//       any error path.
+
+#ifndef RPM_SERVE_ADMISSION_H_
+#define RPM_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "rpm/serve/tenant_registry.h"
+
+namespace rpm::serve {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries executing at once across all tenants.
+    uint64_t global_max_concurrent = 8;
+    /// Waiters beyond that before global rejections start.
+    uint64_t global_max_queued = 32;
+    /// Retry-after hints scale linearly with the rejecting scope's load:
+    /// hint = base * (1 + running + queued of that scope).
+    int64_t retry_after_base_ms = 50;
+  };
+
+  enum class Outcome : uint8_t { kAdmitted, kRejected, kShutdown };
+
+  /// RAII slot: releases on destruction. Movable, not copyable.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    ~Ticket() { Release(); }
+    void Release();
+    bool held() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, std::string tenant)
+        : controller_(controller), tenant_(std::move(tenant)) {}
+    AdmissionController* controller_ = nullptr;
+    std::string tenant_;
+  };
+
+  struct Decision {
+    Outcome outcome = Outcome::kRejected;
+    Ticket ticket;  // held() iff outcome == kAdmitted
+    /// For kRejected: the suggested client backoff and which limit hit
+    /// ("tenant" or "global").
+    int64_t retry_after_ms = 0;
+    std::string rejected_by;
+  };
+
+  /// Aggregate accounting (monotonic; snapshot via stats()).
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected_tenant = 0;
+    uint64_t rejected_global = 0;
+    uint64_t queued_total = 0;
+  };
+
+  AdmissionController(const Options& options,
+                      const TenantRegistry* tenants);
+
+  /// Admits, queues (blocking), or rejects `tenant`'s next query. Blocks
+  /// only while queued within both bounds; returns kShutdown immediately
+  /// (or on wake) once Shutdown() ran.
+  Decision Admit(const std::string& tenant);
+
+  /// Wakes all queued waiters with kShutdown and makes every later Admit
+  /// return kShutdown. Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+  uint64_t running() const;
+
+ private:
+  friend class Ticket;
+
+  struct TenantState {
+    uint64_t running = 0;
+    uint64_t queued = 0;
+  };
+
+  void Release(const std::string& tenant);
+  /// Drops empty per-tenant states so the map tracks active tenants only.
+  void MaybeErase(const std::string& tenant);
+
+  const Options options_;
+  const TenantRegistry* tenants_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool shutdown_ = false;
+  uint64_t global_running_ = 0;
+  uint64_t global_queued_ = 0;
+  std::map<std::string, TenantState> per_tenant_;
+  Stats stats_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_ADMISSION_H_

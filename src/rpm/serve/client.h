@@ -1,0 +1,54 @@
+// Minimal blocking line-protocol client for the query server — the test
+// half of the wire contract. Used by tests/serve_server_test.cc and the
+// serve arm of the fault campaign (verify/fault_injection.cc); scripts
+// speak the same protocol from Python (scripts/server_soak.py).
+//
+// Every read carries a timeout: a campaign client must distinguish "the
+// server closed on me" (an injected connection fault — recoverable, retry
+// on a fresh connection) from "the server hung" (a campaign failure).
+
+#ifndef RPM_SERVE_CLIENT_H_
+#define RPM_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rpm/common/status.h"
+
+namespace rpm::serve {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  LineClient(LineClient&& other) noexcept { *this = std::move(other); }
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  ~LineClient() { Close(); }
+
+  /// Connects to 127.0.0.1:port. IOError on refusal.
+  static Result<LineClient> Connect(uint16_t port);
+
+  /// Sends `line` + '\n'. IOError when the connection is gone.
+  Status SendLine(const std::string& line);
+
+  /// Reads one '\n'-terminated line (without the terminator).
+  /// IOError("connection closed...") on server EOF; DeadlineExceeded
+  /// after `timeout_ms` with no complete line.
+  Result<std::string> ReadLine(int64_t timeout_ms = 5000);
+
+  /// SendLine + ReadLine.
+  Result<std::string> Call(const std::string& line,
+                           int64_t timeout_ms = 5000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_CLIENT_H_

@@ -1,0 +1,84 @@
+#include "rpm/serve/result_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace rpm::serve {
+
+ResultCache::JoinOutcome ResultCache::Join(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JoinOutcome outcome;
+  auto hit = completed_.find(key);
+  if (hit != completed_.end()) {
+    outcome.cached = hit->second;
+    ++stats_.hits;
+    return outcome;
+  }
+  auto flight = in_flight_.find(key);
+  if (flight != in_flight_.end()) {
+    outcome.flight = flight->second;
+    ++stats_.coalesced;
+    return outcome;
+  }
+  outcome.flight = std::make_shared<Flight>();
+  outcome.leader = true;
+  in_flight_.emplace(key, outcome.flight);
+  ++stats_.misses;
+  return outcome;
+}
+
+void ResultCache::Publish(const std::string& key,
+                          const std::shared_ptr<Flight>& flight,
+                          std::shared_ptr<const std::string> value,
+                          bool cacheable) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Retire the flight first so late joiners start a fresh one (or hit
+    // the completed cache) instead of waiting on a finished flight.
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end() && it->second == flight) in_flight_.erase(it);
+    if (value != nullptr && cacheable &&
+        completed_.emplace(key, value).second) {
+      fifo_.push_back(key);
+      EvictIfNeeded();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> flight_lock(flight->mutex);
+    if (flight->done) return;  // Idempotent (lease + explicit publish).
+    flight->done = true;
+    flight->value = cacheable ? std::move(value) : nullptr;
+  }
+  flight->done_cv.notify_all();
+}
+
+std::shared_ptr<const std::string> ResultCache::Wait(
+    const std::shared_ptr<Flight>& flight) const {
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  // The leader always publishes (FlightLease), so a plain predicate wait
+  // suffices; the bounded re-check mirrors the rest of serve/ anyway.
+  while (!flight->done) {
+    flight->done_cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  return flight->value;
+}
+
+void ResultCache::EvictIfNeeded() {
+  while (completed_.size() > max_entries_ && !fifo_.empty()) {
+    completed_.erase(fifo_.front());  // Readers hold shared_ptr pins.
+    fifo_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_.size();
+}
+
+}  // namespace rpm::serve

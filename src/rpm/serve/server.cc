@@ -1,0 +1,253 @@
+#include "rpm/serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "rpm/common/deadline.h"
+#include "rpm/common/failpoint.h"
+#include "rpm/serve/protocol.h"
+#include "rpm/serve/wire.h"
+
+namespace rpm::serve {
+
+namespace {
+
+constexpr int kPollMillis = 50;
+
+/// Sends `line` + '\n' whole, riding out partial writes and EINTR.
+/// MSG_NOSIGNAL: a vanished client must surface as a return value here,
+/// never as a process-killing SIGPIPE.
+bool WriteLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(QueryService* service, const Options& options)
+    : service_(service), options_(options) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) Drain();
+}
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::IOError("bind 127.0.0.1:" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, kPollMillis);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      ReapLocked();
+    }
+    if (rc <= 0) continue;  // Timeout, EINTR: re-check stopping_.
+
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    if (FailpointTriggered("serve.accept")) {
+      ::close(client);  // Injected accept failure: drop this one client.
+      continue;
+    }
+
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (sessions_.size() >= options_.max_sessions) {
+      WriteLine(client, ErrorResponse("", kStatusUnavailable,
+                                      "session limit reached (" +
+                                          std::to_string(
+                                              options_.max_sessions) +
+                                          ")"));
+      ::close(client);
+      continue;
+    }
+    auto slot = std::make_unique<SessionSlot>();
+    slot->fd = client;
+    SessionSlot* raw = slot.get();
+    sessions_.push_back(std::move(slot));
+    raw->thread = std::thread([this, raw] { SessionLoop(raw); });
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::SessionLoop(SessionSlot* slot) {
+  const int fd = slot->fd;
+  if (FailpointTriggered("serve.session.alloc")) {
+    WriteLine(fd, ErrorResponse("", kStatusUnavailable,
+                                "session setup failed"));
+    ::close(fd);
+    slot->done.store(true, std::memory_order_release);
+    return;
+  }
+
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, kPollMillis);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) {
+      // Idle tick: during drain an idle session closes (its last
+      // response is already flushed — responses are written inline).
+      if (stopping_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // Client EOF.
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (FailpointTriggered("serve.read")) break;  // Injected read failure.
+    buffer.append(chunk, static_cast<size_t>(n));
+
+    size_t pos;
+    while (open && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = service_->HandleLine(line);
+      if (FailpointTriggered("serve.write")) {
+        open = false;  // Injected write failure: close, don't abort.
+        break;
+      }
+      if (!WriteLine(fd, response)) {
+        open = false;
+        break;
+      }
+    }
+    if (open && buffer.size() > kMaxJsonBytes) {
+      WriteLine(fd, ErrorResponse(
+                        "", WireStatusName(StatusCode::kInvalidArgument),
+                        "request line exceeds " +
+                            std::to_string(kMaxJsonBytes) + " bytes"));
+      open = false;
+    }
+  }
+  ::close(fd);
+  slot->done.store(true, std::memory_order_release);
+}
+
+size_t Server::Drain() {
+  if (drained_.exchange(true)) return 0;
+  // Order matters: QueryService first (new queries -> UNAVAILABLE, queued
+  // admissions wake, in-flight queries see cancellation), THEN stop
+  // accepting, THEN give sessions the grace window to flush.
+  service_->BeginDrain();
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  const Deadline deadline = Deadline::AfterMillis(options_.drain_deadline_ms);
+  for (;;) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      for (const auto& slot : sessions_) {
+        if (!slot->done.load(std::memory_order_acquire)) {
+          all_done = false;
+          break;
+        }
+      }
+    }
+    if (all_done || deadline.Expired()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  size_t forced = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& slot : sessions_) {
+      if (!slot->done.load(std::memory_order_acquire)) {
+        // Grace expired: sever the socket; the session loop's next recv
+        // returns and the thread exits (its query is already cancelled).
+        ::shutdown(slot->fd, SHUT_RDWR);
+        ++forced;
+      }
+    }
+    for (const auto& slot : sessions_) {
+      if (slot->thread.joinable()) slot->thread.join();
+    }
+    sessions_.clear();
+  }
+  return forced;
+}
+
+size_t Server::active_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  size_t open = 0;
+  for (const auto& slot : sessions_) {
+    if (!slot->done.load(std::memory_order_acquire)) ++open;
+  }
+  return open;
+}
+
+void Server::ReapLocked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rpm::serve

@@ -1,0 +1,96 @@
+// TCP front end of the query server (DESIGN.md §10): a loopback listener,
+// one thread per client session, line-delimited JSON in both directions.
+//
+// This layer is deliberately thin — sockets, threads, and the four
+// serve.* failpoints; every decision (parsing, admission, caching, drain
+// semantics) lives in QueryService. All socket loops poll with 50ms
+// timeouts so drain is observed promptly without any async-signal-unsafe
+// wakeup machinery.
+//
+// Lifecycle: Start() binds and spawns the accept loop; Drain() is the
+// one-way shutdown — stop accepting, let QueryService reject/cancel,
+// give open sessions up to drain_deadline_ms to flush their last
+// response, then force-close stragglers and join every thread. A drained
+// server cannot be restarted (drain ends in process exit).
+//
+// Failpoint sites (verify/fault_injection.h campaign):
+//   serve.accept        a just-accepted connection is dropped
+//   serve.read          a session's read path fails; connection closes
+//   serve.write         a response write fails; connection closes
+//   serve.session.alloc session setup fails; UNAVAILABLE is sent, then
+//                       the connection closes
+// Faults only ever close ONE connection — the listener and every other
+// session keep running, and the process never aborts.
+
+#ifndef RPM_SERVE_SERVER_H_
+#define RPM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/serve/service.h"
+
+namespace rpm::serve {
+
+class Server {
+ public:
+  struct Options {
+    /// Loopback TCP port; 0 binds an ephemeral port (read it back from
+    /// port() — the CLI prints it so scripts can connect).
+    uint16_t port = 0;
+    /// Concurrent client connections; excess connects get a structured
+    /// UNAVAILABLE line, then close.
+    size_t max_sessions = 64;
+    /// Grace period for open sessions to flush during Drain() before
+    /// their sockets are force-closed. 0 = force-close immediately.
+    int64_t drain_deadline_ms = 5000;
+  };
+
+  Server(QueryService* service, const Options& options);
+  ~Server();
+
+  /// Binds 127.0.0.1:port, starts listening and spawns the accept loop.
+  /// IOError when the port is taken.
+  Status Start();
+
+  /// The bound port (valid after Start(); resolves port 0).
+  uint16_t port() const { return port_; }
+
+  /// One-way graceful shutdown; idempotent. Returns the number of
+  /// sessions that had to be force-closed at the drain deadline.
+  size_t Drain();
+
+  /// Sessions currently open (monitoring/tests).
+  size_t active_sessions() const;
+
+ private:
+  struct SessionSlot {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void SessionLoop(SessionSlot* slot);
+  /// Joins and erases finished sessions. Requires sessions_mutex_ held.
+  void ReapLocked();
+
+  QueryService* service_;
+  const Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drained_{false};
+  std::thread accept_thread_;
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<SessionSlot>> sessions_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_SERVER_H_

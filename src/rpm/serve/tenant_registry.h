@@ -1,0 +1,82 @@
+// Per-tenant resource quotas for the serve admission controller
+// (DESIGN.md §10). A tenant is a client-declared name on each request;
+// quotas bound what any one name can take from the shared process so a
+// hot tenant can never starve the rest.
+//
+// Quotas derive from the PR 5 ResourceLimits vocabulary: the per-query
+// deadline / memory / max-patterns limits a tenant requests are CLAMPED to
+// its quota ceilings (a request can always ask for less, never more), and
+// concurrency is bounded by (max_concurrent, max_queued) enforced in
+// serve/admission.h.
+
+#ifndef RPM_SERVE_TENANT_REGISTRY_H_
+#define RPM_SERVE_TENANT_REGISTRY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rpm/common/status.h"
+#include "rpm/core/cancellation.h"
+
+namespace rpm::serve {
+
+/// Ceilings for one tenant. Defaults are the serve defaults for any
+/// tenant absent from the config (pinned in tests/serve_flags_test.cc).
+struct TenantQuotas {
+  /// Queries of this tenant executing at once.
+  uint64_t max_concurrent = 2;
+  /// Admission-queue depth beyond the concurrent cap; a request arriving
+  /// with the queue full is rejected OVERLOADED immediately.
+  uint64_t max_queued = 8;
+  /// Ceiling on a query's wall-clock deadline; requests with no deadline
+  /// get exactly this. 0 = unlimited (no ceiling imposed).
+  uint64_t deadline_ceiling_ms = 30000;
+  /// Ceiling on a query's tracked-memory budget, in MiB. 0 = unlimited.
+  uint64_t memory_ceiling_mb = 256;
+  /// Ceiling on a query's max-patterns cap. 0 = unlimited.
+  uint64_t max_patterns = 0;
+
+  /// Requested per-query limits clamped to these ceilings: a zero
+  /// (unlimited) request takes the ceiling; a nonzero request is capped
+  /// at it.
+  ResourceLimits ClampLimits(const ResourceLimits& requested) const;
+};
+
+/// Tenant-name -> quotas, with a default for unknown tenants. Immutable
+/// after LoadConfig; safe to read from any number of session threads.
+class TenantRegistry {
+ public:
+  /// Registry where every tenant gets `defaults`.
+  explicit TenantRegistry(TenantQuotas defaults = {})
+      : defaults_(defaults) {}
+
+  /// Parses a line-delimited JSON config: one object per line,
+  ///   {"tenant": "alice", "max_concurrent": 4, "max_queued": 16,
+  ///    "deadline_ceiling_ms": 5000, "memory_ceiling_mb": 128,
+  ///    "max_patterns": 10000}
+  /// Omitted fields keep the default value; the reserved tenant name
+  /// "default" overrides the defaults themselves (and applies to tenants
+  /// configured on LATER lines only if they omit the field — defaults are
+  /// resolved at parse time). Blank lines and '#' comments are skipped.
+  /// Unknown fields and duplicate tenants are errors.
+  Status LoadConfig(std::istream& config);
+
+  /// Quotas for `tenant` (the configured entry or the defaults).
+  const TenantQuotas& QuotasFor(const std::string& tenant) const;
+
+  const TenantQuotas& defaults() const { return defaults_; }
+
+  /// Configured tenant names, sorted (for `stats` and logs).
+  std::vector<std::string> ConfiguredTenants() const;
+
+ private:
+  TenantQuotas defaults_;
+  std::map<std::string, TenantQuotas> tenants_;
+};
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_TENANT_REGISTRY_H_

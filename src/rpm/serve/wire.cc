@@ -1,0 +1,311 @@
+#include "rpm/serve/wire.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rpm::serve {
+
+namespace {
+
+/// Cursor over the input with position-annotated errors.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    RPM_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.size() - pos_ < word.size()) return false;
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    // A container at depth d holds values at depth d+1, so rejecting
+    // depth >= kMaxJsonDepth caps total nesting at exactly kMaxJsonDepth.
+    if (depth >= kMaxJsonDepth) {
+      return Error("nesting deeper than " + std::to_string(kMaxJsonDepth));
+    }
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input");
+    const char c = Peek();
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (ConsumeWord("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected member name");
+      std::string key;
+      RPM_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after member name");
+      JsonValue value;
+      RPM_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      RPM_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (text_.size() - pos_ < 4) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate \\u escapes are not supported");
+          }
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Error("malformed number");
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(d)) {
+      return Error("number out of range: '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = d;
+    if (integral) {
+      errno = 0;
+      const long long i = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno != ERANGE) {
+        out->integer = static_cast<int64_t>(i);
+        out->is_integer = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status WrongKind(std::string_view field, const char* expected) {
+  return Status::InvalidArgument("field '" + std::string(field) +
+                                 "' must be " + expected);
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<std::string> JsonValue::GetString(std::string_view field) const {
+  if (kind != Kind::kString) return WrongKind(field, "a string");
+  return string_value;
+}
+
+Result<int64_t> JsonValue::GetInt64(std::string_view field) const {
+  if (kind != Kind::kNumber || !is_integer) {
+    return WrongKind(field, "an integer");
+  }
+  return integer;
+}
+
+Result<uint64_t> JsonValue::GetUint64(std::string_view field) const {
+  if (kind != Kind::kNumber || !is_integer || integer < 0) {
+    return WrongKind(field, "a non-negative integer");
+  }
+  return static_cast<uint64_t>(integer);
+}
+
+Result<double> JsonValue::GetDouble(std::string_view field) const {
+  if (kind != Kind::kNumber) return WrongKind(field, "a number");
+  return number;
+}
+
+Result<bool> JsonValue::GetBool(std::string_view field) const {
+  if (kind != Kind::kBool) return WrongKind(field, "a boolean");
+  return bool_value;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  if (text.size() > kMaxJsonBytes) {
+    return Status::InvalidArgument(
+        "JSON input exceeds " + std::to_string(kMaxJsonBytes) + " bytes");
+  }
+  return Parser(text).Parse();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace rpm::serve

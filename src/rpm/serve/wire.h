@@ -1,0 +1,82 @@
+// Minimal JSON for the serve wire protocol (DESIGN.md §10).
+//
+// The server speaks line-delimited JSON over TCP: one request object per
+// line in, one response object per line out. This header is the parsing
+// half — a small, strict, depth-limited recursive-descent parser returning
+// an owned JsonValue tree — plus the escaping helper the serializers use.
+// It exists so the serve layer has no external dependencies and so
+// malformed client input is a Status, never an exception or a crash
+// (robustness is the point: every byte of a request is attacker-shaped).
+//
+// Limits (all return InvalidArgument, never UB):
+//   - nesting depth  <= kMaxJsonDepth
+//   - input size     <= kMaxJsonBytes
+//   - numbers must fit double (and int64 when integral)
+//   - strings must be valid \-escapes; \uXXXX accepted for the BMP
+//     (surrogate pairs rejected — item names and flags are ASCII).
+
+#ifndef RPM_SERVE_WIRE_H_
+#define RPM_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rpm/common/status.h"
+
+namespace rpm::serve {
+
+/// Nesting bound for ParseJson; requests are flat, so 16 is generous.
+inline constexpr int kMaxJsonDepth = 16;
+/// Input-size bound for ParseJson (also the server's line-length cap).
+inline constexpr size_t kMaxJsonBytes = 1 << 20;
+
+/// One parsed JSON value. Object member order is preserved (responses are
+/// serialized field-by-field, so order only matters for test readability).
+struct JsonValue {
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// Numbers keep both views: `number` always holds the parsed double;
+  /// `integer` is valid iff `is_integer` (no '.', 'e', fits int64).
+  double number = 0.0;
+  int64_t integer = 0;
+  bool is_integer = false;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  /// First member with `key`, or nullptr. Linear scan — request objects
+  /// have ~a dozen members.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed accessors for request fields: wrong kind (or out-of-range
+  /// number) is InvalidArgument naming `field` so protocol errors read
+  /// well on the wire.
+  Result<std::string> GetString(std::string_view field) const;
+  Result<int64_t> GetInt64(std::string_view field) const;
+  Result<uint64_t> GetUint64(std::string_view field) const;
+  Result<double> GetDouble(std::string_view field) const;
+  Result<bool> GetBool(std::string_view field) const;
+};
+
+/// Parses exactly one JSON value; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// JSON string escaping for the response serializers (quotes, backslash,
+/// control characters; everything else passes through byte-for-byte).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace rpm::serve
+
+#endif  // RPM_SERVE_WIRE_H_

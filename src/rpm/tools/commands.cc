@@ -1,10 +1,12 @@
 #include "rpm/tools/commands.h"
 
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "rpm/analysis/export.h"
 #include "rpm/analysis/pattern_report.h"
@@ -17,9 +19,14 @@
 #include "rpm/common/flags.h"
 #include "rpm/engine/session.h"
 #include "rpm/gen/paper_datasets.h"
+#include "rpm/engine/snapshot_registry.h"
+#include "rpm/serve/server.h"
+#include "rpm/serve/service.h"
 #include "rpm/timeseries/database_stats.h"
 #include "rpm/timeseries/io/spmf_io.h"
 #include "rpm/tools/mining_flags.h"
+#include "rpm/tools/serve_flags.h"
+#include "rpm/tools/signal_cancel.h"
 #include "rpm/verify/fault_injection.h"
 #include "rpm/verify/harness.h"
 
@@ -134,7 +141,8 @@ void PrintMineSummary(const Query& query, const QueryResult& result,
 /// telemetry that shows tree builds being shared across queries.
 int RunMultiQuery(QuerySession& session, const std::string& input,
                   const std::string& queries_path,
-                  const std::optional<int64_t>& epoch, std::ostream& out,
+                  const std::optional<int64_t>& epoch,
+                  const CancellationToken* cancel, std::ostream& out,
                   std::ostream& err) {
   std::ifstream file(queries_path);
   if (!file) {
@@ -176,6 +184,7 @@ int RunMultiQuery(QuerySession& session, const std::string& input,
     }
     ExecOptions exec;
     exec.threads = parsed->threads;
+    parsed->query.cancel = cancel;
     Result<QueryResult> result =
         session.Run(parsed->query, parsed->backend, exec);
     if (!result.ok()) {
@@ -285,13 +294,21 @@ int CmdMine(int argc, const char* const* argv, std::ostream& out,
   Result<std::optional<int64_t>> epoch_minutes = ResolveEpoch(epoch);
   if (!epoch_minutes.ok()) return Fail(err, epoch_minutes.status());
 
+  // First SIGINT/SIGTERM cancels the query (it stops at the next budget
+  // checkpoint with its deterministic committed prefix and exits 2); a
+  // second one hard-exits.
+  CancellationToken cancel_token;
+  ScopedSignalCancellation signal_guard(&cancel_token);
+
   QuerySession session(*snapshot);
   if (!queries.empty()) {
-    return RunMultiQuery(session, input, queries, *epoch_minutes, out, err);
+    return RunMultiQuery(session, input, queries, *epoch_minutes,
+                         &cancel_token, out, err);
   }
 
   Result<Query> query = mining.ToQuery(session.snapshot().size());
   if (!query.ok()) return Fail(err, query.status());
+  query->cancel = &cancel_token;
 
   BackendKind backend =
       threads == 1 ? BackendKind::kSequential : BackendKind::kParallel;
@@ -672,6 +689,11 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
     err << s.ToString() << "\n" << parser.Help();
     return 1;
   }
+  // First SIGINT/SIGTERM stops after the current case/trial and reports
+  // what completed; a second one hard-exits.
+  CancellationToken cancel_token;
+  ScopedSignalCancellation signal_guard(&cancel_token);
+
   if (faults > 0) {
     if (fault_ppm > 1000000) {
       err << "--fault-ppm must be <= 1000000\n";
@@ -683,8 +705,10 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
     campaign.probability_ppm = static_cast<uint32_t>(fault_ppm);
     campaign.parallel_threads = threads == 0 ? 4 : threads;
     campaign.max_failures = max_failures == 0 ? 1 : max_failures;
+    campaign.cancel = &cancel_token;
     FaultCampaignReport report = RunFaultCampaign(campaign);
     out << report.ToString() << "\n";
+    if (report.cancelled) return 2;
     return report.ok() ? 0 : 2;
   }
   if (cases == 0) {
@@ -694,6 +718,7 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   verify::VerifyOptions options;
   options.cases = cases;
   options.seed = seed;
+  options.cancel = &cancel_token;
   options.max_failures = max_failures == 0 ? 1 : max_failures;
   options.cross_check.check_oracle = !no_oracle;
   options.cross_check.check_parallel = !no_parallel;
@@ -720,7 +745,91 @@ int CmdVerify(int argc, const char* const* argv, std::ostream& out,
   }
   verify::VerifyReport report = verify::RunVerification(options);
   out << verify::FormatReport(report, options);
+  if (report.cancelled) return 2;
   return report.ok() ? 0 : 2;
+}
+
+/// `rpminer serve`: long-lived query server over line-delimited JSON on
+/// loopback TCP. Datasets are the positional args as name=path[:format];
+/// more can be hot-swapped in over the wire ({"op":"swap"}). Runs until
+/// SIGINT/SIGTERM, then drains: stop accepting, cancel in-flight queries,
+/// flush responses, force-close at --drain-deadline-ms.
+int CmdServe(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err) {
+  FlagParser parser("rpminer serve",
+                    "serve mining queries over line-delimited JSON");
+  ServeFlags flags;
+  flags.Register(&parser);
+  if (Status s = parser.Parse(argc, argv); !s.ok()) {
+    err << s.ToString() << "\n" << parser.Help();
+    return 1;
+  }
+  Result<serve::QueryService::Options> service_options =
+      flags.ToServiceOptions();
+  if (!service_options.ok()) return Fail(err, service_options.status());
+  Result<serve::Server::Options> server_options = flags.ToServerOptions();
+  if (!server_options.ok()) return Fail(err, server_options.status());
+
+  serve::TenantRegistry tenants;
+  if (!flags.config.empty()) {
+    std::ifstream config(flags.config);
+    if (!config) {
+      return Fail(err, Status::IOError("cannot open --config file '" +
+                                       flags.config + "'"));
+    }
+    if (Status s = tenants.LoadConfig(config); !s.ok()) {
+      return Fail(err, s);
+    }
+  }
+
+  // Positional datasets: name=path or name=path:format.
+  engine::SnapshotRegistry registry;
+  for (const std::string& spec : parser.positional()) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Fail(err, Status::InvalidArgument(
+                           "dataset spec '" + spec +
+                           "' is not name=path[:format]"));
+    }
+    const std::string name = spec.substr(0, eq);
+    std::string path = spec.substr(eq + 1);
+    std::string format = "tspmf";
+    const size_t colon = path.rfind(':');
+    if (colon != std::string::npos && colon > 0) {
+      const std::string suffix = path.substr(colon + 1);
+      if (suffix == "tspmf" || suffix == "spmf" || suffix == "csv") {
+        format = suffix;
+        path.resize(colon);
+      }
+    }
+    Result<std::shared_ptr<const DatasetSnapshot>> snapshot =
+        LoadSnapshot(path, format);
+    if (!snapshot.ok()) return Fail(err, snapshot.status());
+    if (Status s = registry.Register(name, std::move(*snapshot)); !s.ok()) {
+      return Fail(err, s);
+    }
+    err << "dataset " << name << ": " << path << " (" << format << ")\n";
+  }
+
+  serve::QueryService service(&registry, std::move(tenants),
+                              *service_options);
+  serve::Server server(&service, *server_options);
+  if (Status s = server.Start(); !s.ok()) return Fail(err, s);
+
+  // First SIGINT/SIGTERM begins the drain; a second one hard-exits.
+  CancellationToken cancel_token;
+  ScopedSignalCancellation signal_guard(&cancel_token);
+  err << "rpminer serve listening on 127.0.0.1:" << server.port() << "\n";
+  out.flush();
+  err.flush();
+  while (!cancel_token.cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  err << "drain: stopping accept loop, cancelling in-flight queries\n";
+  const size_t forced = server.Drain();
+  err << "drain: complete (" << forced << " session(s) force-closed)\n";
+  return 0;
 }
 
 }  // namespace
@@ -739,6 +848,8 @@ std::string RpminerUsage() {
          "  convert   event CSV -> timestamped SPMF\n"
          "  verify    differential correctness harness (randomized "
          "cross-checks)\n"
+         "  serve     long-lived query server (line-delimited JSON over "
+         "loopback TCP; name=path datasets)\n"
          "run 'rpminer <command> --help' is not supported; invalid flags "
          "print the command's flag list\n";
 }
@@ -764,6 +875,7 @@ int RunRpminer(int argc, const char* const* argv, std::ostream& out,
   }
   if (command == "convert") return CmdConvert(sub_argc, sub_argv, out, err);
   if (command == "verify") return CmdVerify(sub_argc, sub_argv, out, err);
+  if (command == "serve") return CmdServe(sub_argc, sub_argv, out, err);
   err << "unknown command '" << command << "'\n" << RpminerUsage();
   return 1;
 }

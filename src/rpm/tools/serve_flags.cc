@@ -1,0 +1,66 @@
+#include "rpm/tools/serve_flags.h"
+
+namespace rpm::tools {
+
+void ServeFlags::Register(FlagParser* parser) {
+  parser->AddUint64("port", port,
+                    "loopback TCP port; 0 binds an ephemeral port "
+                    "(printed on startup)",
+                    &port);
+  parser->AddString("config", config,
+                    "per-tenant quota file, one JSON object per line "
+                    "(docs/API.md); absent tenants get the defaults",
+                    &config);
+  parser->AddUint64("max-sessions", max_sessions,
+                    "concurrent client connections; excess connects are "
+                    "turned away with UNAVAILABLE",
+                    &max_sessions);
+  parser->AddUint64("global-max-concurrent", global_max_concurrent,
+                    "queries executing at once across all tenants",
+                    &global_max_concurrent);
+  parser->AddUint64("global-max-queued", global_max_queued,
+                    "admission waiters across all tenants before global "
+                    "OVERLOADED rejections",
+                    &global_max_queued);
+  parser->AddUint64("drain-deadline-ms", drain_deadline_ms,
+                    "grace period for open sessions to flush after "
+                    "SIGINT/SIGTERM before force-close",
+                    &drain_deadline_ms);
+  parser->AddUint64("retry-after-base-ms", retry_after_base_ms,
+                    "base of the load-proportional retry_after_ms hint "
+                    "on OVERLOADED responses",
+                    &retry_after_base_ms);
+  parser->AddUint64("cache-entries", cache_entries,
+                    "completed-result cache capacity (FIFO-evicted)",
+                    &cache_entries);
+}
+
+Result<serve::QueryService::Options> ServeFlags::ToServiceOptions() const {
+  if (global_max_concurrent == 0) {
+    return Status::InvalidArgument(
+        "--global-max-concurrent must be >= 1");
+  }
+  serve::QueryService::Options options;
+  options.admission.global_max_concurrent = global_max_concurrent;
+  options.admission.global_max_queued = global_max_queued;
+  options.admission.retry_after_base_ms =
+      static_cast<int64_t>(retry_after_base_ms);
+  options.cache_entries = cache_entries;
+  return options;
+}
+
+Result<serve::Server::Options> ServeFlags::ToServerOptions() const {
+  if (port > 65535) {
+    return Status::InvalidArgument("--port must be <= 65535");
+  }
+  if (max_sessions == 0) {
+    return Status::InvalidArgument("--max-sessions must be >= 1");
+  }
+  serve::Server::Options options;
+  options.port = static_cast<uint16_t>(port);
+  options.max_sessions = max_sessions;
+  options.drain_deadline_ms = static_cast<int64_t>(drain_deadline_ms);
+  return options;
+}
+
+}  // namespace rpm::tools

@@ -1,0 +1,45 @@
+// One definition of the `rpminer serve` flag set, mining_flags.h-style:
+// names, defaults and the translation into serve/ option structs live
+// here and nowhere else, with the defaults regression-pinned in
+// tests/serve_flags_test.cc.
+
+#ifndef RPM_TOOLS_SERVE_FLAGS_H_
+#define RPM_TOOLS_SERVE_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rpm/common/flags.h"
+#include "rpm/common/status.h"
+#include "rpm/serve/server.h"
+#include "rpm/serve/service.h"
+
+namespace rpm::tools {
+
+/// The serve flag set with its canonical defaults. Tenant-quota defaults
+/// (max_concurrent=2, max_queued=8, deadline_ceiling_ms=30000,
+/// memory_ceiling_mb=256, max_patterns=0) live in serve::TenantQuotas and
+/// are overridden per tenant by --config.
+struct ServeFlags {
+  uint64_t port = 0;                  ///< --port (0 = ephemeral)
+  std::string config;                 ///< --config (tenant quota file)
+  uint64_t max_sessions = 64;         ///< --max-sessions
+  uint64_t global_max_concurrent = 8; ///< --global-max-concurrent
+  uint64_t global_max_queued = 32;    ///< --global-max-queued
+  uint64_t drain_deadline_ms = 5000;  ///< --drain-deadline-ms
+  uint64_t retry_after_base_ms = 50;  ///< --retry-after-base-ms
+  uint64_t cache_entries = 64;        ///< --cache-entries
+
+  /// Registers all eight flags on `parser`, using the current field
+  /// values as the advertised defaults. `this` must outlive Parse().
+  void Register(FlagParser* parser);
+
+  /// Validates ranges (port fits uint16, nonzero concurrency) and
+  /// translates to the serve option structs.
+  Result<serve::QueryService::Options> ToServiceOptions() const;
+  Result<serve::Server::Options> ToServerOptions() const;
+};
+
+}  // namespace rpm::tools
+
+#endif  // RPM_TOOLS_SERVE_FLAGS_H_

@@ -5,6 +5,10 @@
 
 #include "rpm/common/failpoint.h"
 #include "rpm/engine/session.h"
+#include "rpm/engine/snapshot_registry.h"
+#include "rpm/serve/client.h"
+#include "rpm/serve/server.h"
+#include "rpm/serve/service.h"
 #include "rpm/timeseries/io/spmf_io.h"
 #include "rpm/verify/case_generator.h"
 
@@ -248,6 +252,141 @@ bool CheckArmedRoundTrip(const TrialContext& ctx,
   return false;
 }
 
+/// The trial's query as a wire request line. "meta": false strips the
+/// history-dependent meta object, so the response is byte-deterministic
+/// and the armed/disarmed runs can be compared bit-for-bit.
+std::string ServeQueryLine(const RpParams& params) {
+  std::string line = "{\"op\":\"query\",\"dataset\":\"trial\","
+                     "\"tenant\":\"campaign\",\"id\":\"q\",\"per\":";
+  line += std::to_string(params.period);
+  line += ",\"min_ps\":";
+  line += std::to_string(params.min_ps);
+  line += ",\"min_rec\":";
+  line += std::to_string(params.min_rec);
+  line += ",\"tolerance\":";
+  line += std::to_string(params.max_gap_violations);
+  line += ",\"meta\":false}";
+  return line;
+}
+
+/// True when an armed response line is an acceptable structured failure:
+/// it must look like a response object carrying a "status" field (the
+/// server never writes partial junk — a fault either closes the
+/// connection or the full structured line goes out).
+bool IsStructuredResponse(const std::string& line) {
+  return !line.empty() && line.front() == '{' && line.back() == '}' &&
+         line.find("\"status\":\"") != std::string::npos;
+}
+
+/// One serve-side fault trial: an in-process server hosting the trial's
+/// snapshot, a disarmed ground-truth response, several armed request
+/// attempts over fresh connections (each may be cut by serve.accept /
+/// serve.read / serve.write / serve.session.alloc or fail in-engine), and
+/// a disarmed rerun that must be BIT-IDENTICAL to ground truth. The
+/// server must stay alive throughout and drain cleanly at the end —
+/// a hang here fails the trial via read timeouts.
+void CheckServeTrial(const TrialContext& ctx,
+                     const std::shared_ptr<const DatasetSnapshot>& snapshot,
+                     const RpParams& params,
+                     const FaultCampaignOptions& options, size_t trial,
+                     FaultCampaignReport* report) {
+  engine::SnapshotRegistry registry;
+  if (Status s = registry.Register("trial", snapshot); !s.ok()) {
+    AddFailure(ctx, "serve: snapshot registration failed: " + s.ToString());
+    return;
+  }
+  serve::QueryService service(&registry, serve::TenantRegistry(), {});
+  serve::Server::Options server_options;
+  server_options.drain_deadline_ms = 2000;
+  serve::Server server(&service, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    AddFailure(ctx, "serve: server start failed: " + s.ToString());
+    return;
+  }
+
+  const std::string request = ServeQueryLine(params);
+  std::string ground_truth;
+  {
+    Result<serve::LineClient> client = serve::LineClient::Connect(server.port());
+    if (!client.ok()) {
+      AddFailure(ctx, "serve: disarmed connect failed: " +
+                          client.status().ToString());
+      return;
+    }
+    Result<std::string> response = client->Call(request, /*timeout_ms=*/10000);
+    if (!response.ok()) {
+      AddFailure(ctx, "serve: disarmed ground-truth query failed: " +
+                          response.status().ToString());
+      return;
+    }
+    ground_truth = *response;
+  }
+
+  {
+    FaultInjectionOptions inject;
+    // Distinct stream from the engine-side armed scope of the same trial.
+    inject.seed = Mix(options.seed ^ (trial * 0x9e3779b97f4a7c15ull) ^ 1);
+    inject.probability_ppm = options.probability_ppm;
+    ScopedFaultInjection armed(inject);
+
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      ++report->faulted_operations;
+      Result<serve::LineClient> client =
+          serve::LineClient::Connect(server.port());
+      if (!client.ok()) {
+        // accept-side fault: connection refused/reset before use.
+        ++report->clean_recoveries;
+        continue;
+      }
+      if (!client->SendLine(request).ok()) {
+        ++report->clean_recoveries;  // Connection cut by a serve fault.
+        continue;
+      }
+      Result<std::string> response = client->ReadLine(/*timeout_ms=*/10000);
+      if (!response.ok()) {
+        if (response.status().IsDeadlineExceeded()) {
+          AddFailure(ctx, "serve: armed request hung (no response, no "
+                          "close, within 10s)");
+          return;
+        }
+        ++report->clean_recoveries;  // EOF: fault closed the connection.
+        continue;
+      }
+      if (*response == ground_truth) continue;  // Clean completion.
+      if (IsStructuredResponse(*response)) {
+        ++report->clean_recoveries;  // Structured in-band failure.
+        continue;
+      }
+      AddFailure(ctx, "serve: armed response is neither ground truth nor "
+                      "a structured failure: " +
+                          *response);
+      return;
+    }
+    report->faults_injected += FaultInjector::Instance().fires();
+  }
+
+  // Disarmed rerun: bit-identical bytes, and the server still serves.
+  Result<serve::LineClient> client = serve::LineClient::Connect(server.port());
+  if (!client.ok()) {
+    AddFailure(ctx, "serve: disarmed-rerun connect failed — server died "
+                    "under transport faults: " +
+                        client.status().ToString());
+    return;
+  }
+  Result<std::string> rerun = client->Call(request, /*timeout_ms=*/10000);
+  if (!rerun.ok()) {
+    AddFailure(ctx, "serve: disarmed rerun failed: " +
+                        rerun.status().ToString());
+    return;
+  }
+  if (*rerun != ground_truth) {
+    AddFailure(ctx, "serve: disarmed rerun diverged from ground truth — "
+                    "fault residue in the server");
+    return;
+  }
+  server.Drain();
+}
+
 }  // namespace
 
 std::string FaultCampaignReport::ToString() const {
@@ -263,6 +402,7 @@ std::string FaultCampaignReport::ToString() const {
   s += " clean recoveries, ";
   s += std::to_string(failures.size());
   s += " contract violations";
+  if (cancelled) s += " (cancelled early)";
   s += ok() ? " [PASS]" : " [FAIL]";
   for (const std::string& f : failures) {
     s += "\n  FAIL: ";
@@ -278,6 +418,10 @@ FaultCampaignReport RunFaultCampaign(const FaultCampaignOptions& options) {
 
   for (size_t trial = 0; trial < options.trials; ++trial) {
     if (report.failures.size() >= options.max_failures) break;
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      report.cancelled = true;
+      break;
+    }
     verify::VerifyCase vcase = verify::MakeVerifyCase(options.seed, trial);
     TrialContext ctx{&report, trial, vcase.regime};
     ++report.trials_run;
@@ -336,6 +480,12 @@ FaultCampaignReport RunFaultCampaign(const FaultCampaignOptions& options) {
                        truth);
     CheckDisarmedRerun(ctx, session, plain, BackendKind::kParallel,
                        parallel_exec, truth);
+
+    // Transport robustness: the same query through an in-process server
+    // with the serve.* failpoints armed.
+    if (options.serve_trials) {
+      CheckServeTrial(ctx, snapshot, vcase.params, options, trial, &report);
+    }
   }
   return report;
 }

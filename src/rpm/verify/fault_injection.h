@@ -16,6 +16,14 @@
 //                      and rethrows on the caller.
 //   clock.skip       — a deadline probe behaves as if the clock jumped
 //                      past the deadline (only queries with a timeout).
+//   serve.accept     — the query server drops a just-accepted
+//                      connection (serve/server.h).
+//   serve.read       — a server session's read path fails; that one
+//                      connection closes.
+//   serve.write      — a server response write fails; that one
+//                      connection closes.
+//   serve.session.alloc — server session setup fails; the client gets a
+//                      structured UNAVAILABLE line, then close.
 //
 // The campaign (RunFaultCampaign / `rpminer verify --faults=N`) arms the
 // injector around end-to-end operations and asserts the library's
@@ -31,6 +39,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "rpm/core/cancellation.h"
 
 namespace rpm {
 
@@ -106,6 +116,16 @@ struct FaultCampaignOptions {
   size_t parallel_threads = 4;
   /// Stop after this many contract violations.
   size_t max_failures = 5;
+  /// Also run each trial's query through an in-process query server with
+  /// the serve.* transport failpoints armed (serve/server.h): armed
+  /// responses must be bit-identical to ground truth or structured
+  /// failures, and the disarmed rerun must be bit-identical — with zero
+  /// server aborts or hangs.
+  bool serve_trials = true;
+  /// Cooperative cancellation (SIGINT/SIGTERM): checked between trials;
+  /// a cancelled campaign reports the trials completed so far. Not owned;
+  /// may be null.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct FaultCampaignReport {
@@ -119,6 +139,9 @@ struct FaultCampaignReport {
   /// Contract violations: escaped exception, wrong post-fault behavior,
   /// or a poisoned planner cache. Empty = pass.
   std::vector<std::string> failures;
+  /// True when the campaign stopped early on external cancellation; the
+  /// counters then cover the trials that completed.
+  bool cancelled = false;
 
   bool ok() const { return failures.empty(); }
   std::string ToString() const;

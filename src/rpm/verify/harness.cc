@@ -11,6 +11,10 @@ namespace rpm::verify {
 VerifyReport RunVerification(const VerifyOptions& options) {
   VerifyReport report;
   for (uint64_t index = 0; index < options.cases; ++index) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      report.cancelled = true;
+      break;
+    }
     VerifyCase c = MakeVerifyCase(options.seed, index);
     if (options.fixed_params.has_value()) c.params = *options.fixed_params;
     ++report.cases_run;
@@ -64,6 +68,11 @@ std::string FormatReport(const VerifyReport& report,
        ", streaming " + std::to_string(report.streaming_checks) +
        ", engine " + std::to_string(report.engine_checks) +
        ", windowed " + std::to_string(report.windowed_checks) + "\n";
+  if (report.cancelled) {
+    s += "note: cancelled by signal after " +
+         std::to_string(report.cases_run) + "/" +
+         std::to_string(options.cases) + " cases\n";
+  }
   if (report.ok()) {
     s += "result: OK — all implementations agree on every case\n";
     return s;

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "rpm/core/cancellation.h"
 #include "rpm/verify/cross_check.h"
 
 namespace rpm::verify {
@@ -32,6 +33,10 @@ struct VerifyOptions {
   /// the case's own (CLI: `rpminer verify --fixed-params --per=...`) —
   /// lets one parameter point be hammered across all database regimes.
   std::optional<RpParams> fixed_params;
+  /// Cooperative cancellation (SIGINT/SIGTERM): checked between cases; a
+  /// cancelled run reports the cases completed so far. Not owned; may be
+  /// null.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// One failing case, fully processed: the divergences observed on the
@@ -57,6 +62,8 @@ struct VerifyReport {
   /// Windowed ≡ batch-of-window checks executed (exact-model cases only).
   uint64_t windowed_checks = 0;
   std::vector<CaseFailure> failures;
+  /// True when the run stopped early on external cancellation.
+  bool cancelled = false;
 
   bool ok() const { return failures.empty(); }
 };

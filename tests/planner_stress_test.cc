@@ -1,0 +1,180 @@
+// QueryPlanner concurrency stress — written to run under TSan (the serve
+// arm of scripts/verify.sh builds it with -fsanitize=thread). Hammers one
+// shared planner from several threads with enough distinct shapes to churn
+// the bounded cache, races epoch swaps against in-flight readers, and
+// checks the results stay bit-identical to a single-threaded reference:
+// cache eviction and loose->strict reuse must never change an answer.
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rpm/analysis/export.h"
+#include "rpm/engine/dataset_snapshot.h"
+#include "rpm/engine/executor.h"
+#include "rpm/engine/query_planner.h"
+#include "rpm/engine/snapshot_registry.h"
+#include "test_util.h"
+
+namespace rpm::engine {
+namespace {
+
+/// The mining shapes the stress cycles through — more than
+/// QueryPlanner::kMaxCacheEntries so the FIFO evicts while threads plan.
+std::vector<RpParams> StressShapes() {
+  std::vector<RpParams> shapes;
+  for (int64_t period : {2, 3, 4}) {
+    for (uint64_t min_ps : {1u, 2u, 3u, 4u}) {
+      RpParams params;
+      params.period = period;
+      params.min_ps = min_ps;
+      params.min_rec = 2;
+      shapes.push_back(params);
+    }
+  }
+  return shapes;
+}
+
+/// Canonical bytes of a result (the serve payload uses the same encoder),
+/// so "bit-identical" is a string compare.
+std::string Encode(const QueryResult& result, const ItemDictionary& dict) {
+  std::ostringstream out;
+  Status s = analysis::WritePatternsJson(result.patterns, dict, &out);
+  return s.ok() ? out.str() : "<encode error: " + s.ToString() + ">";
+}
+
+QueryResult MustRun(QueryPlanner& planner, const RpParams& params) {
+  Query query;
+  query.params = params;
+  ExecOptions exec;
+  exec.threads = 1;
+  Result<QueryResult> result =
+      GetExecutor(BackendKind::kSequential).Execute(planner, query, exec);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(*result) : QueryResult{};
+}
+
+TEST(PlannerStress, ConcurrentPlansUnderEvictionStayDeterministic) {
+  auto snapshot = DatasetSnapshot::Create(
+      rpm::testing::MakeRandomDb(rpm::testing::RandomDbSpec{}, 17));
+  const std::vector<RpParams> shapes = StressShapes();
+  ASSERT_GT(shapes.size(), QueryPlanner::kMaxCacheEntries);
+
+  // Single-threaded reference answers, one fresh planner per shape.
+  std::vector<std::string> expected;
+  for (const RpParams& params : shapes) {
+    QueryPlanner reference(snapshot);
+    expected.push_back(
+        Encode(MustRun(reference, params), snapshot->dictionary()));
+  }
+
+  QueryPlanner shared(snapshot);
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < 3 * shapes.size(); ++i) {
+        // Offset start per thread so threads contend on different shapes
+        // and the cache keeps churning.
+        const size_t shape = (i + t * 5) % shapes.size();
+        QueryResult result = MustRun(shared, shapes[shape]);
+        if (Encode(result, snapshot->dictionary()) != expected[shape]) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_LE(shared.cache_size(), QueryPlanner::kMaxCacheEntries);
+  EXPECT_GT(shared.tree_builds(), 0u);
+}
+
+TEST(PlannerStress, PinnedPlanSurvivesEviction) {
+  auto snapshot =
+      DatasetSnapshot::Create(rpm::testing::PaperExampleDb());
+  QueryPlanner planner(snapshot);
+  const RpParams pinned_params = rpm::testing::PaperExampleParams();
+  QueryPlanner::Plan pinned = planner.PlanFor(pinned_params);
+  ASSERT_NE(pinned.prepared, nullptr);
+
+  // Push kMaxCacheEntries+ fresh shapes through: the pinned build is
+  // evicted from the cache but must stay valid for its holder.
+  for (const RpParams& params : StressShapes()) planner.PlanFor(params);
+  EXPECT_LE(planner.cache_size(), QueryPlanner::kMaxCacheEntries);
+  EXPECT_NE(pinned.prepared, nullptr);
+
+  // And re-planning the evicted shape still yields the same answer.
+  QueryResult after = MustRun(planner, pinned_params);
+  EXPECT_EQ(after.patterns.size(),
+            rpm::testing::PaperExamplePatterns().size());
+}
+
+TEST(PlannerStress, EpochSwapsNeverDisturbInFlightReaders) {
+  SnapshotRegistry registry;
+  auto db_even = DatasetSnapshot::Create(
+      rpm::testing::MakeRandomDb(rpm::testing::RandomDbSpec{}, 1));
+  auto db_odd = DatasetSnapshot::Create(
+      rpm::testing::MakeRandomDb(rpm::testing::RandomDbSpec{}, 2));
+  ASSERT_TRUE(registry.Register("ds", db_even).ok());
+
+  RpParams params;
+  params.period = 2;
+  params.min_ps = 2;
+  params.min_rec = 2;
+  // Expected answers keyed by epoch parity (odd epochs carry db_even:
+  // epoch 1 is the registration).
+  std::string expected_even_db, expected_odd_db;
+  {
+    QueryPlanner planner_a(db_even);
+    expected_even_db =
+        Encode(MustRun(planner_a, params), db_even->dictionary());
+    QueryPlanner planner_b(db_odd);
+    expected_odd_db =
+        Encode(MustRun(planner_b, params), db_odd->dictionary());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Result<RegisteredDataset> entry = registry.Get("ds");
+        if (!entry.ok()) {
+          mismatch.store(true);
+          return;
+        }
+        // The pinned entry must answer for ITS snapshot even if a swap
+        // lands mid-query.
+        QueryResult result = MustRun(*entry->planner, params);
+        const std::string& expected =
+            entry->epoch % 2 == 1 ? expected_even_db : expected_odd_db;
+        if (Encode(result, entry->snapshot->dictionary()) != expected) {
+          mismatch.store(true);
+        }
+      }
+    });
+  }
+
+  for (int swap = 0; swap < 20; ++swap) {
+    Result<RegisteredDataset> entry =
+        registry.Swap("ds", swap % 2 == 0 ? db_odd : db_even);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_EQ(entry->epoch, static_cast<uint64_t>(swap + 2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rpm::engine

@@ -1,0 +1,217 @@
+// serve/admission.h invariants A1-A4 (documented in the header): caps are
+// never exceeded even under concurrent admits, full queues reject
+// immediately with load-scaled retry hints, Shutdown() wakes every parked
+// waiter, and RAII tickets cannot leak slots.
+
+#include "rpm/serve/admission.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rpm/serve/tenant_registry.h"
+
+namespace rpm::serve {
+namespace {
+
+using Outcome = AdmissionController::Outcome;
+
+TenantRegistry RegistryWith(uint64_t max_concurrent, uint64_t max_queued) {
+  TenantQuotas quotas;
+  quotas.max_concurrent = max_concurrent;
+  quotas.max_queued = max_queued;
+  return TenantRegistry(quotas);
+}
+
+/// Polls until `predicate` holds (bounded); keeps tests free of sleeps
+/// calibrated to scheduler luck.
+template <typename Pred>
+bool EventuallyTrue(Pred predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+TEST(Admission, TenantCapRejectsImmediatelyWhenQueueFull) {
+  TenantRegistry tenants = RegistryWith(/*max_concurrent=*/1,
+                                        /*max_queued=*/0);
+  AdmissionController::Options options;
+  options.retry_after_base_ms = 50;
+  AdmissionController controller(options, &tenants);
+
+  AdmissionController::Decision first = controller.Admit("a");
+  ASSERT_EQ(first.outcome, Outcome::kAdmitted);
+  EXPECT_TRUE(first.ticket.held());
+  EXPECT_EQ(controller.running(), 1u);
+
+  // A2: tenant queue full (depth 0) => immediate rejection, no blocking.
+  AdmissionController::Decision second = controller.Admit("a");
+  EXPECT_EQ(second.outcome, Outcome::kRejected);
+  EXPECT_FALSE(second.ticket.held());
+  EXPECT_EQ(second.rejected_by, "tenant");
+  // hint = base * (1 + running + queued) of the rejecting scope.
+  EXPECT_EQ(second.retry_after_ms, 50 * (1 + 1 + 0));
+
+  // Isolation: another tenant still gets a slot.
+  AdmissionController::Decision other = controller.Admit("b");
+  EXPECT_EQ(other.outcome, Outcome::kAdmitted);
+
+  first.ticket.Release();
+  AdmissionController::Decision again = controller.Admit("a");
+  EXPECT_EQ(again.outcome, Outcome::kAdmitted);
+}
+
+TEST(Admission, GlobalCapRejectsAcrossTenants) {
+  TenantRegistry tenants = RegistryWith(/*max_concurrent=*/4,
+                                        /*max_queued=*/4);
+  AdmissionController::Options options;
+  options.global_max_concurrent = 1;
+  options.global_max_queued = 0;
+  options.retry_after_base_ms = 10;
+  AdmissionController controller(options, &tenants);
+
+  AdmissionController::Decision first = controller.Admit("a");
+  ASSERT_EQ(first.outcome, Outcome::kAdmitted);
+
+  AdmissionController::Decision second = controller.Admit("b");
+  EXPECT_EQ(second.outcome, Outcome::kRejected);
+  EXPECT_EQ(second.rejected_by, "global");
+  EXPECT_EQ(second.retry_after_ms, 10 * (1 + 1 + 0));
+
+  AdmissionController::Stats stats = controller.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.rejected_global, 1u);
+  EXPECT_EQ(stats.rejected_tenant, 0u);
+}
+
+TEST(Admission, QueuedWaiterWakesOnRelease) {
+  TenantRegistry tenants = RegistryWith(/*max_concurrent=*/1,
+                                        /*max_queued=*/1);
+  AdmissionController controller(AdmissionController::Options{}, &tenants);
+
+  AdmissionController::Decision first = controller.Admit("a");
+  ASSERT_EQ(first.outcome, Outcome::kAdmitted);
+
+  std::atomic<bool> waiter_admitted{false};
+  std::thread waiter([&] {
+    AdmissionController::Decision queued = controller.Admit("a");
+    if (queued.outcome == Outcome::kAdmitted) {
+      waiter_admitted.store(true);
+      queued.ticket.Release();
+    }
+  });
+
+  // The waiter parks in the queue (both bounds have room), then takes the
+  // slot the release frees.
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.stats().queued_total >= 1; }));
+  first.ticket.Release();
+  waiter.join();
+  EXPECT_TRUE(waiter_admitted.load());
+  EXPECT_EQ(controller.running(), 0u);
+}
+
+TEST(Admission, ShutdownWakesQueuedWaiters) {
+  TenantRegistry tenants = RegistryWith(/*max_concurrent=*/1,
+                                        /*max_queued=*/2);
+  AdmissionController controller(AdmissionController::Options{}, &tenants);
+
+  AdmissionController::Decision holder = controller.Admit("a");
+  ASSERT_EQ(holder.outcome, Outcome::kAdmitted);
+
+  std::atomic<int> shutdown_seen{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&] {
+      AdmissionController::Decision d = controller.Admit("a");
+      if (d.outcome == Outcome::kShutdown) shutdown_seen.fetch_add(1);
+    });
+  }
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return controller.stats().queued_total >= 2; }));
+
+  // A3: both parked waiters wake with kShutdown; none is left behind.
+  controller.Shutdown();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(shutdown_seen.load(), 2);
+
+  // Post-shutdown admits return kShutdown without touching the queue.
+  AdmissionController::Decision late = controller.Admit("b");
+  EXPECT_EQ(late.outcome, Outcome::kShutdown);
+  EXPECT_FALSE(late.ticket.held());
+}
+
+TEST(Admission, TicketMoveAndDoubleReleaseAreSafe) {
+  TenantRegistry tenants = RegistryWith(/*max_concurrent=*/2,
+                                        /*max_queued=*/0);
+  AdmissionController controller(AdmissionController::Options{}, &tenants);
+
+  AdmissionController::Decision d = controller.Admit("a");
+  ASSERT_EQ(d.outcome, Outcome::kAdmitted);
+
+  // A4: moving transfers the obligation; the moved-from ticket is inert
+  // and double-release is a no-op.
+  AdmissionController::Ticket moved = std::move(d.ticket);
+  EXPECT_FALSE(d.ticket.held());
+  EXPECT_TRUE(moved.held());
+  EXPECT_EQ(controller.running(), 1u);
+
+  moved.Release();
+  EXPECT_EQ(controller.running(), 0u);
+  moved.Release();
+  d.ticket.Release();
+  EXPECT_EQ(controller.running(), 0u);
+
+  {
+    AdmissionController::Decision scoped = controller.Admit("a");
+    ASSERT_EQ(scoped.outcome, Outcome::kAdmitted);
+    EXPECT_EQ(controller.running(), 1u);
+  }  // Destructor releases.
+  EXPECT_EQ(controller.running(), 0u);
+}
+
+TEST(Admission, CapsHoldUnderConcurrency) {
+  constexpr uint64_t kTenantCap = 2;
+  constexpr uint64_t kGlobalCap = 3;
+  TenantRegistry tenants = RegistryWith(kTenantCap, /*max_queued=*/8);
+  AdmissionController::Options options;
+  options.global_max_concurrent = kGlobalCap;
+  options.global_max_queued = 32;
+  AdmissionController controller(options, &tenants);
+
+  // A1 under contention: instantaneous per-tenant and global occupancy
+  // never exceed the caps, measured by the admitted threads themselves.
+  std::atomic<uint64_t> global_now{0};
+  std::atomic<uint64_t> tenant_now[2] = {{0}, {0}};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      const int tenant_index = t % 2;
+      const std::string tenant = tenant_index == 0 ? "even" : "odd";
+      for (int i = 0; i < 40; ++i) {
+        AdmissionController::Decision d = controller.Admit(tenant);
+        if (d.outcome != Outcome::kAdmitted) continue;
+        const uint64_t g = global_now.fetch_add(1) + 1;
+        const uint64_t p = tenant_now[tenant_index].fetch_add(1) + 1;
+        if (g > kGlobalCap || p > kTenantCap) violated.store(true);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        tenant_now[tenant_index].fetch_sub(1);
+        global_now.fetch_sub(1);
+        d.ticket.Release();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(controller.running(), 0u);
+  EXPECT_GT(controller.stats().admitted, 0u);
+}
+
+}  // namespace
+}  // namespace rpm::serve

@@ -1,0 +1,131 @@
+// serve/result_cache.h single-flight semantics: one leader per key,
+// followers coalesce onto the leader's flight, failed/uncacheable flights
+// never poison the completed cache, and the FIFO bound holds.
+
+#include "rpm/serve/result_cache.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace rpm::serve {
+namespace {
+
+std::shared_ptr<const std::string> Payload(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ResultCache, LeaderPublishesFollowersAndCacheSee) {
+  ResultCache cache(/*max_entries=*/8);
+
+  ResultCache::JoinOutcome leader = cache.Join("k");
+  ASSERT_TRUE(leader.leader);
+  ASSERT_EQ(leader.cached, nullptr);
+
+  // A concurrent arrival for the same key coalesces instead of leading.
+  ResultCache::JoinOutcome follower = cache.Join("k");
+  EXPECT_FALSE(follower.leader);
+  EXPECT_EQ(follower.cached, nullptr);
+  ASSERT_NE(follower.flight, nullptr);
+
+  std::shared_ptr<const std::string> seen;
+  std::thread waiter([&] { seen = cache.Wait(follower.flight); });
+  cache.Publish("k", leader.flight, Payload("result"), /*cacheable=*/true);
+  waiter.join();
+  ASSERT_NE(seen, nullptr);
+  EXPECT_EQ(*seen, "result");
+
+  // Later arrivals hit the completed cache directly.
+  ResultCache::JoinOutcome hit = cache.Join("k");
+  ASSERT_NE(hit.cached, nullptr);
+  EXPECT_EQ(*hit.cached, "result");
+  EXPECT_FALSE(hit.leader);
+
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+}
+
+TEST(ResultCache, FailedLeaderReleasesFollowersWithNull) {
+  ResultCache cache(/*max_entries=*/8);
+  ResultCache::JoinOutcome leader = cache.Join("k");
+  ASSERT_TRUE(leader.leader);
+  ResultCache::JoinOutcome follower = cache.Join("k");
+  ASSERT_FALSE(follower.leader);
+
+  std::shared_ptr<const std::string> seen = Payload("sentinel");
+  std::thread waiter([&] { seen = cache.Wait(follower.flight); });
+  // Leader failed: publish "no result". Followers must wake with null
+  // (compute independently) — an error is never fanned out as a result.
+  cache.Publish("k", leader.flight, nullptr, /*cacheable=*/false);
+  waiter.join();
+  EXPECT_EQ(seen, nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // The key is joinable again; the failure left no residue.
+  ResultCache::JoinOutcome retry = cache.Join("k");
+  EXPECT_TRUE(retry.leader);
+  cache.Publish("k", retry.flight, Payload("ok"), /*cacheable=*/true);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, UncacheableResultCompletesFlightWithoutCaching) {
+  ResultCache cache(/*max_entries=*/8);
+  ResultCache::JoinOutcome leader = cache.Join("k");
+  ASSERT_TRUE(leader.leader);
+  // A truncated result reflects the leader's clamped limits, not the
+  // key's answer: the flight completes with null so followers recompute
+  // under their OWN limits, and nothing is stored.
+  cache.Publish("k", leader.flight, Payload("partial"),
+                /*cacheable=*/false);
+  EXPECT_EQ(cache.Wait(leader.flight), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.Join("k").leader);
+}
+
+TEST(ResultCache, FlightLeasePublishesOnEveryExitPath) {
+  ResultCache cache(/*max_entries=*/8);
+  ResultCache::JoinOutcome leader = cache.Join("k");
+  ASSERT_TRUE(leader.leader);
+  {
+    // Early return / exception path: the lease dies unpublished and must
+    // complete the flight with "no result" so followers are not stranded.
+    FlightLease lease(&cache, "k", leader.flight);
+  }
+  EXPECT_EQ(cache.Wait(leader.flight), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, FifoEvictionHonorsBound) {
+  ResultCache cache(/*max_entries=*/2);
+  for (const char* key : {"a", "b", "c"}) {
+    ResultCache::JoinOutcome j = cache.Join(key);
+    ASSERT_TRUE(j.leader);
+    cache.Publish(key, j.flight, Payload(key), /*cacheable=*/true);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Oldest key evicted; newest two still resident.
+  EXPECT_TRUE(cache.Join("a").leader);
+  EXPECT_NE(cache.Join("b").cached, nullptr);
+  EXPECT_NE(cache.Join("c").cached, nullptr);
+}
+
+TEST(ResultCache, PublishIsIdempotent) {
+  ResultCache cache(/*max_entries=*/8);
+  ResultCache::JoinOutcome leader = cache.Join("k");
+  ASSERT_TRUE(leader.leader);
+  cache.Publish("k", leader.flight, Payload("first"), /*cacheable=*/true);
+  // A second publish (e.g. explicit publish followed by lease destructor)
+  // must not overwrite the completed value or double-count.
+  cache.Publish("k", leader.flight, nullptr, /*cacheable=*/false);
+  ResultCache::JoinOutcome hit = cache.Join("k");
+  ASSERT_NE(hit.cached, nullptr);
+  EXPECT_EQ(*hit.cached, "first");
+}
+
+}  // namespace
+}  // namespace rpm::serve

@@ -1,0 +1,259 @@
+// TCP layer of the query server: real loopback sockets through LineClient.
+// Covers session concurrency, the session cap, clean drain, saturation
+// (every response is still one well-formed line), and the four serve.*
+// failpoints — each fault closes ONE connection while the listener and
+// every other session keep serving.
+
+#include "rpm/serve/server.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rpm/engine/dataset_snapshot.h"
+#include "rpm/engine/snapshot_registry.h"
+#include "rpm/serve/client.h"
+#include "rpm/serve/service.h"
+#include "rpm/serve/wire.h"
+#include "rpm/verify/fault_injection.h"
+#include "test_util.h"
+
+namespace rpm::serve {
+namespace {
+
+constexpr const char* kPing = "{\"op\":\"ping\",\"id\":\"p\"}";
+constexpr const char* kQuery =
+    "{\"op\":\"query\",\"id\":\"q\",\"dataset\":\"paper\",\"per\":2,"
+    "\"min_ps\":3,\"min_rec\":2,\"meta\":false}";
+
+std::string StatusOf(const std::string& line) {
+  Result<JsonValue> v = ParseJson(line);
+  if (!v.ok()) return "<unparseable: " + line + ">";
+  const JsonValue* status = v->Find("status");
+  return status != nullptr ? status->string_value : "<missing status>";
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(QueryService::Options service_options = {},
+                   Server::Options server_options = {},
+                   TenantQuotas quotas = {}) {
+    ASSERT_TRUE(registry_
+                    .Register("paper", engine::DatasetSnapshot::Create(
+                                           rpm::testing::PaperExampleDb()))
+                    .ok());
+    service_ = std::make_unique<QueryService>(
+        &registry_, TenantRegistry(quotas), service_options);
+    server_ = std::make_unique<Server>(service_.get(), server_options);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  LineClient MustConnect() {
+    Result<LineClient> client = LineClient::Connect(server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(*client) : LineClient();
+  }
+
+  engine::SnapshotRegistry registry_;
+  std::unique_ptr<QueryService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingAndQueryRoundTrip) {
+  StartServer();
+  LineClient client = MustConnect();
+  Result<std::string> pong = client.Call(kPing);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(StatusOf(*pong), "OK");
+
+  Result<std::string> result = client.Call(kQuery);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(StatusOf(*result), "OK");
+
+  // Several requests ride one connection (line protocol, no re-connect).
+  Result<std::string> again = client.Call(kQuery);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *result) << "meta-free replies must be byte-stable";
+
+  client.Close();
+  EXPECT_EQ(server_->Drain(), 0u);
+}
+
+TEST_F(ServerTest, ConcurrentSessionsAllGetIdenticalAnswers) {
+  StartServer();
+  constexpr int kClients = 4;
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &replies] {
+      Result<LineClient> client = LineClient::Connect(server_->port());
+      if (!client.ok()) return;
+      Result<std::string> reply = client->Call(kQuery, /*timeout_ms=*/30000);
+      if (reply.ok()) replies[i] = *reply;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(replies[i].empty()) << "client " << i << " got no reply";
+    EXPECT_EQ(replies[i], replies[0]);
+    EXPECT_EQ(StatusOf(replies[i]), "OK");
+  }
+  EXPECT_EQ(server_->Drain(), 0u);
+}
+
+TEST_F(ServerTest, SessionCapSendsStructuredUnavailable) {
+  Server::Options options;
+  options.max_sessions = 1;
+  StartServer({}, options);
+  LineClient first = MustConnect();
+  ASSERT_TRUE(first.Call(kPing).ok());  // Session 1 is established.
+
+  LineClient second = MustConnect();
+  Result<std::string> line = second.ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  EXPECT_EQ(StatusOf(*line), "UNAVAILABLE");
+  // ...and then the connection closes (EOF, not a hang).
+  EXPECT_EQ(second.ReadLine().status().code(), StatusCode::kIOError);
+
+  // The established session is unaffected.
+  Result<std::string> pong = first.Call(kPing);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(StatusOf(*pong), "OK");
+  server_->Drain();
+}
+
+TEST_F(ServerTest, SaturationYieldsOnlyWellFormedResponses) {
+  QueryService::Options service_options;
+  service_options.admission.global_max_concurrent = 1;
+  service_options.admission.global_max_queued = 0;
+  TenantQuotas quotas;
+  quotas.max_concurrent = 1;
+  quotas.max_queued = 0;
+  StartServer(service_options, {}, quotas);
+
+  constexpr int kClients = 4;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> overloaded_count{0};
+  std::atomic<int> other_count{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      Result<LineClient> client = LineClient::Connect(server_->port());
+      if (!client.ok()) return;
+      for (int r = 0; r < 8; ++r) {
+        Result<std::string> reply =
+            client->Call(kQuery, /*timeout_ms=*/30000);
+        if (!reply.ok()) {
+          other_count.fetch_add(1);
+          continue;
+        }
+        const std::string status = StatusOf(*reply);
+        if (status == "OK") {
+          ok_count.fetch_add(1);
+        } else if (status == "OVERLOADED") {
+          // The rejection carries an actionable backoff hint.
+          Result<JsonValue> v = ParseJson(*reply);
+          if (!v.ok() || v->Find("retry_after_ms") == nullptr ||
+              v->Find("retry_after_ms")->integer <= 0) {
+            other_count.fetch_add(1);
+          } else {
+            overloaded_count.fetch_add(1);
+          }
+        } else {
+          other_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Past saturation the contract is: every request gets exactly one
+  // well-formed OK or OVERLOADED line — nothing dropped, nothing mangled.
+  EXPECT_EQ(other_count.load(), 0);
+  EXPECT_GT(ok_count.load(), 0);
+  EXPECT_EQ(ok_count.load() + overloaded_count.load(), kClients * 8);
+  server_->Drain();
+}
+
+TEST_F(ServerTest, DrainStopsAcceptingAndClosesIdleSessions) {
+  StartServer();
+  LineClient idle = MustConnect();
+  ASSERT_TRUE(idle.Call(kPing).ok());
+
+  const uint16_t port = server_->port();
+  EXPECT_EQ(server_->Drain(), 0u);
+  EXPECT_EQ(server_->active_sessions(), 0u);
+
+  // The listener is gone: new connections are refused.
+  EXPECT_FALSE(LineClient::Connect(port).ok());
+  // The idle session was closed by the drain, not left hanging.
+  EXPECT_EQ(idle.ReadLine(/*timeout_ms=*/2000).status().code(),
+            StatusCode::kIOError);
+  // Idempotent.
+  EXPECT_EQ(server_->Drain(), 0u);
+}
+
+// --- serve.* failpoints: one connection dies, the server does not --------
+
+TEST_F(ServerTest, AcceptFaultDropsOneConnectionOnly) {
+  StartServer();
+  {
+    FaultInjectionOptions fault;
+    fault.site_filter = "serve.accept";
+    fault.fire_on_nth = 1;
+    ScopedFaultInjection armed(fault);
+    LineClient doomed = MustConnect();
+    // Accepted, then dropped: EOF, never a response, never a hang.
+    EXPECT_EQ(doomed.Call(kPing).status().code(), StatusCode::kIOError);
+  }
+  LineClient healthy = MustConnect();
+  Result<std::string> pong = healthy.Call(kPing);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(StatusOf(*pong), "OK");
+  server_->Drain();
+}
+
+TEST_F(ServerTest, SessionAllocFaultSendsUnavailableThenCloses) {
+  StartServer();
+  {
+    FaultInjectionOptions fault;
+    fault.site_filter = "serve.session.alloc";
+    fault.fire_on_nth = 1;
+    ScopedFaultInjection armed(fault);
+    LineClient doomed = MustConnect();
+    Result<std::string> line = doomed.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_EQ(StatusOf(*line), "UNAVAILABLE");
+    EXPECT_EQ(doomed.ReadLine().status().code(), StatusCode::kIOError);
+  }
+  LineClient healthy = MustConnect();
+  ASSERT_TRUE(healthy.Call(kQuery).ok());
+  server_->Drain();
+}
+
+TEST_F(ServerTest, ReadAndWriteFaultsCloseOnlyTheFaultedSession) {
+  StartServer();
+  for (const char* site : {"serve.read", "serve.write"}) {
+    {
+      FaultInjectionOptions fault;
+      fault.site_filter = site;
+      fault.fire_on_nth = 1;
+      ScopedFaultInjection armed(fault);
+      LineClient doomed = MustConnect();
+      EXPECT_EQ(doomed.Call(kPing).status().code(), StatusCode::kIOError)
+          << site;
+    }
+    // Disarmed: the next session serves normally (no poisoned state).
+    LineClient healthy = MustConnect();
+    Result<std::string> reply = healthy.Call(kQuery);
+    ASSERT_TRUE(reply.ok()) << site << ": " << reply.status().ToString();
+    EXPECT_EQ(StatusOf(*reply), "OK") << site;
+  }
+  server_->Drain();
+}
+
+}  // namespace
+}  // namespace rpm::serve

@@ -1,0 +1,127 @@
+// serve/wire.h: the strict line-JSON parser the server feeds with
+// attacker-shaped bytes, plus the escaper the serializers rely on. The
+// contract under test: malformed input is always a clean InvalidArgument
+// (never a throw, never UB), valid input round-trips exactly.
+
+#include "rpm/serve/wire.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace rpm::serve {
+namespace {
+
+TEST(WireParse, ScalarsAndTypes) {
+  Result<JsonValue> v = ParseJson("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->kind, JsonValue::Kind::kNumber);
+  EXPECT_TRUE(v->is_integer);
+  EXPECT_EQ(v->integer, 42);
+
+  v = ParseJson("-3.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->is_integer);
+  EXPECT_DOUBLE_EQ(v->number, -3.5);
+
+  v = ParseJson("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(v->bool_value);
+
+  v = ParseJson("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->kind, JsonValue::Kind::kNull);
+
+  v = ParseJson("\"hi\\n\\\"there\\\"\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "hi\n\"there\"");
+}
+
+TEST(WireParse, ObjectPreservesOrderAndFinds) {
+  Result<JsonValue> v =
+      ParseJson("{\"op\":\"query\",\"per\":2,\"nested\":{\"x\":[1,2]}}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(v->members.size(), 3u);
+  EXPECT_EQ(v->members[0].first, "op");
+  const JsonValue* per = v->Find("per");
+  ASSERT_NE(per, nullptr);
+  EXPECT_EQ(per->GetInt64("per").ValueOrDie(), 2);
+  EXPECT_EQ(v->Find("absent"), nullptr);
+  const JsonValue* nested = v->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(nested->Find("x"), nullptr);
+  EXPECT_EQ(nested->Find("x")->array.size(), 2u);
+}
+
+TEST(WireParse, UnicodeEscapes) {
+  Result<JsonValue> v = ParseJson("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, "A\xc3\xa9");  // 'A' + e-acute in UTF-8.
+  // Surrogates are rejected, not mangled.
+  EXPECT_FALSE(ParseJson("\"\\ud83d\\ude00\"").ok());
+}
+
+TEST(WireParse, MalformedInputsAreCleanErrors) {
+  const char* cases[] = {
+      "",           "{",           "}",          "{\"a\":}",
+      "{\"a\" 1}",  "[1,]",        "{,}",        "\"unterminated",
+      "tru",        "nul",         "1e999",      "--1",
+      "{\"a\":1}x", "[1 2]",       "\"bad\\qescape\"",
+      "{\"a\":1,}", "\x01",
+  };
+  for (const char* input : cases) {
+    Result<JsonValue> v = ParseJson(input);
+    EXPECT_FALSE(v.ok()) << "input accepted: " << input;
+    EXPECT_TRUE(v.status().IsInvalidArgument()) << input;
+  }
+}
+
+TEST(WireParse, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep += '[';
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep += ']';
+  EXPECT_FALSE(ParseJson(deep).ok());
+
+  std::string shallow;
+  for (int i = 0; i < kMaxJsonDepth - 1; ++i) shallow += '[';
+  for (int i = 0; i < kMaxJsonDepth - 1; ++i) shallow += ']';
+  EXPECT_TRUE(ParseJson(shallow).ok());
+}
+
+TEST(WireParse, SizeLimitEnforced) {
+  std::string big = "\"";
+  big.append(kMaxJsonBytes, 'x');
+  big += '"';
+  EXPECT_FALSE(ParseJson(big).ok());
+}
+
+TEST(WireAccessors, WrongKindNamesField) {
+  Result<JsonValue> v = ParseJson("{\"tenant\":7}");
+  ASSERT_TRUE(v.ok());
+  Result<std::string> s = v->Find("tenant")->GetString("tenant");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("tenant"), std::string::npos);
+}
+
+TEST(WireAccessors, Uint64RejectsNegativeAndFractional) {
+  Result<JsonValue> v = ParseJson("[-1, 1.5, 3]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->array[0].GetUint64("f").ok());
+  EXPECT_FALSE(v->array[1].GetUint64("f").ok());
+  EXPECT_EQ(v->array[2].GetUint64("f").ValueOrDie(), 3u);
+}
+
+TEST(WireEscape, RoundTripsThroughParser) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  std::string wrapped = "\"";
+  wrapped += JsonEscape(nasty);
+  wrapped += '"';
+  Result<JsonValue> v = ParseJson(wrapped);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value, nasty);
+}
+
+}  // namespace
+}  // namespace rpm::serve
